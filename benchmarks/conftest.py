@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper at the
+``quick`` preset (laptop-scale) and records the resulting rows in the
+benchmark's ``extra_info`` so that the numbers appear in the pytest-benchmark
+JSON output alongside the timing.  Set the environment variable
+``REPRO_BENCH_EFFORT=default`` (or ``paper``) to run the larger presets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def effort() -> str:
+    """Benchmark effort level, controlled by REPRO_BENCH_EFFORT."""
+    level = os.environ.get("REPRO_BENCH_EFFORT", "quick")
+    if level not in ("quick", "default", "paper"):
+        raise ValueError(f"invalid REPRO_BENCH_EFFORT {level!r}")
+    return level
+
+
+def run_experiment_benchmark(benchmark, runner, effort: str):
+    """Run an experiment once under pytest-benchmark and attach its rows."""
+    result = benchmark.pedantic(lambda: runner(effort=effort), rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["preset"] = result.metadata.get("preset")
+    benchmark.extra_info["rows"] = result.rows
+    return result

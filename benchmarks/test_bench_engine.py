@@ -1,0 +1,40 @@
+"""Engine micro-benchmarks (engineering, not in the paper).
+
+Measures interactions per second of the exact sequential engine and of the
+batched engine on the dynamic size counting protocol, so that regressions in
+the simulation substrate are visible in CI.
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.vectorized import VectorizedDynamicCounting
+from repro.engine.batch_engine import BatchedSimulator
+from repro.engine.simulator import Simulator
+
+
+def test_bench_sequential_engine(benchmark):
+    n, parallel_time = 500, 30
+
+    def run():
+        simulator = Simulator(DynamicSizeCounting(), n, seed=1)
+        simulator.run(parallel_time)
+        return simulator.interactions_executed
+
+    interactions = benchmark(run)
+    benchmark.extra_info["interactions_per_run"] = interactions
+    assert interactions == n * parallel_time
+
+
+def test_bench_batched_engine(benchmark):
+    n, parallel_time = 50_000, 30
+
+    def run():
+        simulator = BatchedSimulator(VectorizedDynamicCounting(), n, seed=1)
+        simulator.run(parallel_time)
+        return simulator.parallel_time
+
+    steps = benchmark(run)
+    benchmark.extra_info["parallel_time_per_run"] = steps
+    benchmark.extra_info["interactions_per_run"] = steps * n
+    assert steps == parallel_time

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Flock monitoring under a poaching adversary (the paper's motivating story).
+
+Angluin et al. motivate population protocols with a flock of birds carrying
+temperature sensors; the paper adds the twist that the flock size changes —
+birds join, and "throughout hunting season there is a looming threat that a
+poaching adversary selectively targets certain types of birds".
+
+This example simulates exactly that scenario with the dynamic size counting
+protocol on the batched engine:
+
+* the flock starts with 20 000 birds,
+* at parallel time 400 a migration doubles the flock to 40 000,
+* at parallel time 1200 poachers decimate it to 800 birds,
+
+and shows how every bird's estimate of log2(flock size) tracks the changes.
+
+Run it with::
+
+    python examples/flock_monitoring.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import VectorizedDynamicCounting
+from repro.engine import BatchedSimulator
+
+
+def print_row(snapshot, true_size: int) -> None:
+    print(
+        f"{snapshot.parallel_time:>6}  {snapshot.population_size:>8}  "
+        f"{math.log2(true_size):>8.2f}  {snapshot.minimum:>6.1f}  "
+        f"{snapshot.median:>6.1f}  {snapshot.maximum:>6.1f}"
+    )
+
+
+def main() -> None:
+    initial_flock = 20_000
+    migration = (400, 40_000)   # at t=400 the flock doubles
+    poaching = (1_200, 800)     # at t=1200 only 800 birds survive
+    horizon = 2_600
+
+    protocol = VectorizedDynamicCounting()
+    simulator = BatchedSimulator(
+        protocol,
+        initial_flock,
+        seed=7,
+        resize_schedule=[migration, poaching],
+    )
+
+    print("Flock monitoring with dynamic size counting")
+    print(f"{'time':>6}  {'birds':>8}  {'log2(n)':>8}  {'min':>6}  {'median':>6}  {'max':>6}")
+
+    result = simulator.run(horizon, snapshot_every=1)
+    for snapshot in result.snapshots:
+        if snapshot.parallel_time % 100 == 0:
+            print_row(snapshot, snapshot.population_size)
+
+    final = result.snapshots[-1]
+    print()
+    print(
+        f"After the poaching event the flock has {final.population_size} birds "
+        f"(log2 = {math.log2(final.population_size):.2f}); the estimates settled at "
+        f"median {final.median:.1f}."
+    )
+    print(
+        "Note the delay of roughly two clock rounds before the drop becomes "
+        "visible: the trailing estimate (lastMax) keeps the old value for one "
+        "round by design."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work on offline machines where the ``wheel`` package is unavailable and PEP
+660 editable builds therefore cannot be produced.
+"""
+
+from setuptools import setup
+
+setup()

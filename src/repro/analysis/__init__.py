@@ -1,0 +1,82 @@
+"""Metrics, theoretical bounds and result post-processing."""
+
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    loose_stabilization_report,
+    measure_convergence,
+    measure_holding,
+)
+from repro.analysis.estimates import (
+    RelativeDeviation,
+    deviation_series,
+    estimates_valid,
+    relative_deviation,
+    steady_state_window,
+    summarize_window,
+)
+from repro.analysis.geometric import (
+    geometric_cdf,
+    geometric_pmf,
+    lemma_4_1_bounds,
+    lemma_4_1_failure_probability,
+    max_grv_cdf,
+    max_grv_expectation,
+    probability_max_in_bounds,
+)
+from repro.analysis.memory import MemorySummary, memory_reference_bits, summarize_memory
+from repro.analysis.synchronization import (
+    Burst,
+    SynchronyReport,
+    analyze_synchrony,
+    extract_bursts,
+)
+from repro.analysis.tables import format_table, series_to_rows, write_csv, write_json
+from repro.analysis.theory import (
+    TheoremBounds,
+    chvp_lower_bound_value,
+    chvp_upper_bound_time,
+    epidemic_interaction_bound,
+    initiation_bounds,
+    lemma_4_5_schedule,
+    phase_clock_period_interactions,
+    theorem_2_1_bounds,
+)
+
+__all__ = [
+    "Burst",
+    "ConvergenceReport",
+    "MemorySummary",
+    "RelativeDeviation",
+    "SynchronyReport",
+    "TheoremBounds",
+    "analyze_synchrony",
+    "chvp_lower_bound_value",
+    "chvp_upper_bound_time",
+    "deviation_series",
+    "epidemic_interaction_bound",
+    "estimates_valid",
+    "extract_bursts",
+    "format_table",
+    "geometric_cdf",
+    "geometric_pmf",
+    "initiation_bounds",
+    "lemma_4_1_bounds",
+    "lemma_4_1_failure_probability",
+    "lemma_4_5_schedule",
+    "loose_stabilization_report",
+    "max_grv_cdf",
+    "max_grv_expectation",
+    "measure_convergence",
+    "measure_holding",
+    "memory_reference_bits",
+    "phase_clock_period_interactions",
+    "probability_max_in_bounds",
+    "relative_deviation",
+    "series_to_rows",
+    "steady_state_window",
+    "summarize_memory",
+    "summarize_window",
+    "theorem_2_1_bounds",
+    "write_csv",
+    "write_json",
+]

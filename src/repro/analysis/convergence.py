@@ -1,0 +1,141 @@
+"""Convergence-time and holding-time measurement.
+
+Theorem 2.1 states that the protocol is ``(O(log n-hat + log n),
+Theta(n^{k-1} log n))``-loosely-stabilizing: from any configuration it
+*converges* to a valid configuration quickly and then *holds* a valid
+configuration for a long time.  This module turns recorded estimate traces
+into measured convergence and holding times so the experiments can put
+numbers next to the theorem.
+
+A configuration is *valid* when every agent's reported estimate lies within
+``[lower_factor * log2 n, upper_factor * log2 n]`` (see
+:func:`repro.analysis.estimates.estimates_valid`).  Because single-snapshot
+validity can flicker at phase boundaries, convergence requires validity to
+persist for a configurable number of consecutive snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.estimates import estimates_valid
+from repro.engine.recorder import SnapshotStats
+
+__all__ = ["ConvergenceReport", "measure_convergence", "measure_holding", "loose_stabilization_report"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Result of analysing one trace for loose stabilization.
+
+    Attributes
+    ----------
+    convergence_time:
+        First parallel time at which the trace enters a stretch of
+        ``persistence`` consecutive valid snapshots, or ``None`` if it never
+        converged within the trace.
+    holding_time:
+        Length (in parallel time) of the valid stretch starting at
+        ``convergence_time`` — i.e. how long validity held before the first
+        invalid snapshot (or the end of the trace).  ``None`` when the trace
+        never converged.
+    held_until_end:
+        Whether validity still held at the end of the recorded trace (in
+        which case ``holding_time`` is only a lower bound, exactly like the
+        paper can only certify a polynomial lower bound within a finite
+        simulation).
+    """
+
+    convergence_time: int | None
+    holding_time: int | None
+    held_until_end: bool
+
+
+def measure_convergence(
+    rows: Sequence[SnapshotStats],
+    *,
+    lower_factor: float = 0.5,
+    upper_factor: float = 8.0,
+    persistence: int = 5,
+) -> int | None:
+    """First parallel time from which ``persistence`` consecutive snapshots are valid."""
+    if persistence < 1:
+        raise ValueError(f"persistence must be positive, got {persistence}")
+    run = 0
+    for index, row in enumerate(rows):
+        if estimates_valid(row, lower_factor=lower_factor, upper_factor=upper_factor):
+            run += 1
+            if run >= persistence:
+                return rows[index - persistence + 1].parallel_time
+        else:
+            run = 0
+    return None
+
+
+def measure_holding(
+    rows: Sequence[SnapshotStats],
+    start_time: int,
+    *,
+    lower_factor: float = 0.5,
+    upper_factor: float = 8.0,
+    grace: int = 0,
+) -> tuple[int, bool]:
+    """Length of the valid stretch starting at ``start_time``.
+
+    ``grace`` allows that many consecutive invalid snapshots before the
+    stretch is considered broken (useful when the phase clock's reset burst
+    briefly pulls a single agent's estimate below the threshold).
+
+    Returns ``(holding_time, held_until_end)``.
+    """
+    if grace < 0:
+        raise ValueError(f"grace must be non-negative, got {grace}")
+    started = False
+    last_valid_time = start_time
+    invalid_run = 0
+    for row in rows:
+        if row.parallel_time < start_time:
+            continue
+        started = True
+        if estimates_valid(row, lower_factor=lower_factor, upper_factor=upper_factor):
+            last_valid_time = row.parallel_time
+            invalid_run = 0
+        else:
+            invalid_run += 1
+            if invalid_run > grace:
+                return max(0, last_valid_time - start_time), False
+    if not started:
+        return 0, False
+    return max(0, last_valid_time - start_time), True
+
+
+def loose_stabilization_report(
+    rows: Sequence[SnapshotStats],
+    *,
+    lower_factor: float = 0.5,
+    upper_factor: float = 8.0,
+    persistence: int = 5,
+    grace: int = 0,
+) -> ConvergenceReport:
+    """Combined convergence + holding analysis of one recorded trace."""
+    convergence = measure_convergence(
+        rows,
+        lower_factor=lower_factor,
+        upper_factor=upper_factor,
+        persistence=persistence,
+    )
+    if convergence is None:
+        return ConvergenceReport(convergence_time=None, holding_time=None, held_until_end=False)
+    holding, until_end = measure_holding(
+        rows,
+        convergence,
+        lower_factor=lower_factor,
+        upper_factor=upper_factor,
+        grace=grace,
+    )
+    return ConvergenceReport(
+        convergence_time=convergence,
+        holding_time=holding,
+        held_until_end=until_end,
+    )

@@ -1,0 +1,123 @@
+"""Estimate-quality metrics.
+
+Post-processing of recorded estimate series into the quantities the paper
+plots:
+
+* min / median / max of the per-agent estimates over time (Figs. 2, 4, 5),
+* the *relative deviation* of those statistics from the true ``log2 n``
+  (Fig. 3), and
+* validity predicates ("every agent's estimate is within a constant factor
+  of ``log n``") used by the convergence- and holding-time analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.recorder import SnapshotStats
+
+__all__ = [
+    "RelativeDeviation",
+    "relative_deviation",
+    "deviation_series",
+    "estimates_valid",
+    "steady_state_window",
+    "summarize_window",
+]
+
+
+@dataclass(frozen=True)
+class RelativeDeviation:
+    """Relative deviation of the estimate statistics from ``log2 n``.
+
+    A value of 1.0 means the statistic equals ``log2 n`` exactly; 2.0 means
+    it is twice as large.  This is the y-axis of Fig. 3.
+    """
+
+    parallel_time: int
+    population_size: int
+    minimum: float
+    median: float
+    maximum: float
+
+
+def relative_deviation(stats: SnapshotStats) -> RelativeDeviation:
+    """Relative deviation of one snapshot's min/median/max from ``log2 n``."""
+    log_n = stats.true_log_n
+    if not math.isfinite(log_n) or log_n <= 0:
+        raise ValueError(
+            f"population size {stats.population_size} has no meaningful log2"
+        )
+    return RelativeDeviation(
+        parallel_time=stats.parallel_time,
+        population_size=stats.population_size,
+        minimum=stats.minimum / log_n,
+        median=stats.median / log_n,
+        maximum=stats.maximum / log_n,
+    )
+
+
+def deviation_series(rows: Sequence[SnapshotStats]) -> list[RelativeDeviation]:
+    """Map :func:`relative_deviation` over a recorded series."""
+    return [relative_deviation(row) for row in rows]
+
+
+def estimates_valid(
+    stats: SnapshotStats,
+    *,
+    lower_factor: float = 0.5,
+    upper_factor: float = 8.0,
+) -> bool:
+    """Whether every agent's estimate is within constant factors of ``log2 n``.
+
+    The paper's notion of a *valid configuration* is that every agent holds
+    a constant-factor approximation of ``log n``; the empirical section uses
+    the reported estimate ``max{max, lastMax}``.  The default factors are
+    deliberately generous (the maximum of ``k n`` GRVs with ``k = 16``
+    concentrates around ``log2 n + 4``) and match what Fig. 3 shows.
+    """
+    log_n = stats.true_log_n
+    if not math.isfinite(log_n) or log_n <= 0:
+        return False
+    return stats.minimum >= lower_factor * log_n and stats.maximum <= upper_factor * log_n
+
+
+def steady_state_window(
+    rows: Sequence[SnapshotStats], *, skip_fraction: float = 0.5
+) -> list[SnapshotStats]:
+    """The tail of a series, after discarding the initial convergence phase.
+
+    Fig. 3 reports the estimate quality of converged populations; this
+    helper drops the first ``skip_fraction`` of the snapshots so that the
+    summary is not polluted by the start-up transient.
+    """
+    if not 0.0 <= skip_fraction < 1.0:
+        raise ValueError(f"skip_fraction must lie in [0, 1), got {skip_fraction}")
+    start = int(len(rows) * skip_fraction)
+    return list(rows[start:])
+
+
+def summarize_window(rows: Sequence[SnapshotStats]) -> dict[str, float]:
+    """Aggregate a window of snapshots into overall min/median/max statistics.
+
+    Returns the extreme minimum, the median of the per-snapshot medians and
+    the extreme maximum over the window — the three numbers one data point
+    of Fig. 3 consists of (before dividing by ``log2 n``).
+    """
+    if not rows:
+        raise ValueError("cannot summarise an empty window")
+    minima = [row.minimum for row in rows]
+    medians = sorted(row.median for row in rows)
+    maxima = [row.maximum for row in rows]
+    mid = len(medians) // 2
+    if len(medians) % 2 == 1:
+        median_of_medians = medians[mid]
+    else:
+        median_of_medians = (medians[mid - 1] + medians[mid]) / 2.0
+    return {
+        "minimum": min(minima),
+        "median": median_of_medians,
+        "maximum": max(maxima),
+    }

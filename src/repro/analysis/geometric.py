@@ -1,0 +1,107 @@
+"""Closed-form facts about maxima of geometric random variables.
+
+The correctness of the whole protocol rests on Lemma 4.1: the maximum of
+``k * n`` i.i.d. Geom(1/2) random variables lies in
+``[0.5 log n, 2 (k + 1) log n]`` with probability ``1 - O(n^-k)``.  This
+module provides the exact distribution of such maxima, the paper's bounds,
+and helpers used by the property-based tests and the theory benchmarks.
+
+All logarithms are base 2 (the paper writes ``log`` for ``log_2`` — its
+geometric variables have parameter 1/2, so the natural scale is bits).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "geometric_pmf",
+    "geometric_cdf",
+    "max_grv_cdf",
+    "max_grv_expectation",
+    "lemma_4_1_bounds",
+    "lemma_4_1_failure_probability",
+    "probability_max_in_bounds",
+]
+
+
+def geometric_pmf(value: int, p: float = 0.5) -> float:
+    """P[X = value] for X ~ Geom(p) supported on {1, 2, ...}."""
+    if value < 1:
+        return 0.0
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must lie in (0, 1], got {p}")
+    return (1.0 - p) ** (value - 1) * p
+
+
+def geometric_cdf(value: int, p: float = 0.5) -> float:
+    """P[X <= value] for X ~ Geom(p) supported on {1, 2, ...}."""
+    if value < 1:
+        return 0.0
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must lie in (0, 1], got {p}")
+    return 1.0 - (1.0 - p) ** value
+
+
+def max_grv_cdf(value: int, count: int, p: float = 0.5) -> float:
+    """P[max of ``count`` i.i.d. Geom(p) samples <= value]."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    return geometric_cdf(value, p) ** count
+
+
+def max_grv_expectation(count: int, p: float = 0.5, *, tolerance: float = 1e-12) -> float:
+    """Expected maximum of ``count`` i.i.d. Geom(p) samples.
+
+    Computed from ``E[M] = sum_{v >= 0} P[M > v]``; the series is truncated
+    once the tail probability drops below ``tolerance``.  For p = 1/2 the
+    expectation is approximately ``log2(count) + 0.33`` for large counts.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    expectation = 0.0
+    value = 0
+    while True:
+        tail = 1.0 - max_grv_cdf(value, count, p) if value >= 1 else 1.0
+        expectation += tail
+        if tail < tolerance:
+            break
+        value += 1
+        if value > 10_000:  # pragma: no cover - defensive guard
+            break
+    return expectation
+
+
+def lemma_4_1_bounds(n: int, k: int) -> tuple[float, float]:
+    """The interval ``[0.5 log n, 2 (k + 1) log n]`` from Lemma 4.1."""
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    log_n = math.log2(n)
+    return 0.5 * log_n, 2.0 * (k + 1) * log_n
+
+
+def lemma_4_1_failure_probability(n: int, k: int) -> float:
+    """Upper bound ``2 n^-k`` on the failure probability of Lemma 4.1."""
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return min(1.0, 2.0 * n ** (-k))
+
+
+def probability_max_in_bounds(n: int, k: int) -> float:
+    """Exact P[0.5 log n <= max of k*n GRVs <= 2(k+1) log n].
+
+    Used by the tests to confirm that the exact probability indeed dominates
+    the ``1 - O(n^-k)`` bound claimed by Lemma 4.1 (for the n, k ranges we
+    can evaluate exactly).
+    """
+    lower, upper = lemma_4_1_bounds(n, k)
+    count = k * n
+    lower_int = math.ceil(lower) - 1  # P[M >= lower]  = 1 - P[M <= ceil(lower)-1]
+    upper_int = math.floor(upper)
+    p_below_lower = max_grv_cdf(max(lower_int, 0), count) if lower_int >= 1 else 0.0
+    p_at_most_upper = max_grv_cdf(upper_int, count)
+    return max(0.0, p_at_most_upper - p_below_lower)

@@ -1,0 +1,75 @@
+"""Space-complexity accounting.
+
+Lemma 4.13 / Theorem 2.1 claim that each agent of the paper's protocol needs
+``O(log s + log log n)`` bits, where ``s`` is the largest value initially
+stored by any agent — an exponential improvement over the
+``Omega((log log n)^2)`` bits of the Doty–Eftekhari baseline.  This module
+post-processes recorded :class:`repro.engine.recorder.MemoryRecorder` traces
+into the per-``n`` summary rows of the memory experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["MemorySummary", "summarize_memory", "memory_reference_bits"]
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Peak and steady-state memory usage of one run."""
+
+    population_size: int
+    peak_bits: float
+    steady_state_bits: float
+    reference_bits: float
+
+    @property
+    def peak_over_reference(self) -> float:
+        """Measured peak divided by the ``log s + log log n`` reference."""
+        if self.reference_bits <= 0:
+            return float("inf")
+        return self.peak_bits / self.reference_bits
+
+
+def memory_reference_bits(n: int, largest_initial_value: float = 0.0) -> float:
+    """The ``log2 s + log2 log2 n`` reference of Theorem 2.1 (per variable)."""
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    log_log_n = math.log2(max(2.0, math.log2(n)))
+    log_s = math.log2(max(2.0, largest_initial_value)) if largest_initial_value > 0 else 0.0
+    return log_s + log_log_n
+
+
+def summarize_memory(
+    rows: Sequence[dict[str, float]],
+    population_size: int,
+    *,
+    largest_initial_value: float = 0.0,
+    steady_state_fraction: float = 0.5,
+) -> MemorySummary:
+    """Summarise a :class:`MemoryRecorder` trace.
+
+    ``rows`` are the recorder's dictionaries (``parallel_time``,
+    ``max_bits``, ``mean_bits``).  The steady-state figure is the maximum
+    per-agent footprint over the last ``1 - steady_state_fraction`` of the
+    trace, i.e. after the start-up transient has passed.
+    """
+    if not rows:
+        raise ValueError("cannot summarise an empty memory trace")
+    if not 0.0 <= steady_state_fraction < 1.0:
+        raise ValueError(
+            f"steady_state_fraction must lie in [0, 1), got {steady_state_fraction}"
+        )
+    peak = max(row["max_bits"] for row in rows)
+    tail_start = int(len(rows) * steady_state_fraction)
+    tail = rows[tail_start:] or rows
+    steady = max(row["max_bits"] for row in tail)
+    return MemorySummary(
+        population_size=population_size,
+        peak_bits=peak,
+        steady_state_bits=steady,
+        reference_bits=memory_reference_bits(population_size, largest_initial_value),
+    )

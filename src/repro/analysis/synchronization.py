@@ -1,0 +1,175 @@
+"""Phase-clock synchrony analysis: bursts, overlaps, and Theorem 2.2 checks.
+
+Theorem 2.2 describes the tick structure of the uniform phase clock: there
+is a sequence of times ``t_i`` such that every agent ticks exactly once in
+the *burst* interval around ``t_i``, consecutive bursts are separated by
+tick-free *overlap* intervals, and both have length ``Theta(n log n)``
+interactions (``Theta(log n)`` parallel time).
+
+This module reconstructs that structure from recorded tick events
+(``ProtocolEvent`` objects of kind ``"tick"`` or ``"reset"``):
+
+* ticks are grouped into bursts by splitting at gaps longer than a
+  configurable fraction of the typical round length;
+* each burst is checked for the "every agent ticks exactly once" property;
+* overlap lengths are the gaps between consecutive bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.engine.protocol import ProtocolEvent
+
+__all__ = ["Burst", "SynchronyReport", "extract_bursts", "analyze_synchrony"]
+
+
+@dataclass
+class Burst:
+    """One burst of clock ticks.
+
+    Attributes
+    ----------
+    start / end:
+        Interaction indices of the first and last tick in the burst.
+    ticks_per_agent:
+        Mapping from agent id to the number of ticks it contributed.
+    """
+
+    start: int
+    end: int
+    ticks_per_agent: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def tick_count(self) -> int:
+        return sum(self.ticks_per_agent.values())
+
+    @property
+    def agent_count(self) -> int:
+        return len(self.ticks_per_agent)
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def is_exact(self, population: Iterable[int] | int) -> bool:
+        """Every agent in ``population`` ticked exactly once in this burst.
+
+        ``population`` is either the set of agent ids alive during the burst
+        or simply the population size (in which case only the counts are
+        checked, which is what the dynamic experiments use since stable ids
+        change as agents are removed).
+        """
+        if isinstance(population, int):
+            return (
+                self.agent_count == population
+                and all(count == 1 for count in self.ticks_per_agent.values())
+            )
+        expected = set(population)
+        return (
+            set(self.ticks_per_agent) == expected
+            and all(count == 1 for count in self.ticks_per_agent.values())
+        )
+
+
+@dataclass(frozen=True)
+class SynchronyReport:
+    """Summary of the burst/overlap structure of one run."""
+
+    bursts: tuple[Burst, ...]
+    overlap_lengths: tuple[int, ...]
+    exact_bursts: int
+    total_bursts: int
+
+    @property
+    def exact_fraction(self) -> float:
+        """Fraction of bursts in which every agent ticked exactly once."""
+        if self.total_bursts == 0:
+            return 0.0
+        return self.exact_bursts / self.total_bursts
+
+    def mean_burst_length(self) -> float:
+        if not self.bursts:
+            return 0.0
+        return sum(b.length for b in self.bursts) / len(self.bursts)
+
+    def mean_overlap_length(self) -> float:
+        if not self.overlap_lengths:
+            return 0.0
+        return sum(self.overlap_lengths) / len(self.overlap_lengths)
+
+    def mean_period(self) -> float:
+        """Mean distance between consecutive burst midpoints (the clock period)."""
+        if len(self.bursts) < 2:
+            return 0.0
+        midpoints = [(b.start + b.end) / 2.0 for b in self.bursts]
+        gaps = [b - a for a, b in zip(midpoints, midpoints[1:])]
+        return sum(gaps) / len(gaps)
+
+
+def extract_bursts(
+    events: Sequence[ProtocolEvent],
+    *,
+    gap_threshold: int,
+    kinds: tuple[str, ...] = ("tick", "reset"),
+) -> list[Burst]:
+    """Group tick events into bursts by splitting at large gaps.
+
+    Parameters
+    ----------
+    events:
+        Recorded protocol events, in interaction order.
+    gap_threshold:
+        Two consecutive ticks separated by more than this many interactions
+        belong to different bursts.  A good choice is a small multiple of
+        ``n`` (i.e. a few parallel time units): within a burst the
+        reset->exchange epidemic produces a tick every few interactions,
+        while overlaps are ``Theta(n log n)`` interactions long.
+    """
+    if gap_threshold < 1:
+        raise ValueError(f"gap_threshold must be positive, got {gap_threshold}")
+    ticks = [e for e in events if e.kind in kinds]
+    ticks.sort(key=lambda e: e.interaction)
+    bursts: list[Burst] = []
+    current: Burst | None = None
+    for event in ticks:
+        if current is None or event.interaction - current.end > gap_threshold:
+            current = Burst(start=event.interaction, end=event.interaction)
+            bursts.append(current)
+        current.end = event.interaction
+        current.ticks_per_agent[event.agent_id] = (
+            current.ticks_per_agent.get(event.agent_id, 0) + 1
+        )
+    return bursts
+
+
+def analyze_synchrony(
+    events: Sequence[ProtocolEvent],
+    population_size: int,
+    *,
+    gap_threshold: int | None = None,
+    drop_partial_edges: bool = True,
+) -> SynchronyReport:
+    """Full Theorem 2.2 style analysis of a recorded tick trace.
+
+    ``gap_threshold`` defaults to ``3 * population_size`` interactions
+    (three parallel time units).  When ``drop_partial_edges`` is set the
+    first and last burst are excluded from the exactness statistics, since
+    the recording window usually cuts them off.
+    """
+    if population_size < 2:
+        raise ValueError(f"population_size must be at least 2, got {population_size}")
+    threshold = gap_threshold if gap_threshold is not None else 3 * population_size
+    bursts = extract_bursts(events, gap_threshold=threshold)
+    overlaps = tuple(
+        later.start - earlier.end for earlier, later in zip(bursts, bursts[1:])
+    )
+    interior = bursts[1:-1] if drop_partial_edges and len(bursts) > 2 else bursts
+    exact = sum(1 for burst in interior if burst.is_exact(population_size))
+    return SynchronyReport(
+        bursts=tuple(bursts),
+        overlap_lengths=overlaps,
+        exact_bursts=exact,
+        total_bursts=len(interior),
+    )

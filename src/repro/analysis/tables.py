@@ -1,0 +1,89 @@
+"""Result formatting: ASCII tables, CSV files and JSON dumps.
+
+The experiment harness prints the same rows/series the paper plots and also
+persists them so that EXPERIMENTS.md can reference concrete numbers.  No
+plotting library is required (the execution environment is offline); the
+CSV output can be plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "write_csv", "write_json", "series_to_rows"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    *,
+    float_format: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render rows of dictionaries as a fixed-width ASCII table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Floats are formatted with ``float_format``; other values via
+    ``str``.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(keys[i]), max(len(line[i]) for line in rendered)) for i in range(len(keys))
+    ]
+    header = "  ".join(key.ljust(widths[i]) for i, key in enumerate(keys))
+    divider = "  ".join("-" * widths[i] for i in range(len(keys)))
+    body = "\n".join(
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(keys))) for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, divider, body])
+    return "\n".join(parts)
+
+
+def series_to_rows(series: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Transpose a column-oriented series into row dictionaries."""
+    if not series:
+        return []
+    lengths = {key: len(values) for key, values in series.items()}
+    count = min(lengths.values())
+    return [{key: series[key][index] for key in series} for index in range(count)]
+
+
+def write_csv(path: str | Path, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> Path:
+    """Write rows of dictionaries to ``path`` as CSV; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        target.write_text("")
+        return target
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=keys, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return target
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write ``payload`` to ``path`` as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return target

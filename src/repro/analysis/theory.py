@@ -1,0 +1,160 @@
+"""Theoretical bound calculators for the paper's lemmas and theorems.
+
+These functions compute the *analytical* quantities the paper proves, so
+that experiments and tests can place measured values next to the bounds:
+
+* Lemma 4.2 — epidemic completion time,
+* Lemma 4.3 / 4.4 — CHVP upper and lower bounds,
+* Lemma 4.5 — the phase-traversal schedule with the theory constants,
+* Lemma A.1 — concentration of per-agent initiation counts,
+* Theorem 2.1 — convergence / holding / space bounds,
+* Theorem 2.2 — burst and overlap interval structure.
+
+All bounds are stated in the same units as the paper (interactions or
+parallel time, as documented per function); logarithms are base 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import ProtocolParameters
+
+__all__ = [
+    "epidemic_interaction_bound",
+    "chvp_upper_bound_time",
+    "chvp_lower_bound_value",
+    "initiation_bounds",
+    "lemma_4_5_schedule",
+    "TheoremBounds",
+    "theorem_2_1_bounds",
+    "phase_clock_period_interactions",
+]
+
+
+def epidemic_interaction_bound(n: int, k: float = 1.0) -> float:
+    """Lemma 4.2: interactions for an epidemic to finish w.h.p., ``4(k+1) n log n``."""
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    return 4.0 * (k + 1.0) * n * math.log2(n)
+
+
+def chvp_upper_bound_time(n: int, delta: float, k: float = 1.0) -> float:
+    """Lemma 4.3: interactions within which the CHVP maximum drops by ``delta``.
+
+    ``7 n (delta + k log n)`` — after this many interactions the maximum is
+    at most ``m - delta`` w.h.p.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return 7.0 * n * (delta + k * math.log2(n))
+
+
+def chvp_lower_bound_value(m: float, n: int, delta: float, k: float = 2.0) -> float:
+    """Lemma 4.4: lower bound on the CHVP minimum after ``7 n (delta + k log n)`` interactions.
+
+    The minimum is at least ``m - 12 (delta + k log n)`` w.h.p.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return m - 12.0 * (delta + k * math.log2(n))
+
+
+def initiation_bounds(c: float, k: float, n: int) -> tuple[float, float]:
+    """Lemma A.1: range of per-agent initiations within ``c log n`` parallel time.
+
+    Each agent initiates between ``c (1 - sqrt(k/c)) log n`` and
+    ``c (1 + sqrt(k/c)) log n`` interactions w.h.p. (requires ``k < c``).
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if not 0 < k < c:
+        raise ValueError(f"need 0 < k < c, got k={k}, c={c}")
+    log_n = math.log2(n)
+    spread = math.sqrt(k / c)
+    return c * (1.0 - spread) * log_n, c * (1.0 + spread) * log_n
+
+
+def lemma_4_5_schedule(n: int, m: float, k: int = 2) -> dict[str, float]:
+    """Lemma 4.5: the interaction counts ``i_1 < i_2 < i_3`` of the phase traversal.
+
+    For ``M = m * log n`` and the theory constants, returns the interaction
+    indices by which the population has entered the exchange, hold and reset
+    intervals, plus the bound ``tau' * M`` on initiated interactions.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if k < 2:
+        raise ValueError(f"the lemma requires k >= 2, got {k}")
+    log_n = math.log2(n)
+    return {
+        "i1": 8.0 * n * (k + 1) * m * log_n,
+        "i2": 400.0 * n * k * m * log_n,
+        "i3": 1065.0 * n * k * m * log_n,
+        "max_initiations": 4350.0 * k * m * log_n,
+    }
+
+
+@dataclass(frozen=True)
+class TheoremBounds:
+    """Asymptotic quantities of Theorem 2.1 instantiated for concrete ``n``.
+
+    These are *shape* references (the Theta/O constants are not specified by
+    the paper), so the experiments report measured-over-reference ratios and
+    check that the ratios stay bounded across ``n``, which is the meaningful
+    empirical content of an asymptotic claim.
+    """
+
+    n: int
+    k: int
+    initial_estimate: float
+    convergence_reference: float
+    holding_reference: float
+    memory_reference_bits: float
+
+
+def theorem_2_1_bounds(
+    n: int, *, k: int = 2, initial_estimate: float | None = None, largest_value: float | None = None
+) -> TheoremBounds:
+    """Instantiate Theorem 2.1's reference quantities for population size ``n``.
+
+    * convergence reference: ``log n-hat + log n`` parallel time,
+    * holding reference: ``n^{k-1} log n`` parallel time,
+    * memory reference: ``log s + log log n`` bits.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if k < 2:
+        raise ValueError(f"the theorem requires k >= 2, got {k}")
+    log_n = math.log2(n)
+    estimate = initial_estimate if initial_estimate is not None else log_n
+    s = largest_value if largest_value is not None else max(2.0, estimate)
+    return TheoremBounds(
+        n=n,
+        k=k,
+        initial_estimate=estimate,
+        convergence_reference=estimate + log_n,
+        holding_reference=float(n ** (k - 1)) * log_n,
+        memory_reference_bits=math.log2(max(2.0, s)) + math.log2(max(2.0, log_n)),
+    )
+
+
+def phase_clock_period_interactions(n: int, params: ProtocolParameters, log_n: float | None = None) -> float:
+    """Theorem 2.2 shape reference: one clock round is ``Theta(n log n)`` interactions.
+
+    The reference used is ``tau_1 * overestimation * n * log2 n`` — the
+    countdown length times the population size — which is the natural
+    constant-free stand-in for the Theta bound when comparing periods across
+    population sizes.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    log_value = log_n if log_n is not None else math.log2(n)
+    return params.tau1 * params.overestimation * n * log_value

@@ -1,0 +1,29 @@
+"""The paper's core contribution: dynamic size counting and the uniform phase clock."""
+
+from repro.core.composition import ComposedProtocol, ComposedState
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.grv import SyntheticCoinGrvGenerator, grv, grv_maximum
+from repro.core.params import ProtocolParameters, empirical_parameters, theory_parameters
+from repro.core.phase_clock import UniformPhaseClock
+from repro.core.simplified import SimplifiedDynamicSizeCounting
+from repro.core.state import CountingState, Phase, classify_phase, state_memory_bits
+from repro.core.vectorized import VectorizedDynamicCounting
+
+__all__ = [
+    "ComposedProtocol",
+    "ComposedState",
+    "CountingState",
+    "DynamicSizeCounting",
+    "Phase",
+    "ProtocolParameters",
+    "SimplifiedDynamicSizeCounting",
+    "SyntheticCoinGrvGenerator",
+    "UniformPhaseClock",
+    "VectorizedDynamicCounting",
+    "classify_phase",
+    "empirical_parameters",
+    "grv",
+    "grv_maximum",
+    "state_memory_bits",
+    "theory_parameters",
+]

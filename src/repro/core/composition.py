@@ -1,0 +1,203 @@
+"""Composition of the dynamic size estimate with non-uniform payload protocols.
+
+The paper motivates dynamic size counting as a way to turn *non-uniform*
+population protocols — protocols whose transition function needs an estimate
+of ``log n`` — into dynamic, loosely-stabilizing ones (Section 1 and the
+open problems in Section 6).  This module provides the composition
+machinery used by the examples and integration tests:
+
+* :class:`ComposedState` bundles the counting state with a payload state;
+* :class:`ComposedProtocol` runs the counting protocol and a payload
+  protocol side by side in every interaction, feeds the payload the current
+  size estimate, and restarts / advances the payload on clock ticks.
+
+The composition follows the simple "restart on significant estimate change"
+pattern discussed in the paper's conclusion: a formal general framework is
+left open by the authors, so this module deliberately implements the
+pragmatic version their discussion sketches and documents its semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.state import CountingState
+from repro.engine.protocol import InteractionContext, Protocol, ProtocolEvent
+from repro.engine.population import Population
+from repro.engine.rng import RandomSource
+
+__all__ = ["ComposedState", "ComposedProtocol"]
+
+
+@dataclass
+class ComposedState:
+    """Joint state: the counting/clock state plus the payload protocol's state."""
+
+    clock: CountingState
+    payload: Any
+    #: Size estimate the payload was last (re)configured with.
+    configured_estimate: float = 1.0
+
+    def copy(self) -> "ComposedState":
+        payload = self.payload.copy() if hasattr(self.payload, "copy") else self.payload
+        return ComposedState(
+            clock=self.clock.copy(),
+            payload=payload,
+            configured_estimate=self.configured_estimate,
+        )
+
+
+class ComposedProtocol(Protocol[ComposedState]):
+    """Run a payload protocol driven by the dynamic size estimate.
+
+    Parameters
+    ----------
+    payload:
+        The non-uniform payload protocol.  Its ``interact`` is applied to
+        the payload components of the two agents in every interaction.
+    counting:
+        The dynamic size counting protocol instance (defaults to empirical
+        parameters).
+    on_tick:
+        Callback ``(payload_protocol, payload_state) -> payload_state``
+        invoked for the initiator whenever its clock ticks (resets).  The
+        default advances a ``phase`` attribute if the payload protocol
+        exposes :meth:`advance_phase`, which is what
+        :class:`repro.protocols.majority.PhasedMajority` expects.
+    restart_threshold:
+        Relative change of the size estimate (w.r.t. the estimate the
+        payload was configured with) that triggers a payload restart.  A
+        value of 0.5 means the payload restarts when the estimate changes
+        by more than 50 %, i.e. when the population size changed by a
+        polynomial factor.  ``None`` disables restarts.
+    """
+
+    name = "composed-protocol"
+
+    def __init__(
+        self,
+        payload: Protocol,
+        *,
+        counting: DynamicSizeCounting | None = None,
+        on_tick: Callable[[Protocol, Any], Any] | None = None,
+        restart_threshold: float | None = 0.5,
+    ) -> None:
+        self.payload = payload
+        self.counting = counting if counting is not None else DynamicSizeCounting()
+        self._on_tick = on_tick
+        if restart_threshold is not None and restart_threshold <= 0:
+            raise ValueError(
+                f"restart_threshold must be positive or None, got {restart_threshold}"
+            )
+        self.restart_threshold = restart_threshold
+
+    # ------------------------------------------------------------------ setup
+
+    def initial_state(self, rng: RandomSource) -> ComposedState:
+        clock = self.counting.initial_state(rng)
+        payload = self.payload.initial_state(rng)
+        return ComposedState(clock=clock, payload=payload, configured_estimate=1.0)
+
+    def make_initial_population(
+        self, n: int, rng: RandomSource, payload_states: list[Any] | None = None
+    ) -> Population:
+        """Fresh population, optionally with caller-provided payload states.
+
+        ``payload_states`` lets examples set up a specific payload input
+        (e.g. a 60/40 split of majority opinions) while the clock component
+        starts in the predefined state.
+        """
+        if n < 2:
+            raise ValueError(f"population size must be at least 2, got {n}")
+        if payload_states is not None and len(payload_states) != n:
+            raise ValueError(
+                f"expected {n} payload states, got {len(payload_states)}"
+            )
+        states = []
+        for index in range(n):
+            clock = self.counting.initial_state(rng)
+            payload = (
+                payload_states[index]
+                if payload_states is not None
+                else self.payload.initial_state(rng)
+            )
+            states.append(ComposedState(clock=clock, payload=payload))
+        return Population(states)
+
+    # ------------------------------------------------------------ interaction
+
+    def interact(
+        self, u: ComposedState, v: ComposedState, ctx: InteractionContext
+    ) -> tuple[ComposedState, ComposedState]:
+        ticked = _TickCapture()
+        clock_ctx = InteractionContext(ctx.rng, sink=ticked.capture(ctx))
+        clock_ctx.reset(ctx.interaction, ctx.initiator_id, ctx.responder_id)
+        u.clock, v.clock = self.counting.interact(u.clock, v.clock, clock_ctx)
+
+        u.payload, v.payload = self.payload.interact(u.payload, v.payload, ctx)
+
+        if ticked.fired:
+            u.payload = self._handle_tick(u)
+        return u, v
+
+    def _handle_tick(self, state: ComposedState) -> Any:
+        """React to a clock tick of the initiator: advance and maybe restart."""
+        estimate = self.counting.output(state.clock)
+        payload = state.payload
+        if self._on_tick is not None:
+            payload = self._on_tick(self.payload, payload)
+        elif hasattr(self.payload, "advance_phase"):
+            payload = self.payload.advance_phase(payload)
+        if self.restart_threshold is not None and state.configured_estimate > 0:
+            relative_change = abs(estimate - state.configured_estimate) / max(
+                1.0, state.configured_estimate
+            )
+            if relative_change > self.restart_threshold:
+                payload = self.payload.initial_state_for_restart(payload) if hasattr(
+                    self.payload, "initial_state_for_restart"
+                ) else payload
+                state.configured_estimate = estimate
+        return payload
+
+    # ---------------------------------------------------------------- outputs
+
+    def output(self, state: ComposedState) -> Any:
+        """The payload's output (the composition exists to compute it)."""
+        return self.payload.output(state.payload)
+
+    def estimate(self, state: ComposedState) -> float:
+        """The agent's current size estimate from the clock component."""
+        return self.counting.output(state.clock)
+
+    def memory_bits(self, state: ComposedState) -> int:
+        return self.counting.memory_bits(state.clock) + self.payload.memory_bits(
+            state.payload
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "counting": self.counting.describe(),
+            "payload": self.payload.describe(),
+            "restart_threshold": self.restart_threshold,
+        }
+
+
+class _TickCapture:
+    """Helper recording whether the wrapped counting protocol reset."""
+
+    def __init__(self) -> None:
+        self.fired = False
+
+    def capture(self, outer_ctx: InteractionContext):
+        def sink(event: ProtocolEvent) -> None:
+            if event.kind == "reset":
+                self.fired = True
+                outer_ctx.emit("tick", agent_id=event.agent_id, **event.data)
+            else:
+                outer_ctx.emit(event.kind, agent_id=event.agent_id, **event.data)
+
+        return sink

@@ -1,0 +1,162 @@
+"""Algorithm 2 — the full dynamic size counting protocol.
+
+This is the paper's main contribution: a uniform, loosely-stabilizing
+protocol in which every agent maintains four variables
+(``max``, ``lastMax``, ``time``, ``interactions``) and which
+
+* converges from any configuration to estimates of ``Theta(log n)`` in
+  ``O(log n-hat + log n)`` parallel time w.h.p. (Theorem 2.1),
+* holds correct estimates for ``Theta(n^{k-1} log n)`` parallel time
+  w.h.p., and
+* doubles as a uniform loosely-stabilizing phase clock whose ticks are the
+  reset events (Theorem 2.2).
+
+The transition function follows Algorithm 2 line by line; the comments in
+:meth:`DynamicSizeCounting.interact` reference the paper's line numbers.
+The protocol is *one-way*: only the initiator ``u`` changes state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.grv import grv_maximum
+from repro.core.params import ProtocolParameters, empirical_parameters
+from repro.core.state import CountingState, Phase, classify_phase, state_memory_bits
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.population import Population
+from repro.engine.rng import RandomSource
+
+__all__ = ["DynamicSizeCounting"]
+
+
+class DynamicSizeCounting(Protocol[CountingState]):
+    """Algorithm 2 of the paper.
+
+    Parameters
+    ----------
+    params:
+        Protocol constants (tau_1..tau_3, tau', k, overestimation).  Defaults
+        to the empirical preset of Section 5 (tau_1=6, tau_2=4, tau_3=2,
+        tau'=20, k=16, no overestimation), which is what all figures use.
+
+    Notes
+    -----
+    Reset events are emitted through the interaction context with kind
+    ``"reset"``; the phase clock wrapper and the synchronization analysis
+    treat them as clock ticks.  Backup-GRV adoptions emit ``"backup"``.
+    """
+
+    name = "dynamic-size-counting"
+
+    def __init__(self, params: ProtocolParameters | None = None) -> None:
+        self.params = params if params is not None else empirical_parameters()
+
+    # ------------------------------------------------------------------ setup
+
+    def initial_state(self, rng: RandomSource) -> CountingState:
+        """Predefined state of newly added agents (Section 3).
+
+        ``max = lastMax = 1``, ``time = tau_1`` and ``interactions = 0``.
+        """
+        return CountingState.fresh(self.params)
+
+    def make_initial_population(self, n: int, rng: RandomSource) -> Population:
+        """Fresh population of ``n`` agents in the predefined initial state."""
+        if n < 2:
+            raise ValueError(f"population size must be at least 2, got {n}")
+        return Population(self.initial_state(rng) for _ in range(n))
+
+    def make_estimate_population(
+        self, n: int, estimate: float, rng: RandomSource
+    ) -> Population:
+        """Population initialised with a fixed (possibly wrong) estimate.
+
+        Used by the Fig. 5 experiment ("populations initialized with an
+        estimate of 60") and by the loose-stabilization tests that start
+        from adversarial configurations.
+        """
+        if n < 2:
+            raise ValueError(f"population size must be at least 2, got {n}")
+        return Population(
+            CountingState.with_estimate(estimate, self.params) for _ in range(n)
+        )
+
+    # ------------------------------------------------------------ interaction
+
+    def interact(
+        self, u: CountingState, v: CountingState, ctx: InteractionContext
+    ) -> tuple[CountingState, CountingState]:
+        params = self.params
+        u_phase = classify_phase(u, params)
+        v_phase = classify_phase(v, params)
+
+        # Lines 2-6: wrap-around / reset->exchange / hold->exchange resets.
+        should_reset = (
+            u.time <= 0
+            or (u_phase is Phase.RESET and v_phase is Phase.EXCHANGE)
+            or (u_phase is not Phase.EXCHANGE and u.max_value != v.max_value)
+        )
+        if should_reset:
+            fresh = params.overestimate(grv_maximum(ctx.rng, params.grv_samples))
+            u.time = params.tau1 * max(u.max_value, fresh)
+            u.interactions = 0
+            u.last_max = u.max_value
+            u.max_value = fresh
+            ctx.emit("reset", agent_id=ctx.initiator_id, grv=fresh)
+
+        # Lines 7-10: backup GRV generation when the agent has gone too long
+        # without a reset (its countdown is being held up by CHVP adoption).
+        if u.interactions > params.backup_threshold(max(u.max_value, u.last_max)):
+            u.interactions = 0
+            backup = grv_maximum(ctx.rng, params.grv_samples)
+            if backup > u.max_value:
+                boosted = params.overestimate(backup)
+                u.time = params.tau1 * boosted
+                u.max_value = boosted
+                ctx.emit("backup", agent_id=ctx.initiator_id, grv=boosted)
+
+        # Lines 11-12: adopt a larger maximum within the exchange phase.
+        if (
+            classify_phase(u, params) is Phase.EXCHANGE
+            and classify_phase(v, params) is Phase.EXCHANGE
+            and u.max_value < v.max_value
+        ):
+            u.time = params.tau1 * v.max_value
+            u.max_value = v.max_value
+            u.last_max = v.last_max
+
+        # Lines 13-14: exchange the trailing maximum among agents that agree
+        # on max, except across the exchange x reset boundary (which would
+        # leak an old lastMax into the next round).
+        if u.max_value == v.max_value and not (
+            classify_phase(u, params) is Phase.EXCHANGE
+            and classify_phase(v, params) is Phase.RESET
+        ):
+            u.last_max = max(u.last_max, v.last_max)
+
+        # Line 15: CHVP update of the countdown plus the interaction counter.
+        u.time = max(u.time, v.time) - 1
+        u.interactions += 1
+        return u, v
+
+    # ---------------------------------------------------------------- outputs
+
+    def output(self, state: CountingState) -> float:
+        """The agent's reported estimate of ``log2 n`` (Section 5 convention)."""
+        return state.estimate(self.params)
+
+    def phase_of(self, state: CountingState) -> Phase:
+        """Phase classification used by recorders, analysis and tests."""
+        return classify_phase(state, self.params)
+
+    def memory_bits(self, state: CountingState) -> int:
+        """Per-agent memory footprint in bits (Lemma 4.13 accounting)."""
+        return state_memory_bits(state)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "params": self.params.describe(),
+        }

@@ -1,0 +1,114 @@
+"""Geometric random variables (GRVs) and synthetic coins.
+
+The protocol estimates the population size from the maximum of geometrically
+distributed random variables: the maximum of ``n`` independent Geom(1/2)
+samples is ``Theta(log n)`` w.h.p. (Lemma 4.1).  Every reset draws
+``GRV(k)`` — the maximum of ``k`` fresh samples (Algorithm 3 in Appendix A).
+
+Agents in the original population protocol model have no randomness of their
+own; the paper (following Alistarh et al. 2017) notes that GRV generation
+can be spread over multiple interactions using *synthetic coins* extracted
+from the randomness of the scheduler: an agent flips one "coin" per
+interaction by looking at, e.g., the low-order bit of its partner's
+interaction parity.  :class:`SyntheticCoinGrvGenerator` implements this
+incremental generation so the assumption can be validated empirically; the
+protocol classes default to the direct generator, exactly as the paper's
+analysis assumes one GRV per reset for simplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.rng import RandomSource
+
+__all__ = [
+    "grv",
+    "grv_maximum",
+    "SyntheticCoinGrvGenerator",
+]
+
+
+def grv(rng: RandomSource) -> int:
+    """Draw a single Geom(1/2) sample: coin flips until the first heads."""
+    return rng.geometric()
+
+
+def grv_maximum(rng: RandomSource, k: int) -> int:
+    """``GRV(k)`` from Algorithm 3: the maximum of ``k`` Geom(1/2) samples.
+
+    Returns at least 1 (the algorithm initialises its running maximum to 1).
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    return rng.geometric_max(k)
+
+
+@dataclass
+class SyntheticCoinGrvGenerator:
+    """Incremental GRV generation from one synthetic coin per interaction.
+
+    The generator is fed one boolean *coin* per interaction (in the paper's
+    setting this bit is extracted from the scheduler's randomness, e.g.
+    whether the partner's interaction count is odd).  It reproduces
+    Algorithm 3 one flip at a time: the current run of heads is extended on
+    heads and finalised on tails, and after ``k`` finalised runs the call
+    reports the maximum run length (+1, matching Geom counting of flips
+    including the terminating toss).
+
+    Attributes
+    ----------
+    k:
+        Number of geometric samples whose maximum is produced.
+    """
+
+    k: int
+    _current_run: int = 1
+    _completed: int = 0
+    _maximum: int = 1
+    _result: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be positive, got {self.k}")
+
+    @property
+    def ready(self) -> bool:
+        """Whether the maximum of ``k`` samples has been fully generated."""
+        return self._result is not None
+
+    @property
+    def value(self) -> int:
+        """The generated ``GRV(k)`` value; raises if not :attr:`ready` yet."""
+        if self._result is None:
+            raise RuntimeError("GRV generation has not finished yet")
+        return self._result
+
+    def feed(self, coin: bool) -> int | None:
+        """Consume one synthetic coin flip.
+
+        Returns the finished ``GRV(k)`` value the first time the generator
+        completes, and ``None`` while generation is still in progress (or on
+        every call after completion).
+        """
+        if self._result is not None:
+            return None
+        if coin:
+            self._current_run += 1
+            return None
+        # Tails terminates the current geometric sample.
+        if self._current_run > self._maximum:
+            self._maximum = self._current_run
+        self._completed += 1
+        self._current_run = 1
+        if self._completed >= self.k:
+            self._result = self._maximum
+            return self._result
+        return None
+
+    def reset(self) -> None:
+        """Restart generation from scratch (used after the value is consumed)."""
+        self._current_run = 1
+        self._completed = 0
+        self._maximum = 1
+        self._result = None

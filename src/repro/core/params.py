@@ -1,0 +1,165 @@
+"""Protocol parameters for the dynamic size counting protocol.
+
+The protocol is parameterised by
+
+* three phase constants ``tau_1 > tau_2 > tau_3 > 0`` that partition the
+  ``time`` countdown into the exchange, hold and reset phases,
+* the backup-GRV threshold ``tau_prime``,
+* the error-probability exponent ``k`` (each GRV call returns the maximum of
+  ``k`` geometric samples, and the holding time is ``Theta(n^{k-1} log n)``),
+* and the overestimation factor ``20(k + 1)`` applied to freshly sampled
+  GRVs (Algorithm 2, lines 5/6 and 10).
+
+Two presets are provided, mirroring the paper exactly:
+
+* :func:`theory_parameters` — the constants of Lemma 4.5
+  (``tau_1 = 1140k``, ``tau_2 = 1119k``, ``tau_3 = 454k``,
+  ``tau' = 4350k``) with the full ``20(k + 1)`` overestimation.  These make
+  the proofs go through but are far too large for practical simulation.
+* :func:`empirical_parameters` — the constants of Section 5
+  (``tau_1 = 6``, ``tau_2 = 4``, ``tau_3 = 2``, ``tau' = 20``, ``k = 16``),
+  with the overestimation disabled, matching the paper's statement that the
+  reported estimate is ``max{max, lastMax}`` *without* the overestimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ProtocolParameters", "theory_parameters", "empirical_parameters"]
+
+
+@dataclass(frozen=True)
+class ProtocolParameters:
+    """Immutable parameter set for Algorithm 1 / Algorithm 2.
+
+    Attributes
+    ----------
+    tau1, tau2, tau3:
+        Phase constants; an agent with effective maximum ``M`` is in the
+        exchange phase while ``time >= tau2 * M``, in the hold phase while
+        ``tau3 * M <= time < tau2 * M`` and in the reset phase while
+        ``0 <= time < tau3 * M``.  Resets rewind ``time`` to ``tau1 * M``.
+    tau_prime:
+        Backup-GRV threshold: an agent that has had more than
+        ``tau_prime * max{max, lastMax}`` interactions since its last reset
+        generates a backup GRV (Algorithm 2, lines 7–10).
+    k:
+        Error exponent; each GRV call draws the maximum of ``k`` geometric
+        samples and the holding time scales as ``n^{k-1} log n``.
+    overestimation:
+        Multiplier applied to freshly sampled GRVs when they are stored in
+        ``max`` (the paper uses ``20(k + 1)`` in the analysis and ``1`` in
+        the simulations).
+    grv_samples:
+        Number of geometric samples drawn per ``GRV(k)`` call; defaults to
+        ``k`` as in Algorithm 3.
+    """
+
+    tau1: float
+    tau2: float
+    tau3: float
+    tau_prime: float
+    k: int = 2
+    overestimation: float = 1.0
+    grv_samples: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.tau1 > self.tau2 > self.tau3 > 0:
+            raise ValueError(
+                f"phase constants must satisfy tau1 > tau2 > tau3 > 0, got "
+                f"tau1={self.tau1}, tau2={self.tau2}, tau3={self.tau3}"
+            )
+        if self.tau_prime <= 0:
+            raise ValueError(f"tau_prime must be positive, got {self.tau_prime}")
+        if self.k < 1:
+            raise ValueError(f"k must be at least 1, got {self.k}")
+        if self.overestimation < 1.0:
+            raise ValueError(
+                f"overestimation must be at least 1, got {self.overestimation}"
+            )
+        if self.grv_samples == 0:
+            # Default the per-call sample count to k (Algorithm 3).
+            object.__setattr__(self, "grv_samples", self.k)
+        if self.grv_samples < 1:
+            raise ValueError(f"grv_samples must be positive, got {self.grv_samples}")
+
+    # --------------------------------------------------------------- helpers
+
+    def exchange_threshold(self, effective_max: float) -> float:
+        """Lowest ``time`` value that still counts as the exchange phase."""
+        return self.tau2 * effective_max
+
+    def hold_threshold(self, effective_max: float) -> float:
+        """Lowest ``time`` value that still counts as the hold phase."""
+        return self.tau3 * effective_max
+
+    def reset_time(self, effective_max: float) -> float:
+        """``time`` value set on a reset (``tau1 * M``)."""
+        return self.tau1 * effective_max
+
+    def backup_threshold(self, effective_max: float) -> float:
+        """Interaction count above which a backup GRV is generated."""
+        return self.tau_prime * effective_max
+
+    def overestimate(self, grv: int) -> float:
+        """Apply the overestimation factor to a raw GRV sample."""
+        return self.overestimation * grv
+
+    def round_length_estimate(self, log_n: float) -> float:
+        """Rough length of one clock round in parallel time, ``tau1 * Theta(log n)``.
+
+        Used by experiments to size simulation horizons; not part of the
+        protocol itself (which is uniform and never computes this).
+        """
+        return self.tau1 * self.overestimation * max(1.0, log_n)
+
+    def describe(self) -> dict[str, Any]:
+        """Serialisable description used in experiment metadata."""
+        return {
+            "tau1": self.tau1,
+            "tau2": self.tau2,
+            "tau3": self.tau3,
+            "tau_prime": self.tau_prime,
+            "k": self.k,
+            "overestimation": self.overestimation,
+            "grv_samples": self.grv_samples,
+        }
+
+
+def theory_parameters(k: int = 2) -> ProtocolParameters:
+    """Constants from Lemma 4.5 (chosen for the proofs, not for practice).
+
+    ``tau_1 = 1140k``, ``tau_2 = 1119k``, ``tau_3 = 454k``,
+    ``tau' = 4350k``, overestimation ``20(k + 1)``.
+    """
+    if k < 2:
+        raise ValueError(f"the analysis requires k >= 2, got {k}")
+    return ProtocolParameters(
+        tau1=1140.0 * k,
+        tau2=1119.0 * k,
+        tau3=454.0 * k,
+        tau_prime=4350.0 * k,
+        k=k,
+        overestimation=20.0 * (k + 1),
+    )
+
+
+def empirical_parameters(k: int = 16) -> ProtocolParameters:
+    """Constants from the paper's empirical analysis (Section 5).
+
+    ``tau_1 = 6``, ``tau_2 = 4``, ``tau_3 = 2``, ``tau' = 20``, ``k = 16``,
+    and no overestimation (the reported estimate is ``max{max, lastMax}``
+    directly).
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return ProtocolParameters(
+        tau1=6.0,
+        tau2=4.0,
+        tau3=2.0,
+        tau_prime=20.0,
+        k=k,
+        overestimation=1.0,
+    )

@@ -1,0 +1,140 @@
+"""Uniform loosely-stabilizing phase clock (Theorem 2.2).
+
+The dynamic size counting protocol *is* a phase clock: an agent receives a
+signal (a clock tick) whenever it resets.  Theorem 2.2 states that once the
+population holds estimates of ``Theta(log n)``, there is a sequence of times
+``t_i`` such that every agent ticks exactly once inside every burst interval
+``[t_i - c n log n, t_i + c n log n]`` and consecutive bursts are separated
+by overlap intervals of length ``Theta(n log n)`` — for polynomially many
+intervals.
+
+:class:`UniformPhaseClock` wraps :class:`~repro.core.dynamic_counting.
+DynamicSizeCounting` (or the simplified protocol) and exposes the clock
+abstraction:
+
+* it forwards the wrapped protocol's transition unchanged,
+* it re-emits the protocol's ``"reset"`` events as ``"tick"`` events, and
+* it offers hour/phase inspection helpers used by the synchronization
+  analysis and by the composition layer that drives payload protocols.
+
+The post-hoc extraction of burst and overlap intervals from recorded tick
+events lives in :mod:`repro.analysis.synchronization`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.params import ProtocolParameters
+from repro.core.state import CountingState, Phase, classify_phase
+from repro.engine.protocol import InteractionContext, Protocol, ProtocolEvent
+from repro.engine.population import Population
+from repro.engine.rng import RandomSource
+
+__all__ = ["UniformPhaseClock"]
+
+
+class _TickRelay:
+    """Event sink adapter that renames ``reset`` events to ``tick``.
+
+    The wrapped counting protocol emits through the interaction context it
+    is handed; the clock intercepts the context's sink so that downstream
+    recorders see the clock-level vocabulary while everything else passes
+    through unchanged.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: InteractionContext) -> None:
+        self._ctx = ctx
+
+    def __call__(self, event: ProtocolEvent) -> None:
+        if event.kind == "reset":
+            self._ctx.emit("tick", agent_id=event.agent_id, **event.data)
+        else:
+            self._ctx.emit(event.kind, agent_id=event.agent_id, **event.data)
+
+
+class UniformPhaseClock(Protocol[CountingState]):
+    """Phase clock view of the dynamic size counting protocol.
+
+    Parameters
+    ----------
+    counting:
+        The counting protocol to wrap.  Defaults to a fresh
+        :class:`DynamicSizeCounting` with the empirical parameters.
+
+    Notes
+    -----
+    The clock's per-agent *hour* is its phase (exchange / hold / reset); its
+    ticks are the reset events.  The wrapped protocol remains fully
+    functional as a size counter — ``output`` still reports the estimate —
+    so a single protocol instance provides both services, exactly as the
+    paper advertises.
+    """
+
+    name = "uniform-phase-clock"
+
+    def __init__(self, counting: DynamicSizeCounting | None = None) -> None:
+        self.counting = counting if counting is not None else DynamicSizeCounting()
+
+    # ----------------------------------------------------------- delegation
+
+    @property
+    def params(self) -> ProtocolParameters:
+        """Parameters of the wrapped counting protocol."""
+        return self.counting.params
+
+    def initial_state(self, rng: RandomSource) -> CountingState:
+        return self.counting.initial_state(rng)
+
+    def make_initial_population(self, n: int, rng: RandomSource) -> Population:
+        return self.counting.make_initial_population(n, rng)
+
+    def interact(
+        self, u: CountingState, v: CountingState, ctx: InteractionContext
+    ) -> tuple[CountingState, CountingState]:
+        relay_ctx = InteractionContext(ctx.rng, sink=_TickRelay(ctx))
+        relay_ctx.reset(ctx.interaction, ctx.initiator_id, ctx.responder_id)
+        return self.counting.interact(u, v, relay_ctx)
+
+    def output(self, state: CountingState) -> float:
+        """The size estimate (the clock is also the counter)."""
+        return self.counting.output(state)
+
+    def memory_bits(self, state: CountingState) -> int:
+        return self.counting.memory_bits(state)
+
+    # ---------------------------------------------------------- clock view
+
+    def hour_of(self, state: CountingState) -> Phase:
+        """The agent's current hour on the three-hour clock face."""
+        return classify_phase(state, self.params)
+
+    def hand_position(self, state: CountingState) -> float:
+        """Normalised clock-hand position in ``[0, 1)``.
+
+        0 corresponds to a fresh reset (``time = tau_1 * M``) and values
+        approach 1 as the countdown reaches zero.  Useful for visualising
+        how tightly the population is synchronised.
+        """
+        scale = state.effective_max
+        if scale <= 0:
+            return 0.0
+        full = self.params.tau1 * scale
+        if full <= 0:
+            return 0.0
+        position = 1.0 - (state.time / full)
+        return min(max(position, 0.0), 1.0)
+
+    def expected_round_length(self, log_n: float) -> float:
+        """Rough round length in parallel time for planning simulation horizons."""
+        return self.params.round_length_estimate(log_n)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "counting": self.counting.describe(),
+        }

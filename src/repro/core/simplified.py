@@ -1,0 +1,113 @@
+"""Algorithm 1 — the simplified dynamic size counting protocol.
+
+This is the two-variable (``max``, ``time``) protocol the paper uses to
+convey the idea (Section 2.1): agents sample geometric random variables,
+spread the maximum via epidemic while a CHVP countdown paces a three-phase
+clock (exchange, hold, reset), and a wrap-around of the countdown resets the
+agent with a fresh GRV.
+
+Compared to the full Algorithm 2 it lacks the trailing estimate
+(``lastMax``) and the backup-GRV mechanism, so it is easier to follow but
+has weaker guarantees (a single unlucky small GRV can shorten a round).  It
+is included both for fidelity to the paper and because several unit tests
+and the quickstart example are clearer against the simpler rule set.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.grv import grv as sample_grv
+from repro.core.params import ProtocolParameters, empirical_parameters
+from repro.core.state import CountingState, Phase, classify_phase, state_memory_bits
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.population import Population
+from repro.engine.rng import RandomSource
+
+__all__ = ["SimplifiedDynamicSizeCounting"]
+
+
+class SimplifiedDynamicSizeCounting(Protocol[CountingState]):
+    """Algorithm 1 of the paper (one-way; only the initiator updates).
+
+    Parameters
+    ----------
+    params:
+        Protocol constants; defaults to the empirical preset of Section 5.
+    """
+
+    name = "simplified-dynamic-size-counting"
+
+    def __init__(self, params: ProtocolParameters | None = None) -> None:
+        self.params = params if params is not None else empirical_parameters()
+
+    # ------------------------------------------------------------------ setup
+
+    def initial_state(self, rng: RandomSource) -> CountingState:
+        state = CountingState.fresh(self.params)
+        # Algorithm 1 has no lastMax; keep it mirrored onto max so that the
+        # shared phase classifier sees the same scale the algorithm uses.
+        state.last_max = state.max_value
+        return state
+
+    def make_initial_population(self, n: int, rng: RandomSource) -> Population:
+        """Fresh population of ``n`` agents in the predefined initial state."""
+        if n < 2:
+            raise ValueError(f"population size must be at least 2, got {n}")
+        return Population(self.initial_state(rng) for _ in range(n))
+
+    # ------------------------------------------------------------ interaction
+
+    def interact(
+        self, u: CountingState, v: CountingState, ctx: InteractionContext
+    ) -> tuple[CountingState, CountingState]:
+        params = self.params
+        u_phase = classify_phase(u, params)
+        v_phase = classify_phase(v, params)
+
+        # Lines 1-6: wrap-around, reset -> exchange, hold -> exchange.
+        should_reset = (
+            u.time <= 0
+            or (u_phase is Phase.RESET and v_phase is Phase.EXCHANGE)
+            or (u_phase is not Phase.EXCHANGE and u.max_value != v.max_value)
+        )
+        if should_reset:
+            fresh = params.overestimate(sample_grv(ctx.rng))
+            u.time = params.tau1 * max(u.max_value, fresh)
+            u.max_value = fresh
+            u.last_max = fresh
+            ctx.emit("reset", agent_id=ctx.initiator_id, grv=fresh)
+
+        # Lines 7-8: exchange the maximum within the exchange phase.
+        if (
+            classify_phase(u, params) is Phase.EXCHANGE
+            and classify_phase(v, params) is Phase.EXCHANGE
+            and u.max_value < v.max_value
+        ):
+            u.time = params.tau1 * v.max_value
+            u.max_value = v.max_value
+            u.last_max = v.max_value
+
+        # Line 9: CHVP update of the countdown.
+        u.time = max(u.time, v.time) - 1
+        return u, v
+
+    # ---------------------------------------------------------------- outputs
+
+    def output(self, state: CountingState) -> float:
+        """The agent's estimate of ``log2 n``."""
+        return state.estimate(self.params)
+
+    def phase_of(self, state: CountingState) -> Phase:
+        """Phase classification for recorders and tests."""
+        return classify_phase(state, self.params)
+
+    def memory_bits(self, state: CountingState) -> int:
+        return state_memory_bits(state)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "params": self.params.describe(),
+        }

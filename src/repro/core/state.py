@@ -1,0 +1,158 @@
+"""Agent state and phase classification for the dynamic size counting protocol.
+
+Every agent of Algorithm 2 stores four variables (Section 3 of the paper):
+
+* ``max`` — the largest (possibly overestimated) GRV the agent currently
+  believes is in the population; spread by epidemic during the exchange
+  phase.
+* ``last_max`` — the trailing estimate from the previous round, used to keep
+  the phase lengths large even right after a reset samples a small GRV.
+* ``time`` — the CHVP-synchronised countdown that drives the phase clock.
+* ``interactions`` — interactions since the agent's last reset; not
+  exchanged, used only to trigger backup GRVs.
+
+The phases (exchange / hold / reset) are intervals of ``time`` scaled by the
+agent's *effective maximum* ``max{max, last_max}`` (Section 4.1 defines all
+phases "using whichever is larger").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.params import ProtocolParameters
+
+__all__ = ["Phase", "CountingState", "classify_phase", "state_memory_bits"]
+
+
+class Phase(str, enum.Enum):
+    """The three phases of the clock face (Fig. 1 of the paper)."""
+
+    EXCHANGE = "exchange"
+    HOLD = "hold"
+    RESET = "reset"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class CountingState:
+    """Mutable per-agent state of Algorithms 1 and 2.
+
+    Newly added agents are initialised with ``max = last_max = 1``,
+    ``time = tau_1`` and ``interactions = 0`` (Section 3).  The simplified
+    Algorithm 1 ignores ``last_max`` and ``interactions``.
+    """
+
+    max_value: float = 1.0
+    last_max: float = 1.0
+    time: float = 0.0
+    interactions: int = 0
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def effective_max(self) -> float:
+        """``max{max, lastMax}`` — the scale used for phases and the estimate."""
+        return self.max_value if self.max_value >= self.last_max else self.last_max
+
+    def estimate(self, params: ProtocolParameters) -> float:
+        """The agent's reported estimate of ``log2 n``.
+
+        Section 5: "the reported estimate of an agent u is
+        ``max{u.max, u.lastMax}`` without the overestimation applied", so we
+        divide the stored (possibly overestimated) value by the
+        overestimation factor.
+        """
+        return self.effective_max / params.overestimation
+
+    def copy(self) -> "CountingState":
+        return CountingState(
+            max_value=self.max_value,
+            last_max=self.last_max,
+            time=self.time,
+            interactions=self.interactions,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """Serialisable snapshot of the state (used by traces and tests)."""
+        return {
+            "max": self.max_value,
+            "last_max": self.last_max,
+            "time": self.time,
+            "interactions": self.interactions,
+        }
+
+    @classmethod
+    def fresh(cls, params: ProtocolParameters) -> "CountingState":
+        """The predefined state of newly added agents."""
+        return cls(max_value=1.0, last_max=1.0, time=params.tau1, interactions=0)
+
+    @classmethod
+    def with_estimate(
+        cls, estimate: float, params: ProtocolParameters, *, in_exchange: bool = True
+    ) -> "CountingState":
+        """Build a state that believes the population's estimate is ``estimate``.
+
+        Used by experiments that initialise the population with a fixed
+        (possibly wildly wrong) estimate, e.g. Fig. 5's initial estimate of
+        60.  ``in_exchange`` controls whether the agent starts at the top of
+        the clock (time = tau_1 * M) or in the middle of the hold phase.
+        """
+        if estimate <= 0:
+            raise ValueError(f"estimate must be positive, got {estimate}")
+        stored = estimate * params.overestimation
+        if in_exchange:
+            time = params.tau1 * stored
+        else:
+            time = (params.tau2 + params.tau3) / 2.0 * stored
+        return cls(max_value=stored, last_max=stored, time=time, interactions=0)
+
+
+def classify_phase(state: CountingState, params: ProtocolParameters) -> Phase:
+    """Classify an agent into exchange / hold / reset (Section 3).
+
+    The intervals are::
+
+        exchange:  time >= tau2 * M
+        hold:      tau3 * M <= time < tau2 * M
+        reset:     time < tau3 * M            (including time <= 0)
+
+    where ``M = max{max, lastMax}`` is the agent's effective maximum.
+    """
+    scale = state.effective_max
+    if state.time >= params.tau2 * scale:
+        return Phase.EXCHANGE
+    if state.time >= params.tau3 * scale:
+        return Phase.HOLD
+    return Phase.RESET
+
+
+def _value_bits(value: float) -> int:
+    """Bits needed to store a non-negative protocol variable.
+
+    Protocol variables are conceptually integers (GRVs, countdowns,
+    interaction counts); the float representation in this implementation is
+    a convenience.  We charge ``ceil(log2(value + 1))`` bits, minimum 1.
+    """
+    magnitude = int(math.ceil(abs(value)))
+    return max(1, magnitude.bit_length())
+
+
+def state_memory_bits(state: CountingState) -> int:
+    """Per-agent memory footprint in bits (Lemma 4.13 accounting).
+
+    All four variables store values that are ``O(M)`` where ``M`` is the
+    largest maximum generated, hence ``O(log s + log log n)`` bits per agent
+    once converged.
+    """
+    return (
+        _value_bits(state.max_value)
+        + _value_bits(state.last_max)
+        + _value_bits(state.time)
+        + _value_bits(state.interactions)
+    )

@@ -1,0 +1,84 @@
+"""Simulation substrate for population protocols.
+
+The engine package is independent of the paper's specific protocol: it
+provides the random scheduler, the dynamic population, size-change
+adversaries, recorders, multi-trial orchestration, and two execution
+engines (exact sequential and batched/vectorised).
+"""
+
+from repro.engine.adversary import (
+    AddAgentsAt,
+    CompositeAdversary,
+    NullAdversary,
+    RemoveAgentsAt,
+    RemoveAllButAt,
+    ResizeEvent,
+    ResizeSchedule,
+    SizeAdversary,
+)
+from repro.engine.batch_engine import BatchedSimulator, BatchSnapshot, VectorizedProtocol
+from repro.engine.errors import (
+    ConfigurationError,
+    EmptyPopulationError,
+    EngineError,
+    InvalidScheduleError,
+    ProtocolContractError,
+    UnknownAgentError,
+)
+from repro.engine.population import Population
+from repro.engine.protocol import InteractionContext, OneWayProtocol, Protocol, ProtocolEvent
+from repro.engine.recorder import (
+    CallbackRecorder,
+    EstimateRecorder,
+    EventRecorder,
+    MemoryRecorder,
+    PhaseOccupancyRecorder,
+    PopulationSizeRecorder,
+    Recorder,
+    SnapshotStats,
+)
+from repro.engine.rng import RandomSource, make_rng, spawn_streams
+from repro.engine.runner import AggregatedSeries, TrialOutcome, TrialRunner, aggregate_series
+from repro.engine.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "AddAgentsAt",
+    "AggregatedSeries",
+    "BatchSnapshot",
+    "BatchedSimulator",
+    "CallbackRecorder",
+    "CompositeAdversary",
+    "ConfigurationError",
+    "EmptyPopulationError",
+    "EngineError",
+    "EstimateRecorder",
+    "EventRecorder",
+    "InteractionContext",
+    "InvalidScheduleError",
+    "MemoryRecorder",
+    "NullAdversary",
+    "OneWayProtocol",
+    "PhaseOccupancyRecorder",
+    "Population",
+    "PopulationSizeRecorder",
+    "Protocol",
+    "ProtocolContractError",
+    "ProtocolEvent",
+    "RandomSource",
+    "Recorder",
+    "RemoveAgentsAt",
+    "RemoveAllButAt",
+    "ResizeEvent",
+    "ResizeSchedule",
+    "SimulationResult",
+    "Simulator",
+    "SizeAdversary",
+    "SnapshotStats",
+    "TrialOutcome",
+    "TrialRunner",
+    "UnknownAgentError",
+    "VectorizedProtocol",
+    "aggregate_series",
+    "make_rng",
+    "spawn_streams",
+]

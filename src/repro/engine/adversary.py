@@ -1,0 +1,238 @@
+"""Adversaries that change the population size during a simulation.
+
+The dynamic population protocol model (Doty & Eftekhari 2022, adopted by the
+paper) lets an adversary add agents — always in the protocol's predefined
+initial state — and remove arbitrary agents at arbitrary points in time.
+
+Adversaries in this module operate at *parallel-time granularity*: the
+simulator consults the active adversary once per parallel time step (every
+``n`` interactions), mirroring how the paper applies its decimation event at
+parallel time 1350.  Each adversary exposes
+:meth:`SizeAdversary.apply`, which may mutate the population in place.
+
+The workloads used by the paper's evaluation are provided directly:
+
+* :class:`RemoveAllButAt` — Fig. 4: remove all but 500 agents at time 1350.
+* :class:`AddAgentsAt` / :class:`RemoveAgentsAt` — single add/remove events.
+* :class:`ResizeSchedule` — an arbitrary sequence of resize events, used by
+  the integration tests and the "flock under attack" example.
+* :class:`CompositeAdversary` — composition of several adversaries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.errors import InvalidScheduleError
+from repro.engine.population import Population
+from repro.engine.rng import RandomSource
+
+__all__ = [
+    "SizeAdversary",
+    "NullAdversary",
+    "RemoveAgentsAt",
+    "RemoveAllButAt",
+    "AddAgentsAt",
+    "ResizeEvent",
+    "ResizeSchedule",
+    "CompositeAdversary",
+]
+
+
+class SizeAdversary(abc.ABC):
+    """Interface for population-size adversaries."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        population: Population,
+        parallel_time: int,
+        rng: RandomSource,
+        new_state: Callable[[], Any],
+    ) -> None:
+        """Possibly modify the population at the given parallel time.
+
+        ``new_state`` produces a fresh initial state for agents the
+        adversary adds; removal targets are chosen by the adversary itself
+        (uniformly at random unless documented otherwise).
+        """
+
+    def describe(self) -> dict[str, Any]:
+        """Serialisable description used in experiment metadata."""
+        return {"class": type(self).__name__}
+
+
+class NullAdversary(SizeAdversary):
+    """Adversary that never changes the population (the static setting)."""
+
+    def apply(
+        self,
+        population: Population,
+        parallel_time: int,
+        rng: RandomSource,
+        new_state: Callable[[], Any],
+    ) -> None:
+        return None
+
+
+@dataclass
+class RemoveAgentsAt(SizeAdversary):
+    """Remove ``count`` uniformly random agents at parallel time ``time``."""
+
+    time: int
+    count: int
+    _done: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise InvalidScheduleError(f"event time must be non-negative, got {self.time}")
+        if self.count < 0:
+            raise InvalidScheduleError(f"count must be non-negative, got {self.count}")
+
+    def apply(self, population, parallel_time, rng, new_state) -> None:
+        if self._done or parallel_time < self.time:
+            return
+        keep = population.size - self.count
+        if keep < 2:
+            raise InvalidScheduleError(
+                f"removing {self.count} agents at time {self.time} would leave "
+                f"{keep} agents; at least 2 are required"
+            )
+        population.remove_random(self.count, rng)
+        self._done = True
+
+    def describe(self) -> dict[str, Any]:
+        return {"class": type(self).__name__, "time": self.time, "count": self.count}
+
+
+@dataclass
+class RemoveAllButAt(SizeAdversary):
+    """Remove all but ``keep`` agents at parallel time ``time``.
+
+    This is the exact workload of Fig. 4 of the paper: "All but 500 agents
+    are removed after 1350 parallel time."
+    """
+
+    time: int
+    keep: int
+    _done: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise InvalidScheduleError(f"event time must be non-negative, got {self.time}")
+        if self.keep < 2:
+            raise InvalidScheduleError(f"keep must be at least 2, got {self.keep}")
+
+    def apply(self, population, parallel_time, rng, new_state) -> None:
+        if self._done or parallel_time < self.time:
+            return
+        population.downsize_to(self.keep, rng)
+        self._done = True
+
+    def describe(self) -> dict[str, Any]:
+        return {"class": type(self).__name__, "time": self.time, "keep": self.keep}
+
+
+@dataclass
+class AddAgentsAt(SizeAdversary):
+    """Add ``count`` fresh agents (in the protocol's initial state) at ``time``."""
+
+    time: int
+    count: int
+    _done: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise InvalidScheduleError(f"event time must be non-negative, got {self.time}")
+        if self.count < 0:
+            raise InvalidScheduleError(f"count must be non-negative, got {self.count}")
+
+    def apply(self, population, parallel_time, rng, new_state) -> None:
+        if self._done or parallel_time < self.time:
+            return
+        for _ in range(self.count):
+            population.add(new_state())
+        self._done = True
+
+    def describe(self) -> dict[str, Any]:
+        return {"class": type(self).__name__, "time": self.time, "count": self.count}
+
+
+@dataclass(frozen=True)
+class ResizeEvent:
+    """A single "resize the population to ``target`` agents" event.
+
+    If the population is larger than ``target``, uniformly random agents are
+    removed; if smaller, fresh agents in the initial state are added.
+    """
+
+    time: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise InvalidScheduleError(f"event time must be non-negative, got {self.time}")
+        if self.target < 2:
+            raise InvalidScheduleError(f"target size must be at least 2, got {self.target}")
+
+
+class ResizeSchedule(SizeAdversary):
+    """A sequence of :class:`ResizeEvent` applied in time order.
+
+    Events are applied at the first parallel time step greater than or equal
+    to their scheduled time, which matches the snapshot granularity of the
+    simulator.
+    """
+
+    def __init__(self, events: Iterable[ResizeEvent]) -> None:
+        ordered = sorted(events, key=lambda e: e.time)
+        times = [e.time for e in ordered]
+        if len(set(times)) != len(times):
+            raise InvalidScheduleError("resize events must have distinct times")
+        self._events: list[ResizeEvent] = ordered
+        self._cursor = 0
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[int, int]]) -> "ResizeSchedule":
+        """Build a schedule from ``(time, target_size)`` pairs."""
+        return cls(ResizeEvent(time=t, target=s) for t, s in pairs)
+
+    @property
+    def events(self) -> Sequence[ResizeEvent]:
+        return tuple(self._events)
+
+    def apply(self, population, parallel_time, rng, new_state) -> None:
+        while self._cursor < len(self._events) and self._events[self._cursor].time <= parallel_time:
+            event = self._events[self._cursor]
+            self._cursor += 1
+            current = population.size
+            if event.target < current:
+                population.downsize_to(event.target, rng)
+            elif event.target > current:
+                for _ in range(event.target - current):
+                    population.add(new_state())
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "class": type(self).__name__,
+            "events": [{"time": e.time, "target": e.target} for e in self._events],
+        }
+
+
+class CompositeAdversary(SizeAdversary):
+    """Apply several adversaries in order at every parallel time step."""
+
+    def __init__(self, adversaries: Iterable[SizeAdversary]) -> None:
+        self._adversaries = list(adversaries)
+
+    def apply(self, population, parallel_time, rng, new_state) -> None:
+        for adversary in self._adversaries:
+            adversary.apply(population, parallel_time, rng, new_state)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "class": type(self).__name__,
+            "parts": [a.describe() for a in self._adversaries],
+        }

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the simulation engine.
+
+All engine-level failures derive from :class:`EngineError` so that callers
+can distinguish misuse of the simulation substrate from ordinary Python
+errors raised by protocol code.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all errors raised by :mod:`repro.engine`."""
+
+
+class EmptyPopulationError(EngineError):
+    """Raised when an operation requires at least two agents.
+
+    The population protocol model schedules interactions between two
+    *distinct* agents, so a population of fewer than two agents cannot
+    make progress.
+    """
+
+
+class UnknownAgentError(EngineError):
+    """Raised when an agent id does not refer to a live agent."""
+
+
+class InvalidScheduleError(EngineError):
+    """Raised when an adversary schedule is inconsistent.
+
+    Examples include events scheduled at negative parallel times or a
+    removal that would leave fewer than two agents alive.
+    """
+
+
+class ConfigurationError(EngineError):
+    """Raised when simulator or experiment configuration is invalid."""
+
+
+class ProtocolContractError(EngineError):
+    """Raised when a protocol violates the engine's interaction contract.
+
+    The engine expects :meth:`repro.engine.protocol.Protocol.interact` to
+    return a pair of states.  Returning anything else (``None``, a single
+    state, a triple, ...) raises this error so that bugs surface near the
+    offending protocol rather than corrupting the population silently.
+    """

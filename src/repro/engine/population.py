@@ -1,0 +1,160 @@
+"""Dynamic population container.
+
+The population holds the per-agent states and supports the operations of the
+*dynamic* population protocol model studied in the paper: an adversary may
+add agents (always in the protocol's predefined initial state) and remove
+arbitrary agents at any point in time.
+
+Agents have two notions of identity:
+
+* their *slot index* in the internal dense list (used by the scheduler,
+  changes when other agents are removed), and
+* a *stable id* assigned at insertion time and never reused (used by
+  recorders and event logs so that traces survive removals).
+
+Removal uses swap-with-last so that both removal and uniform sampling stay
+O(1) regardless of population size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.engine.errors import EmptyPopulationError, UnknownAgentError
+from repro.engine.rng import RandomSource
+
+__all__ = ["Population"]
+
+
+class Population:
+    """A mutable collection of agent states.
+
+    Parameters
+    ----------
+    states:
+        Initial per-agent states.  The population takes ownership of the
+        state objects (they may be mutated in place by protocols).
+    """
+
+    def __init__(self, states: Iterable[Any] = ()) -> None:
+        self._states: list[Any] = list(states)
+        self._stable_ids: list[int] = list(range(len(self._states)))
+        self._next_id: int = len(self._states)
+
+    # ------------------------------------------------------------------ size
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    @property
+    def size(self) -> int:
+        """Current number of agents ``n``."""
+        return len(self._states)
+
+    def is_interactable(self) -> bool:
+        """Whether the population has at least two agents (can make progress)."""
+        return len(self._states) >= 2
+
+    # ------------------------------------------------------------ state access
+
+    def state(self, index: int) -> Any:
+        """Return the state of the agent in slot ``index``."""
+        self._check_index(index)
+        return self._states[index]
+
+    def set_state(self, index: int, state: Any) -> None:
+        """Replace the state of the agent in slot ``index``."""
+        self._check_index(index)
+        self._states[index] = state
+
+    def stable_id(self, index: int) -> int:
+        """Return the stable id of the agent in slot ``index``."""
+        self._check_index(index)
+        return self._stable_ids[index]
+
+    def states(self) -> Sequence[Any]:
+        """Read-only view of the current states (do not mutate the list)."""
+        return self._states
+
+    def stable_ids(self) -> Sequence[int]:
+        """Read-only view of the stable ids, aligned with :meth:`states`."""
+        return self._stable_ids
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.state(index)
+
+    # ------------------------------------------------------------ modification
+
+    def add(self, state: Any) -> int:
+        """Add a new agent with the given state; return its stable id."""
+        self._states.append(state)
+        stable = self._next_id
+        self._stable_ids.append(stable)
+        self._next_id += 1
+        return stable
+
+    def add_many(self, states: Iterable[Any]) -> list[int]:
+        """Add several agents; return their stable ids."""
+        return [self.add(state) for state in states]
+
+    def remove(self, index: int) -> Any:
+        """Remove the agent in slot ``index`` (swap-with-last); return its state."""
+        self._check_index(index)
+        last = len(self._states) - 1
+        self._states[index], self._states[last] = self._states[last], self._states[index]
+        self._stable_ids[index], self._stable_ids[last] = (
+            self._stable_ids[last],
+            self._stable_ids[index],
+        )
+        self._stable_ids.pop()
+        return self._states.pop()
+
+    def remove_random(self, count: int, rng: RandomSource) -> list[Any]:
+        """Remove ``count`` agents chosen uniformly at random.
+
+        This is the paper's decimation adversary (Fig. 4 removes all but 500
+        agents); the removed states are returned for inspection.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count > len(self._states):
+            raise EmptyPopulationError(
+                f"cannot remove {count} agents from a population of {len(self._states)}"
+            )
+        removed = []
+        for _ in range(count):
+            removed.append(self.remove(rng.uniform_index(len(self._states))))
+        return removed
+
+    def downsize_to(self, target: int, rng: RandomSource) -> list[Any]:
+        """Remove uniformly random agents until exactly ``target`` remain."""
+        if target < 0:
+            raise ValueError(f"target must be non-negative, got {target}")
+        excess = len(self._states) - target
+        if excess <= 0:
+            return []
+        return self.remove_random(excess, rng)
+
+    # ------------------------------------------------------------- aggregates
+
+    def map_states(self, fn: Callable[[Any], Any]) -> list[Any]:
+        """Apply ``fn`` to every state and return the results."""
+        return [fn(state) for state in self._states]
+
+    def count_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Count agents whose state satisfies ``predicate``."""
+        return sum(1 for state in self._states if predicate(state))
+
+    # --------------------------------------------------------------- internal
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._states):
+            raise UnknownAgentError(
+                f"agent slot {index} out of range for population of size {len(self._states)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Population(size={len(self._states)})"

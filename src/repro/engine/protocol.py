@@ -1,0 +1,191 @@
+"""Protocol abstraction for the population protocol model.
+
+A *population protocol* is specified by a state space, an initial state for
+newly added agents, a pairwise transition function, and an output function
+mapping states to the protocol's output domain.  The scheduler repeatedly
+picks an ordered pair of distinct agents (*initiator*, *responder*) uniformly
+at random and applies the transition function.
+
+The engine is deliberately agnostic about the state representation: states
+may be plain integers (epidemic, CHVP), tuples, or mutable dataclass
+instances (the dynamic size counting protocol).  The only contract is that
+:meth:`Protocol.interact` returns the pair of post-interaction states.
+
+Protocols can *emit events* through the :class:`InteractionContext`, which is
+how clock ticks (resets) reach the recording layer without the protocol
+having to know anything about the simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.engine.rng import RandomSource
+
+__all__ = [
+    "InteractionContext",
+    "ProtocolEvent",
+    "Protocol",
+    "OneWayProtocol",
+]
+
+StateT = TypeVar("StateT")
+
+
+@dataclass
+class ProtocolEvent:
+    """An event emitted by a protocol during an interaction.
+
+    Attributes
+    ----------
+    kind:
+        Short event name, e.g. ``"reset"`` for a phase clock tick.
+    agent_id:
+        Stable identifier of the agent the event refers to.
+    interaction:
+        Global interaction index at which the event occurred.
+    data:
+        Optional protocol-specific payload.
+    """
+
+    kind: str
+    agent_id: int
+    interaction: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class InteractionContext:
+    """Per-interaction context handed to :meth:`Protocol.interact`.
+
+    The simulator owns a single context object and refreshes its fields
+    before every interaction, so protocols must not hold on to it between
+    interactions.  The context carries
+
+    * the global interaction index,
+    * the stable ids of the two participating agents,
+    * the random source, and
+    * an event sink used to report protocol events (e.g. clock ticks).
+    """
+
+    __slots__ = ("interaction", "initiator_id", "responder_id", "rng", "_sink")
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        sink: Callable[[ProtocolEvent], None] | None = None,
+    ) -> None:
+        self.interaction: int = 0
+        self.initiator_id: int = -1
+        self.responder_id: int = -1
+        self.rng = rng
+        self._sink = sink
+
+    def reset(self, interaction: int, initiator_id: int, responder_id: int) -> None:
+        """Refresh the per-interaction fields (called by the simulator)."""
+        self.interaction = interaction
+        self.initiator_id = initiator_id
+        self.responder_id = responder_id
+
+    def emit(self, kind: str, agent_id: int | None = None, **data: Any) -> None:
+        """Emit a :class:`ProtocolEvent`.
+
+        ``agent_id`` defaults to the initiator, which is the agent whose
+        state change usually triggers the event (e.g. the resetting agent of
+        the dynamic size counting protocol).
+        """
+        if self._sink is None:
+            return
+        self._sink(
+            ProtocolEvent(
+                kind=kind,
+                agent_id=self.initiator_id if agent_id is None else agent_id,
+                interaction=self.interaction,
+                data=data,
+            )
+        )
+
+    @property
+    def has_sink(self) -> bool:
+        """Whether events are being collected (lets protocols skip work)."""
+        return self._sink is not None
+
+
+class Protocol(abc.ABC, Generic[StateT]):
+    """Abstract base class for population protocols.
+
+    Subclasses implement the three components of a protocol definition.
+    A protocol object may hold *parameters* (e.g. the constants tau_1..tau_3
+    of the dynamic size counting protocol) but must not hold per-agent
+    state — all per-agent state lives in the population.
+    """
+
+    #: Human-readable protocol name used in logs and experiment output.
+    name: str = "protocol"
+
+    @abc.abstractmethod
+    def initial_state(self, rng: RandomSource) -> StateT:
+        """Return the state assigned to a newly added agent.
+
+        The dynamic model of the paper adds agents "in some predefined
+        state"; randomised initial states are allowed for protocols that
+        need them (the random source is the caller's).
+        """
+
+    @abc.abstractmethod
+    def interact(
+        self, u: StateT, v: StateT, ctx: InteractionContext
+    ) -> tuple[StateT, StateT]:
+        """Apply the transition function to initiator state ``u`` and responder ``v``.
+
+        Must return the pair of post-interaction states ``(u', v')``.
+        Implementations are free to mutate mutable states in place and
+        return the same objects.
+        """
+
+    def output(self, state: StateT) -> Any:
+        """Map a state to the protocol's output. Defaults to the state itself."""
+        return state
+
+    def memory_bits(self, state: StateT) -> int:
+        """Number of bits needed to store ``state``.
+
+        Used by the space-complexity experiments.  The default assumes an
+        integer state and counts its binary representation; protocols with
+        structured states override this.
+        """
+        if isinstance(state, bool):
+            return 1
+        if isinstance(state, int):
+            return max(1, int(state).bit_length())
+        raise NotImplementedError(
+            f"{type(self).__name__} must override memory_bits() for state "
+            f"type {type(state).__name__}"
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Return a serialisable description of the protocol and its parameters."""
+        return {"name": self.name, "class": type(self).__name__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class OneWayProtocol(Protocol[StateT]):
+    """Convenience base class for one-way protocols.
+
+    In a *one-way* protocol only the initiator updates its state; the
+    responder is read-only.  Several of the paper's building blocks are
+    one-way (the one-sided CHVP rule, the one-way epidemic used in the
+    analysis), so this base class removes the boilerplate.
+    """
+
+    @abc.abstractmethod
+    def update_initiator(self, u: StateT, v: StateT, ctx: InteractionContext) -> StateT:
+        """Return the initiator's new state given both current states."""
+
+    def interact(
+        self, u: StateT, v: StateT, ctx: InteractionContext
+    ) -> tuple[StateT, StateT]:
+        return self.update_initiator(u, v, ctx), v

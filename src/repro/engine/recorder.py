@@ -1,0 +1,219 @@
+"""Recorders — observers that extract time series from a running simulation.
+
+The paper's simulator snapshots the configuration once every ``n``
+interactions (one parallel time step) instead of after every interaction.
+The engine follows the same design: a :class:`Recorder` receives a callback
+at every snapshot with the current population, and may additionally receive
+protocol events (such as clock ticks) as they happen.
+
+Recorders never mutate the population.  Each recorder accumulates rows in
+memory and exposes them as plain Python structures so that experiment code
+and tests can post-process them without the engine in the loop.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine.population import Population
+from repro.engine.protocol import Protocol, ProtocolEvent
+
+__all__ = [
+    "Recorder",
+    "SnapshotStats",
+    "EstimateRecorder",
+    "PopulationSizeRecorder",
+    "PhaseOccupancyRecorder",
+    "EventRecorder",
+    "MemoryRecorder",
+    "CallbackRecorder",
+]
+
+
+class Recorder(abc.ABC):
+    """Base class for simulation observers."""
+
+    def on_start(self, population: Population, protocol: Protocol) -> None:
+        """Called once before the first interaction."""
+
+    @abc.abstractmethod
+    def on_snapshot(
+        self, parallel_time: int, population: Population, protocol: Protocol
+    ) -> None:
+        """Called once per parallel time step, after the adversary has acted."""
+
+    def on_event(self, event: ProtocolEvent) -> None:
+        """Called for every protocol event (clock ticks, resets, ...)."""
+
+    def on_finish(self, population: Population, protocol: Protocol) -> None:
+        """Called once after the last interaction."""
+
+
+def _quantiles(values: Sequence[float]) -> tuple[float, float, float]:
+    """Return (min, median, max) of a non-empty sequence."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        median = float(ordered[mid])
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2.0
+    return float(ordered[0]), median, float(ordered[-1])
+
+
+@dataclass(frozen=True)
+class SnapshotStats:
+    """Min / median / max of a per-agent quantity at one parallel time step."""
+
+    parallel_time: int
+    population_size: int
+    minimum: float
+    median: float
+    maximum: float
+
+    @property
+    def true_log_n(self) -> float:
+        """log2 of the population size at this snapshot (the quantity estimated)."""
+        return math.log2(self.population_size) if self.population_size > 0 else float("nan")
+
+
+class EstimateRecorder(Recorder):
+    """Records min/median/max of the protocol output across agents per snapshot.
+
+    For the dynamic size counting protocol the output is the agent's reported
+    estimate of log n (``max{max, lastMax}`` without overestimation, exactly
+    as in Section 5 of the paper), so this recorder produces the series shown
+    in Figs. 2, 4, and 5.
+    """
+
+    def __init__(self, output_fn: Callable[[Any], float] | None = None) -> None:
+        self._output_fn = output_fn
+        self.rows: list[SnapshotStats] = []
+
+    def on_snapshot(self, parallel_time, population, protocol) -> None:
+        fn = self._output_fn or protocol.output
+        values = [float(fn(state)) for state in population.states()]
+        if not values:
+            return
+        lo, med, hi = _quantiles(values)
+        self.rows.append(
+            SnapshotStats(
+                parallel_time=parallel_time,
+                population_size=population.size,
+                minimum=lo,
+                median=med,
+                maximum=hi,
+            )
+        )
+
+    def series(self) -> dict[str, list[float]]:
+        """Return the recorded series as plain column lists."""
+        return {
+            "parallel_time": [float(r.parallel_time) for r in self.rows],
+            "population_size": [float(r.population_size) for r in self.rows],
+            "minimum": [r.minimum for r in self.rows],
+            "median": [r.median for r in self.rows],
+            "maximum": [r.maximum for r in self.rows],
+        }
+
+
+class PopulationSizeRecorder(Recorder):
+    """Records the population size per snapshot (useful under adversaries)."""
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[int, int]] = []
+
+    def on_snapshot(self, parallel_time, population, protocol) -> None:
+        self.rows.append((parallel_time, population.size))
+
+    def sizes(self) -> list[int]:
+        return [size for _, size in self.rows]
+
+
+class PhaseOccupancyRecorder(Recorder):
+    """Records how many agents are in each clock phase per snapshot.
+
+    The phase classifier is supplied by the caller (for the dynamic size
+    counting protocol it is :func:`repro.core.state.classify_phase`), keeping
+    the engine independent of the core package.
+    """
+
+    def __init__(self, phase_fn: Callable[[Any], str]) -> None:
+        self._phase_fn = phase_fn
+        self.rows: list[dict[str, Any]] = []
+
+    def on_snapshot(self, parallel_time, population, protocol) -> None:
+        counts: dict[str, int] = {}
+        for state in population.states():
+            phase = self._phase_fn(state)
+            counts[phase] = counts.get(phase, 0) + 1
+        row: dict[str, Any] = {"parallel_time": parallel_time, "population_size": population.size}
+        row.update(counts)
+        self.rows.append(row)
+
+
+class EventRecorder(Recorder):
+    """Collects protocol events, optionally filtered by kind.
+
+    Clock ticks (reset events) of the phase clock are gathered with
+    ``EventRecorder(kinds={"reset"})`` and post-processed by
+    :mod:`repro.analysis.synchronization` into burst/overlap intervals.
+    """
+
+    def __init__(self, kinds: set[str] | None = None) -> None:
+        self._kinds = kinds
+        self.events: list[ProtocolEvent] = []
+
+    def on_snapshot(self, parallel_time, population, protocol) -> None:
+        return None
+
+    def on_event(self, event: ProtocolEvent) -> None:
+        if self._kinds is None or event.kind in self._kinds:
+            self.events.append(event)
+
+    def events_of_kind(self, kind: str) -> list[ProtocolEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class MemoryRecorder(Recorder):
+    """Records the maximum and mean per-agent memory footprint in bits.
+
+    Uses :meth:`repro.engine.protocol.Protocol.memory_bits`, which each
+    protocol implements for its own state representation.  This backs the
+    space-complexity comparison against the Doty–Eftekhari baseline.
+    """
+
+    def __init__(self) -> None:
+        self.rows: list[dict[str, float]] = []
+
+    def on_snapshot(self, parallel_time, population, protocol) -> None:
+        bits = [protocol.memory_bits(state) for state in population.states()]
+        if not bits:
+            return
+        self.rows.append(
+            {
+                "parallel_time": float(parallel_time),
+                "population_size": float(population.size),
+                "max_bits": float(max(bits)),
+                "mean_bits": float(sum(bits) / len(bits)),
+            }
+        )
+
+    def peak_bits(self) -> float:
+        """Largest per-agent footprint observed over the whole run."""
+        if not self.rows:
+            return 0.0
+        return max(row["max_bits"] for row in self.rows)
+
+
+class CallbackRecorder(Recorder):
+    """Adapter turning a plain callable into a recorder (used in tests)."""
+
+    def __init__(self, on_snapshot: Callable[[int, Population, Protocol], None]) -> None:
+        self._callback = on_snapshot
+
+    def on_snapshot(self, parallel_time, population, protocol) -> None:
+        self._callback(parallel_time, population, protocol)

@@ -1,0 +1,157 @@
+"""Randomness utilities for population protocol simulations.
+
+The paper's simulator uses the ``ranlux`` generator seeded from a
+non-deterministic source to guarantee independence across the 96 simulation
+runs behind every data point.  We substitute NumPy's PCG64 generator, which
+is of comparable statistical quality, and derive *independent child streams*
+for every trial via :class:`numpy.random.SeedSequence` spawning.  This gives
+us reproducibility (a single root seed reproduces an entire experiment) while
+preserving independence between trials.
+
+The module also provides the primitive random quantities the protocols need:
+
+* fair coin flips,
+* geometric random variables with parameter 1/2 (the GRVs of the paper),
+* uniform choice of an ordered pair of distinct agents (the random
+  scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RandomSource",
+    "spawn_streams",
+    "make_rng",
+]
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a NumPy random generator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  ``None`` draws entropy from the operating system, which
+        mirrors the paper's use of ``std::random_device``; passing an integer
+        makes the run reproducible.
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_streams(seed: int | None, count: int) -> list[np.random.Generator]:
+    """Spawn ``count`` statistically independent generators from one seed.
+
+    Used by the multi-run :class:`repro.engine.runner.TrialRunner` so that
+    every independent trial behind a data point uses its own stream, exactly
+    as the paper seeds each of its 96 runs independently.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+@dataclass
+class RandomSource:
+    """Thin convenience wrapper over :class:`numpy.random.Generator`.
+
+    Protocols interact with randomness exclusively through this class so
+    that the set of random primitives used by the system is explicit and
+    easy to audit.  All methods forward to the wrapped generator.
+
+    Attributes
+    ----------
+    generator:
+        The underlying NumPy generator.
+    """
+
+    generator: np.random.Generator
+
+    @classmethod
+    def from_seed(cls, seed: int | None = None) -> "RandomSource":
+        """Build a source from an integer seed (or OS entropy if ``None``)."""
+        return cls(make_rng(seed))
+
+    def coin(self) -> bool:
+        """Flip a fair coin; ``True`` means heads."""
+        return bool(self.generator.integers(0, 2))
+
+    def biased_coin(self, p_true: float) -> bool:
+        """Flip a coin that is ``True`` with probability ``p_true``."""
+        if not 0.0 <= p_true <= 1.0:
+            raise ValueError(f"p_true must lie in [0, 1], got {p_true}")
+        return bool(self.generator.random() < p_true)
+
+    def geometric(self) -> int:
+        """Sample one Geom(1/2) random variable.
+
+        Returns the number of fair coin flips needed until the first heads,
+        i.e. values 1, 2, 3, ... with P[X = i] = 2^-i.  This matches the
+        distribution the paper calls a GRV.
+        """
+        return int(self.generator.geometric(0.5))
+
+    def geometric_max(self, count: int) -> int:
+        """Return the maximum of ``count`` independent Geom(1/2) samples.
+
+        Equivalent to Algorithm 3 (``GRV(k)``) of the paper when called with
+        ``count = k``, but vectorised.  ``count = 0`` returns 1, matching the
+        algorithm's initialisation ``M <- 1``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return 1
+        samples = self.generator.geometric(0.5, size=count)
+        return int(samples.max(initial=1))
+
+    def uniform_index(self, n: int) -> int:
+        """Pick an index uniformly from ``range(n)``."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return int(self.generator.integers(0, n))
+
+    def ordered_pair(self, n: int) -> tuple[int, int]:
+        """Pick an ordered pair of distinct indices uniformly from ``range(n)``.
+
+        This is the random scheduler of the population protocol model: the
+        first index is the *initiator*, the second the *responder*.
+        """
+        if n < 2:
+            raise ValueError(f"need at least two agents, got {n}")
+        i = int(self.generator.integers(0, n))
+        j = int(self.generator.integers(0, n - 1))
+        if j >= i:
+            j += 1
+        return i, j
+
+    def ordered_pairs(self, n: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised version of :meth:`ordered_pair` for batched engines.
+
+        Returns two arrays ``(initiators, responders)`` of length ``count``
+        with element-wise distinct entries drawn uniformly at random.
+        """
+        if n < 2:
+            raise ValueError(f"need at least two agents, got {n}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        initiators = self.generator.integers(0, n, size=count)
+        responders = self.generator.integers(0, n - 1, size=count)
+        responders = np.where(responders >= initiators, responders + 1, responders)
+        return initiators, responders
+
+    def shuffled(self, items: Sequence[int]) -> list[int]:
+        """Return a shuffled copy of ``items``."""
+        arr = np.array(items, dtype=np.int64)
+        self.generator.shuffle(arr)
+        return [int(x) for x in arr]
+
+    def spawn(self, count: int) -> Iterator["RandomSource"]:
+        """Yield ``count`` independent child sources."""
+        for child in self.generator.bit_generator.seed_seq.spawn(count):  # type: ignore[union-attr]
+            yield RandomSource(np.random.default_rng(child))

@@ -1,0 +1,149 @@
+"""Multi-trial orchestration.
+
+Every data point in the paper's evaluation aggregates 96 independent
+simulation runs.  The :class:`TrialRunner` reproduces this pattern: it fans a
+root seed out into independent per-trial random streams, builds a fresh
+simulator per trial via a user-supplied factory, runs them, and aggregates
+the recorded series (element-wise min / median / max across trials).
+
+The runner is deliberately synchronous and single-process: the simulations
+are CPU-bound pure-Python loops, and the experiment presets are sized so
+that a full figure regenerates in minutes on a laptop.  Parallelism across
+trials can be layered on top by the caller (each trial is independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.rng import RandomSource, spawn_streams
+from repro.engine.simulator import SimulationResult
+
+__all__ = ["TrialOutcome", "AggregatedSeries", "TrialRunner", "aggregate_series"]
+
+
+@dataclass
+class TrialOutcome:
+    """Result of a single trial: the simulation summary plus extracted data."""
+
+    trial: int
+    seed_stream: int
+    result: SimulationResult
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class AggregatedSeries:
+    """Element-wise aggregation of one numeric series across trials.
+
+    ``minimum``, ``median`` and ``maximum`` have one entry per time index and
+    are computed across trials, which is exactly how the paper's plots
+    report "Minimum / Median / Maximum" over its 96 runs.
+    """
+
+    name: str
+    index: list[float]
+    minimum: list[float]
+    median: list[float]
+    maximum: list[float]
+
+    def as_dict(self) -> dict[str, list[float]]:
+        return {
+            "index": list(self.index),
+            "minimum": list(self.minimum),
+            "median": list(self.median),
+            "maximum": list(self.maximum),
+        }
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def aggregate_series(
+    name: str,
+    index: Sequence[float],
+    per_trial_values: Sequence[Sequence[float]],
+) -> AggregatedSeries:
+    """Aggregate per-trial series element-wise into min/median/max.
+
+    Trials may have different lengths (e.g. early-stopped runs); the
+    aggregate is truncated to the shortest trial so that every reported
+    point covers all trials.
+    """
+    if not per_trial_values:
+        return AggregatedSeries(name=name, index=[], minimum=[], median=[], maximum=[])
+    length = min(len(v) for v in per_trial_values)
+    length = min(length, len(index))
+    mins, meds, maxs = [], [], []
+    for t in range(length):
+        column = [float(values[t]) for values in per_trial_values]
+        mins.append(min(column))
+        meds.append(_median(column))
+        maxs.append(max(column))
+    return AggregatedSeries(
+        name=name,
+        index=[float(x) for x in index[:length]],
+        minimum=mins,
+        median=meds,
+        maximum=maxs,
+    )
+
+
+class TrialRunner:
+    """Runs several independent trials of the same experiment.
+
+    Parameters
+    ----------
+    trial_fn:
+        Callable ``(trial_index, rng) -> (SimulationResult, data)`` that
+        builds and runs one simulation.  ``data`` is a free-form dictionary
+        of extracted series (e.g. the estimate min/median/max over time).
+    trials:
+        Number of independent repetitions.
+    seed:
+        Root seed; per-trial streams are spawned from it.
+    """
+
+    def __init__(
+        self,
+        trial_fn: Callable[[int, RandomSource], tuple[SimulationResult, dict[str, Any]]],
+        *,
+        trials: int,
+        seed: int | None = None,
+    ) -> None:
+        if trials < 1:
+            raise ValueError(f"trials must be at least 1, got {trials}")
+        self._trial_fn = trial_fn
+        self.trials = trials
+        self.seed = seed
+
+    def run(self) -> list[TrialOutcome]:
+        """Execute all trials and return their outcomes in trial order."""
+        outcomes: list[TrialOutcome] = []
+        streams = spawn_streams(self.seed, self.trials)
+        for trial, generator in enumerate(streams):
+            rng = RandomSource(generator)
+            result, data = self._trial_fn(trial, rng)
+            outcomes.append(TrialOutcome(trial=trial, seed_stream=trial, result=result, data=data))
+        return outcomes
+
+    def run_and_aggregate(
+        self,
+        series_key: str,
+        index_key: str = "parallel_time",
+    ) -> tuple[list[TrialOutcome], AggregatedSeries]:
+        """Run all trials and aggregate ``data[series_key]`` across them.
+
+        The index (x-axis) is taken from the first trial's ``data[index_key]``.
+        """
+        outcomes = self.run()
+        index = outcomes[0].data.get(index_key, [])
+        per_trial = [outcome.data[series_key] for outcome in outcomes]
+        return outcomes, aggregate_series(series_key, index, per_trial)

@@ -1,0 +1,238 @@
+"""Exact sequential simulator for population protocols.
+
+This is the semantic reference engine of the reproduction: it executes the
+textbook population protocol scheduler — in each step an ordered pair of
+distinct agents is chosen uniformly at random and the protocol's transition
+function is applied — with no batching or approximation.
+
+Configuration snapshots are taken once per *parallel time* step (``n``
+interactions for the current population size ``n``), exactly as in the
+paper's C++ simulator, which reports a snapshot every ``n`` interactions
+"to ensure quick simulation times".  The adversary is consulted at the same
+granularity.
+
+For figure-scale populations (n >= 10^5) use
+:class:`repro.engine.batch_engine.BatchedSimulator`, which trades exactness
+of the interleaving for vectorised speed, or
+:class:`repro.engine.array_engine.ArraySimulator`, which keeps exact
+semantics with a lower-overhead state representation specialised to the
+dynamic size counting protocol family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.adversary import NullAdversary, SizeAdversary
+from repro.engine.errors import (
+    ConfigurationError,
+    EmptyPopulationError,
+    ProtocolContractError,
+)
+from repro.engine.population import Population
+from repro.engine.protocol import InteractionContext, Protocol, ProtocolEvent
+from repro.engine.recorder import Recorder
+from repro.engine.rng import RandomSource
+
+__all__ = ["SimulationResult", "Simulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run.
+
+    Attributes
+    ----------
+    parallel_time:
+        Number of parallel time steps executed.
+    interactions:
+        Total number of pairwise interactions executed.
+    final_size:
+        Population size at the end of the run.
+    stopped_early:
+        Whether a stop condition fired before the configured horizon.
+    metadata:
+        Free-form dictionary (protocol description, seed, ...).
+    """
+
+    parallel_time: int
+    interactions: int
+    final_size: int
+    stopped_early: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class Simulator:
+    """Exact sequential population protocol simulator.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to execute.
+    population:
+        Either an integer (that many agents are created in the protocol's
+        initial state) or a pre-built :class:`Population` for arbitrary
+        initial configurations (needed for loose-stabilization experiments
+        that start from adversarial configurations).
+    rng:
+        Random source; a fresh one is created from ``seed`` if omitted.
+    seed:
+        Convenience seed used when ``rng`` is not given.
+    adversary:
+        Population-size adversary, consulted once per parallel time step.
+    recorders:
+        Observers notified at every snapshot and for protocol events.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        population: int | Population,
+        *,
+        rng: RandomSource | None = None,
+        seed: int | None = None,
+        adversary: SizeAdversary | None = None,
+        recorders: Iterable[Recorder] = (),
+    ) -> None:
+        self.protocol = protocol
+        self.rng = rng if rng is not None else RandomSource.from_seed(seed)
+        if isinstance(population, Population):
+            self.population = population
+        elif isinstance(population, int):
+            if population < 2:
+                raise ConfigurationError(
+                    f"population size must be at least 2, got {population}"
+                )
+            self.population = Population(
+                self.protocol.initial_state(self.rng) for _ in range(population)
+            )
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                f"population must be an int or Population, got {type(population).__name__}"
+            )
+        self.adversary = adversary if adversary is not None else NullAdversary()
+        self.recorders: list[Recorder] = list(recorders)
+        self._context = InteractionContext(self.rng, sink=self._dispatch_event)
+        self.interactions_executed = 0
+        self.parallel_time = 0
+
+    # ----------------------------------------------------------------- events
+
+    def _dispatch_event(self, event: ProtocolEvent) -> None:
+        for recorder in self.recorders:
+            recorder.on_event(event)
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        parallel_time: int,
+        *,
+        stop_when: Callable[["Simulator"], bool] | None = None,
+        snapshot_every: int = 1,
+    ) -> SimulationResult:
+        """Run the simulation for ``parallel_time`` parallel time steps.
+
+        Parameters
+        ----------
+        parallel_time:
+            Horizon in parallel time units (each unit is ``n`` interactions
+            at the *current* population size ``n``).
+        stop_when:
+            Optional predicate evaluated after every snapshot; returning
+            ``True`` stops the run early.  Used by convergence-time
+            experiments.
+        snapshot_every:
+            Take a snapshot (and consult the adversary / recorders) every
+            this many parallel time steps.  The default of 1 matches the
+            paper.
+        """
+        if parallel_time < 0:
+            raise ConfigurationError(f"parallel_time must be non-negative, got {parallel_time}")
+        if snapshot_every < 1:
+            raise ConfigurationError(f"snapshot_every must be >= 1, got {snapshot_every}")
+
+        for recorder in self.recorders:
+            recorder.on_start(self.population, self.protocol)
+
+        stopped_early = False
+        target_time = self.parallel_time + parallel_time
+        while self.parallel_time < target_time:
+            steps = min(snapshot_every, target_time - self.parallel_time)
+            for _ in range(steps):
+                self._run_one_parallel_step()
+            self._snapshot()
+            if stop_when is not None and stop_when(self):
+                stopped_early = True
+                break
+
+        for recorder in self.recorders:
+            recorder.on_finish(self.population, self.protocol)
+
+        return SimulationResult(
+            parallel_time=self.parallel_time,
+            interactions=self.interactions_executed,
+            final_size=self.population.size,
+            stopped_early=stopped_early,
+            metadata={"protocol": self.protocol.describe(), "engine": "sequential"},
+        )
+
+    def _run_one_parallel_step(self) -> None:
+        """Execute ``n`` interactions (one parallel time unit)."""
+        population = self.population
+        if not population.is_interactable():
+            raise EmptyPopulationError(
+                "population has fewer than two agents; cannot schedule interactions"
+            )
+        n = population.size
+        for _ in range(n):
+            self.step()
+        self.parallel_time += 1
+
+    def step(self) -> None:
+        """Execute a single pairwise interaction."""
+        population = self.population
+        n = population.size
+        if n < 2:
+            raise EmptyPopulationError(
+                "population has fewer than two agents; cannot schedule interactions"
+            )
+        i, j = self.rng.ordered_pair(n)
+        ctx = self._context
+        ctx.reset(
+            interaction=self.interactions_executed,
+            initiator_id=population.stable_id(i),
+            responder_id=population.stable_id(j),
+        )
+        result = self.protocol.interact(population.state(i), population.state(j), ctx)
+        try:
+            new_u, new_v = result
+        except (TypeError, ValueError) as exc:
+            raise ProtocolContractError(
+                f"{type(self.protocol).__name__}.interact must return a pair of "
+                f"states, got {result!r}"
+            ) from exc
+        population.set_state(i, new_u)
+        population.set_state(j, new_v)
+        self.interactions_executed += 1
+
+    def _snapshot(self) -> None:
+        self.adversary.apply(
+            self.population,
+            self.parallel_time,
+            self.rng,
+            lambda: self.protocol.initial_state(self.rng),
+        )
+        for recorder in self.recorders:
+            recorder.on_snapshot(self.parallel_time, self.population, self.protocol)
+
+    # ------------------------------------------------------------- inspection
+
+    def outputs(self) -> list[Any]:
+        """Current protocol outputs of all agents."""
+        return [self.protocol.output(state) for state in self.population.states()]
+
+    def states(self) -> Sequence[Any]:
+        """Current states of all agents (read-only view)."""
+        return self.population.states()

@@ -1,0 +1,105 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Runs one experiment (or all of them) at a chosen effort level, prints the
+regenerated table, and optionally persists the rows/series under an output
+directory.  Example::
+
+    repro-experiments fig4 --effort quick --output results/
+    repro-experiments all --effort default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.config import list_presets
+from repro.experiments.convergence_table import run_convergence_table
+from repro.experiments.fig2_size_estimate import run_fig2
+from repro.experiments.fig3_relative_error import run_fig3
+from repro.experiments.fig4_population_drop import run_fig4
+from repro.experiments.fig5_initial_estimate import run_fig5
+from repro.experiments.holding_table import run_holding_table
+from repro.experiments.memory_table import run_memory_table
+from repro.experiments.phase_clock_experiment import run_phase_clock_experiment
+
+__all__ = ["main", "EXPERIMENT_RUNNERS"]
+
+#: Experiment id -> runner function.
+EXPERIMENT_RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "convergence": run_convergence_table,
+    "holding": run_holding_table,
+    "memory": run_memory_table,
+    "phase_clock": run_phase_clock_experiment,
+    "baseline": run_baseline_comparison,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures and tables of 'Dynamic Size Counting in the "
+            "Population Protocol Model' (Kaaser & Lohmann, PODC 2024)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENT_RUNNERS) + ["all", "list"],
+        help="Experiment to run ('all' runs every experiment, 'list' shows presets).",
+    )
+    parser.add_argument(
+        "--effort",
+        default="quick",
+        choices=("quick", "default", "paper"),
+        help="Preset size: quick (seconds), default (minutes), paper (original scale).",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="Directory to persist CSV/JSON results into (omit to only print).",
+    )
+    return parser
+
+
+def _run_one(experiment: str, effort: str, output: str | None) -> ExperimentResult:
+    runner = EXPERIMENT_RUNNERS[experiment]
+    started = time.time()
+    result = runner(effort=effort)
+    elapsed = time.time() - started
+    print(result.table())
+    print(f"[{experiment}] completed in {elapsed:.1f}s ({result.metadata.get('preset')} preset)")
+    print()
+    if output is not None:
+        saved = result.save(output)
+        print(f"[{experiment}] results written to {saved}")
+        print()
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment, efforts in sorted(list_presets().items()):
+            print(f"{experiment}: {', '.join(efforts)}")
+        return 0
+
+    experiments = sorted(EXPERIMENT_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for experiment in experiments:
+        _run_one(experiment, args.effort, args.output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Figure 2 — size estimate over time in a large, initially empty system.
+
+The paper's Fig. 2 shows the minimum, median and maximum estimate of
+``log n`` across 96 runs for a population of 10^6 agents simulated for 5000
+parallel time steps, starting from the empty initial configuration (all
+agents in the predefined initial state).  The estimates rise quickly from 1
+to slightly above ``log2 n`` (the maximum of ``k * n`` GRVs with ``k = 16``
+concentrates around ``log2 n + 4``) and then stay there — the protocol's
+long holding time in action.
+
+This module regenerates that series.  The quick preset scales the population
+down (the shape is identical, only the plateau level shifts with
+``log2 n``); the ``paper`` preset reproduces the original scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import empirical_parameters
+from repro.experiments.base import ExperimentPreset, ExperimentResult
+from repro.experiments.config import get_preset
+from repro.experiments.figures import run_estimate_trace
+
+__all__ = ["run_fig2"]
+
+
+def run_fig2(preset: ExperimentPreset | None = None, *, effort: str = "quick") -> ExperimentResult:
+    """Regenerate Fig. 2: estimate of ``log n`` over parallel time."""
+    preset = preset or get_preset("fig2", effort)
+    params = empirical_parameters()
+    series: dict[str, dict[str, list[float]]] = {}
+    rows: list[dict[str, float]] = []
+
+    for n in preset.population_sizes:
+        trace = run_estimate_trace(
+            n,
+            preset.parallel_time,
+            trials=preset.trials,
+            seed=preset.seed,
+            params=params,
+        )
+        series[f"n_{n}"] = trace.series()
+        # Summary rows: plateau statistics over the second half of the run.
+        half = len(trace.parallel_time) // 2
+        tail_min = min(trace.minimum[half:]) if half < len(trace.minimum) else float("nan")
+        tail_max = max(trace.maximum[half:]) if half < len(trace.maximum) else float("nan")
+        tail_med = sorted(trace.median[half:])[len(trace.median[half:]) // 2]
+        rows.append(
+            {
+                "n": n,
+                "log2_n": math.log2(n),
+                "steady_minimum": tail_min,
+                "steady_median": tail_med,
+                "steady_maximum": tail_max,
+                "trials": preset.trials,
+                "parallel_time": preset.parallel_time,
+            }
+        )
+
+    return ExperimentResult(
+        experiment="fig2",
+        description="Size estimate over parallel time (initially empty system)",
+        rows=rows,
+        series=series,
+        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    result = run_fig2(effort="quick")
+    print(result.table())

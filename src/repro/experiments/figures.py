@@ -1,0 +1,132 @@
+"""Shared machinery for the figure experiments (Figs. 2–5).
+
+All four figures plot the same quantity — the minimum, median and maximum
+agent estimate of ``log2 n`` over parallel time, aggregated over independent
+runs — and differ only in the workload (population size, decimation event,
+initial estimate).  :func:`run_estimate_trace` runs one such workload on the
+batched engine and aggregates across trials exactly like the paper does over
+its 96 runs: the reported minimum is the minimum over all runs' minima, the
+maximum the maximum over all maxima, and the median the median of the runs'
+medians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.params import ProtocolParameters, empirical_parameters
+from repro.core.vectorized import VectorizedDynamicCounting
+from repro.engine.batch_engine import BatchedSimulator
+from repro.engine.rng import RandomSource, spawn_streams
+from repro.engine.runner import aggregate_series
+
+__all__ = ["EstimateTrace", "run_estimate_trace"]
+
+
+@dataclass
+class EstimateTrace:
+    """Aggregated estimate statistics of one workload.
+
+    ``parallel_time``, ``population_size``, ``minimum``, ``median`` and
+    ``maximum`` are aligned column lists (one entry per snapshot).
+    """
+
+    n: int
+    trials: int
+    parallel_time: list[float]
+    population_size: list[float]
+    minimum: list[float]
+    median: list[float]
+    maximum: list[float]
+
+    def series(self) -> dict[str, list[float]]:
+        return {
+            "parallel_time": self.parallel_time,
+            "population_size": self.population_size,
+            "minimum": self.minimum,
+            "median": self.median,
+            "maximum": self.maximum,
+        }
+
+
+def run_estimate_trace(
+    n: int,
+    parallel_time: int,
+    *,
+    trials: int,
+    seed: int | None,
+    params: ProtocolParameters | None = None,
+    resize_schedule: Sequence[tuple[int, int]] = (),
+    initial_estimate: float | None = None,
+    snapshot_every: int = 1,
+    sub_batches: int = 8,
+) -> EstimateTrace:
+    """Run ``trials`` independent simulations of one workload and aggregate.
+
+    Parameters
+    ----------
+    n:
+        Initial population size.
+    parallel_time:
+        Simulation horizon.
+    trials / seed:
+        Number of independent runs and the root seed they are spawned from.
+    params:
+        Protocol constants (defaults to the paper's empirical preset).
+    resize_schedule:
+        ``(time, target_size)`` adversary events (Fig. 4's decimation).
+    initial_estimate:
+        If given, all agents start with this estimate instead of the empty
+        initial configuration (Fig. 5's over-estimate of 60).
+    snapshot_every:
+        Snapshot granularity in parallel time units.
+    sub_batches:
+        Fidelity knob of the batched engine.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    protocol = VectorizedDynamicCounting(params or empirical_parameters())
+    streams = spawn_streams(seed, trials)
+
+    per_trial_min: list[list[float]] = []
+    per_trial_med: list[list[float]] = []
+    per_trial_max: list[list[float]] = []
+    index: list[float] = []
+    sizes: list[float] = []
+
+    for generator in streams:
+        rng = RandomSource(generator)
+        initial_arrays = None
+        if initial_estimate is not None:
+            initial_arrays = protocol.initial_arrays_with_estimate(n, initial_estimate)
+        simulator = BatchedSimulator(
+            protocol,
+            n,
+            rng=rng,
+            resize_schedule=resize_schedule,
+            initial_arrays=initial_arrays,
+            sub_batches=sub_batches,
+        )
+        result = simulator.run(parallel_time, snapshot_every=snapshot_every)
+        series = result.series()
+        per_trial_min.append(series["minimum"])
+        per_trial_med.append(series["median"])
+        per_trial_max.append(series["maximum"])
+        if not index:
+            index = series["parallel_time"]
+            sizes = series["population_size"]
+
+    minimum = aggregate_series("minimum", index, per_trial_min)
+    median = aggregate_series("median", index, per_trial_med)
+    maximum = aggregate_series("maximum", index, per_trial_max)
+    length = min(len(minimum.index), len(median.index), len(maximum.index))
+    return EstimateTrace(
+        n=n,
+        trials=trials,
+        parallel_time=list(index[:length]),
+        population_size=list(sizes[:length]),
+        minimum=minimum.minimum[:length],
+        median=median.median[:length],
+        maximum=maximum.maximum[:length],
+    )

@@ -1,0 +1,111 @@
+"""Countdown with Higher Value Propagation (CHVP) and its dual CLVP.
+
+The dynamic size counting protocol synchronises the ``time`` variable of all
+agents with the one-sided CHVP rule
+
+    (u, v) -> (max{u, v} - 1, v),
+
+analysed in Lemmas 4.3 / 4.4 and Appendix C of the paper (building on Sudo,
+Eguchi, Izumi & Masuzawa 2021 and Alistarh et al. 2017).  Intuitively the
+largest value spreads like an epidemic while every agent decrements its own
+value once per initiated interaction, so after ``O(Delta + log n)`` parallel
+time the whole population sits within a narrow band roughly ``Delta`` below
+the initial maximum.
+
+The appendix analyses the mirrored rule, Counting up with Lower Value
+Propagation (CLVP),
+
+    (u, v) -> (min{u, v} + 1, v),
+
+which we also provide because the analysis (potential-function argument of
+Lemma 4.3) is phrased in terms of CLVP and the property-based tests exercise
+the exact coupling the proof uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, OneWayProtocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["CHVP", "CLVP"]
+
+
+class CHVP(OneWayProtocol[int]):
+    """One-sided Countdown with Higher Value Propagation.
+
+    Parameters
+    ----------
+    initial_value:
+        Value assigned to newly added agents.
+    floor:
+        Optional lower bound; values never drop below it.  The paper's
+        analysis uses the unbounded variant (``floor=None``); the dynamic
+        size counting protocol effectively bounds the countdown at zero via
+        its wrap-around rule, which corresponds to ``floor=None`` plus an
+        external reset.
+    """
+
+    name = "chvp"
+
+    def __init__(self, initial_value: int = 0, floor: int | None = None) -> None:
+        self.initial_value = int(initial_value)
+        self.floor = None if floor is None else int(floor)
+
+    def initial_state(self, rng: RandomSource) -> int:
+        return self.initial_value
+
+    def update_initiator(self, u: int, v: int, ctx: InteractionContext) -> int:
+        value = (u if u >= v else v) - 1
+        if self.floor is not None and value < self.floor:
+            return self.floor
+        return value
+
+    def memory_bits(self, state: int) -> int:
+        return max(1, abs(int(state)).bit_length() + (1 if state < 0 else 0))
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "initial_value": self.initial_value,
+            "floor": self.floor,
+        }
+
+
+class CLVP(OneWayProtocol[int]):
+    """One-sided Counting up with Lower Value Propagation.
+
+    The mirror image of :class:`CHVP`; used in the paper's Appendix C proofs
+    (the potential function argument is stated for CLVP and transferred to
+    CHVP by symmetry).  Also directly usable as the *detection* countdown of
+    Alistarh et al. when combined with source agents pinned at zero — see
+    :mod:`repro.protocols.detection`.
+    """
+
+    name = "clvp"
+
+    def __init__(self, initial_value: int = 0, ceiling: int | None = None) -> None:
+        self.initial_value = int(initial_value)
+        self.ceiling = None if ceiling is None else int(ceiling)
+
+    def initial_state(self, rng: RandomSource) -> int:
+        return self.initial_value
+
+    def update_initiator(self, u: int, v: int, ctx: InteractionContext) -> int:
+        value = (u if u <= v else v) + 1
+        if self.ceiling is not None and value > self.ceiling:
+            return self.ceiling
+        return value
+
+    def memory_bits(self, state: int) -> int:
+        return max(1, abs(int(state)).bit_length() + (1 if state < 0 else 0))
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "initial_value": self.initial_value,
+            "ceiling": self.ceiling,
+        }

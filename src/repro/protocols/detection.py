@@ -1,0 +1,110 @@
+"""Robust detection protocol (Alistarh, Dudek, Kosowski, Soloveichik, Uznanski 2017).
+
+The *detection* problem asks every agent to learn whether a designated
+*source* agent is present in the population.  The protocol uses the rule
+
+    (u, v) -> (min{u + 1, v + 1}, min{u + 1, v + 1})
+
+for ordinary agents, while source agents never change their state and stay
+at zero.  If no source is present, the minimum value in the population grows
+without bound and crossing a threshold of ``Omega(log n)`` signals "no
+source" w.h.p.; if a source is present, low values keep re-propagating from
+the source and all agents stay below the threshold.
+
+The Doty–Eftekhari dynamic size counting baseline (our comparison protocol,
+:mod:`repro.protocols.doty_eftekhari`) uses detection on the first missing
+GRV value to notice that its estimate has become stale, which is why this
+substrate is part of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["DetectionState", "DetectionProtocol"]
+
+
+@dataclass
+class DetectionState:
+    """State of an agent running the detection protocol.
+
+    Attributes
+    ----------
+    value:
+        The countdown-from-source value; 0 for source agents.
+    is_source:
+        Whether the agent is a source.  Sources never change their value.
+    """
+
+    value: int = 0
+    is_source: bool = False
+
+    def copy(self) -> "DetectionState":
+        return DetectionState(value=self.value, is_source=self.is_source)
+
+
+class DetectionProtocol(Protocol[DetectionState]):
+    """Two-way robust detection with a configurable alarm threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Value above which an agent outputs "no source present".  The paper
+        of Alistarh et al. shows a threshold of ``c * log n`` suffices; since
+        our protocol is uniform we leave the threshold as an explicit
+        parameter and the experiments derive it from the population size
+        under test.
+    source_fraction:
+        Probability that a *newly added* agent is a source.  The default of
+        0 adds only non-source agents; experiments designate sources
+        explicitly by editing the initial configuration.
+    """
+
+    name = "detection"
+
+    def __init__(self, threshold: int = 0, source_fraction: float = 0.0) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        if not 0.0 <= source_fraction <= 1.0:
+            raise ValueError(f"source_fraction must lie in [0, 1], got {source_fraction}")
+        self.threshold = int(threshold)
+        self.source_fraction = float(source_fraction)
+
+    def initial_state(self, rng: RandomSource) -> DetectionState:
+        is_source = self.source_fraction > 0 and rng.biased_coin(self.source_fraction)
+        return DetectionState(value=0, is_source=is_source)
+
+    def interact(
+        self, u: DetectionState, v: DetectionState, ctx: InteractionContext
+    ) -> tuple[DetectionState, DetectionState]:
+        joint = min(u.value + 1, v.value + 1)
+        if not u.is_source:
+            u.value = joint
+        if not v.is_source:
+            v.value = joint
+        return u, v
+
+    def output(self, state: DetectionState) -> bool:
+        """``True`` when the agent believes a source is present."""
+        if state.is_source:
+            return True
+        return state.value <= self.threshold if self.threshold > 0 else True
+
+    def detects_absence(self, state: DetectionState) -> bool:
+        """Convenience inverse of :meth:`output` ("no source present")."""
+        return not self.output(state)
+
+    def memory_bits(self, state: DetectionState) -> int:
+        return max(1, int(state.value).bit_length()) + 1
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "threshold": self.threshold,
+            "source_fraction": self.source_fraction,
+        }

@@ -1,0 +1,108 @@
+"""Epidemic (broadcast / max-propagation) protocols.
+
+Epidemics are the most fundamental building block used by the paper:
+information spreads from one agent to all ``n`` agents in ``O(log n)``
+parallel time w.h.p. (Lemma 4.2).  The dynamic size counting protocol uses
+epidemics twice per round — to spread the maximum GRV and to propagate the
+``reset -> exchange`` phase transition.
+
+Two variants are provided:
+
+* :class:`MaxEpidemic` — agents store a value and adopt the maximum of the
+  two values in every interaction.  The *one-way* flavour
+  ``(u, v) -> (max{u, v}, v)`` is the exact rule analysed in Lemma 4.2;
+  the *two-way* flavour updates both agents.
+* :class:`InfectionEpidemic` — the classic binary SI epidemic (0 = susceptible,
+  1 = infected) used to measure infection times in the engine-validation
+  tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["MaxEpidemic", "InfectionEpidemic"]
+
+
+class MaxEpidemic(Protocol[int]):
+    """Max-propagation epidemic over integer values.
+
+    Parameters
+    ----------
+    initial_value:
+        Value assigned to newly added agents (0 by default).
+    one_way:
+        If ``True`` (default) only the initiator adopts the maximum,
+        matching the one-way rule ``(u, v) -> (max{u, v}, v)`` from the
+        paper's analysis.  If ``False`` both agents adopt the maximum,
+        which converges roughly twice as fast.
+    """
+
+    name = "max-epidemic"
+
+    def __init__(self, initial_value: int = 0, one_way: bool = True) -> None:
+        self.initial_value = int(initial_value)
+        self.one_way = bool(one_way)
+
+    def initial_state(self, rng: RandomSource) -> int:
+        return self.initial_value
+
+    def interact(self, u: int, v: int, ctx: InteractionContext) -> tuple[int, int]:
+        peak = u if u >= v else v
+        if self.one_way:
+            return peak, v
+        return peak, peak
+
+    def memory_bits(self, state: int) -> int:
+        return max(1, int(state).bit_length())
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "initial_value": self.initial_value,
+            "one_way": self.one_way,
+        }
+
+
+class InfectionEpidemic(Protocol[int]):
+    """Binary SI epidemic: infected agents (state 1) infect susceptible ones.
+
+    Both one-way (only the initiator can become infected) and two-way
+    variants are supported.  Used to validate the engine against the
+    textbook ``Theta(n log n)`` interaction bound (Lemma 4.2).
+    """
+
+    name = "infection-epidemic"
+
+    SUSCEPTIBLE = 0
+    INFECTED = 1
+
+    def __init__(self, one_way: bool = False) -> None:
+        self.one_way = bool(one_way)
+
+    def initial_state(self, rng: RandomSource) -> int:
+        return self.SUSCEPTIBLE
+
+    def interact(self, u: int, v: int, ctx: InteractionContext) -> tuple[int, int]:
+        if self.one_way:
+            if v == self.INFECTED and u == self.SUSCEPTIBLE:
+                ctx.emit("infected", agent_id=ctx.initiator_id)
+                return self.INFECTED, v
+            return u, v
+        if u == self.INFECTED or v == self.INFECTED:
+            if u == self.SUSCEPTIBLE:
+                ctx.emit("infected", agent_id=ctx.initiator_id)
+            if v == self.SUSCEPTIBLE:
+                ctx.emit("infected", agent_id=ctx.responder_id)
+            return self.INFECTED, self.INFECTED
+        return u, v
+
+    def memory_bits(self, state: int) -> int:
+        return 1
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "one_way": self.one_way}

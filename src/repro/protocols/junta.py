@@ -1,0 +1,106 @@
+"""Junta election.
+
+A *junta* is a small group of agents (size ``n^epsilon`` or polylog(n)) that
+jointly drive a phase clock: instead of a single leader, any junta member
+resets the clock, which makes the construction robust to the loss of
+individual agents.  Junta-driven phase clocks (Gasieniec & Stachowiak 2018,
+2021) are one of the three phase clock families discussed in the paper's
+related-work section, and we implement one to compare against the paper's
+*leaderless and uniform* clock.
+
+The junta election here follows the standard coin-level scheme: every agent
+flips fair coins to climb levels until the first tails; agents that reach
+the maximum level observed in the population form the junta.  With high
+probability the maximum level is ``log log n + O(1)`` and the junta has
+polylogarithmic size — small enough to drive a clock, large enough that an
+adversary removing a few agents rarely destroys it entirely (though removing
+*all* junta members, which our dynamic experiments do on purpose, still
+breaks the non-uniform clock; that is exactly the weakness the paper's
+uniform clock avoids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["JuntaState", "JuntaElection"]
+
+
+@dataclass
+class JuntaState:
+    """State of an agent in the junta election protocol.
+
+    Attributes
+    ----------
+    level:
+        Level reached by coin climbing (number of consecutive heads).
+    climbing:
+        Whether the agent is still flipping coins.
+    max_seen_level:
+        Largest level observed anywhere in the population (epidemic value).
+    """
+
+    level: int = 0
+    climbing: bool = True
+    max_seen_level: int = 0
+
+    def copy(self) -> "JuntaState":
+        return JuntaState(
+            level=self.level, climbing=self.climbing, max_seen_level=self.max_seen_level
+        )
+
+
+class JuntaElection(Protocol[JuntaState]):
+    """Coin-level junta election.
+
+    An agent is a junta member (output ``True``) when its own level equals
+    the maximum level it has observed.  Before the maximum has spread this
+    is an over-approximation; after ``O(log n)`` parallel time the junta is
+    exactly the set of agents on the true maximum level w.h.p.
+
+    Parameters
+    ----------
+    max_level:
+        Safety cap on levels (keeps the state space bounded).
+    """
+
+    name = "junta-election"
+
+    def __init__(self, max_level: int = 60) -> None:
+        if max_level < 1:
+            raise ValueError(f"max_level must be positive, got {max_level}")
+        self.max_level = int(max_level)
+
+    def initial_state(self, rng: RandomSource) -> JuntaState:
+        return JuntaState()
+
+    def interact(
+        self, u: JuntaState, v: JuntaState, ctx: InteractionContext
+    ) -> tuple[JuntaState, JuntaState]:
+        if u.climbing:
+            if ctx.rng.coin() and u.level < self.max_level:
+                u.level += 1
+            else:
+                u.climbing = False
+        top = max(u.max_seen_level, v.max_seen_level, u.level, v.level)
+        u.max_seen_level = top
+        v.max_seen_level = top
+        return u, v
+
+    def output(self, state: JuntaState) -> bool:
+        """Whether the agent currently believes it belongs to the junta."""
+        return not state.climbing and state.level >= state.max_seen_level
+
+    def memory_bits(self, state: JuntaState) -> int:
+        return (
+            max(1, int(state.level).bit_length())
+            + max(1, int(state.max_seen_level).bit_length())
+            + 1
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "max_level": self.max_level}

@@ -1,0 +1,172 @@
+"""Leader election substrates.
+
+Several of the static size counting baselines referenced in the paper's
+related-work section are *leader driven*: the Berenbrink–Kaaser–Radzik
+counting protocol elects a leader that generates tokens, and the uniform
+synthetic-coin construction of Sudo et al. splits the population into
+leaders and followers.  The paper's central argument against these designs
+in the dynamic setting is that the adversary can simply remove the leader —
+which the integration tests demonstrate using the protocols in this module.
+
+Two classic mechanisms are provided:
+
+* :class:`PairwiseEliminationLeaderElection` — every agent starts as a
+  contender; when two contenders meet, one of them (the responder) drops
+  out.  Converges to a single leader in ``O(n)`` parallel time.
+* :class:`CoinLevelLeaderElection` — the "fast" variant in which contenders
+  repeatedly flip coins to climb levels and drop out when meeting a
+  contender on a higher level; expected ``O(log^2 n)`` parallel time to thin
+  the contender set, and pairwise elimination finishes the job.  This also
+  doubles as a junta-election mechanism (see :mod:`repro.protocols.junta`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = [
+    "LeaderState",
+    "PairwiseEliminationLeaderElection",
+    "CoinLevelState",
+    "CoinLevelLeaderElection",
+]
+
+
+@dataclass
+class LeaderState:
+    """State for pairwise-elimination leader election."""
+
+    is_contender: bool = True
+
+    def copy(self) -> "LeaderState":
+        return LeaderState(is_contender=self.is_contender)
+
+
+class PairwiseEliminationLeaderElection(Protocol[LeaderState]):
+    """Classic one-bit leader election: contender meets contender, one survives."""
+
+    name = "pairwise-leader-election"
+
+    def initial_state(self, rng: RandomSource) -> LeaderState:
+        return LeaderState(is_contender=True)
+
+    def interact(
+        self, u: LeaderState, v: LeaderState, ctx: InteractionContext
+    ) -> tuple[LeaderState, LeaderState]:
+        if u.is_contender and v.is_contender:
+            v.is_contender = False
+            ctx.emit("eliminated", agent_id=ctx.responder_id)
+        return u, v
+
+    def output(self, state: LeaderState) -> bool:
+        return state.is_contender
+
+    def memory_bits(self, state: LeaderState) -> int:
+        return 1
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__}
+
+
+@dataclass
+class CoinLevelState:
+    """State for coin-level (junta style) leader election.
+
+    Attributes
+    ----------
+    level:
+        Number of consecutive heads the agent has flipped while still a
+        contender.  Agents stop climbing after their first tails.
+    climbing:
+        Whether the agent is still flipping coins to climb.
+    is_contender:
+        Whether the agent is still in the running.
+    max_seen_level:
+        The largest level observed in the population (spread by epidemic);
+        contenders below it drop out.
+    """
+
+    level: int = 0
+    climbing: bool = True
+    is_contender: bool = True
+    max_seen_level: int = 0
+
+    def copy(self) -> "CoinLevelState":
+        return CoinLevelState(
+            level=self.level,
+            climbing=self.climbing,
+            is_contender=self.is_contender,
+            max_seen_level=self.max_seen_level,
+        )
+
+
+class CoinLevelLeaderElection(Protocol[CoinLevelState]):
+    """Coin-level leader election in the style of Gasieniec–Stachowiak.
+
+    Contenders flip a fair coin per interaction while climbing: heads
+    increments their level, tails stops the climb.  The maximum level in the
+    population spreads via epidemic and contenders strictly below the
+    maximum retire.  Ties on the top level are broken by pairwise
+    elimination, so the protocol always converges to a single leader while
+    the set of top-level agents (the *junta*) thins out in
+    ``O(log log n)`` levels w.h.p.
+
+    Parameters
+    ----------
+    max_level:
+        Safety cap on the level to keep the state space bounded.
+    """
+
+    name = "coin-level-leader-election"
+
+    def __init__(self, max_level: int = 60) -> None:
+        if max_level < 1:
+            raise ValueError(f"max_level must be positive, got {max_level}")
+        self.max_level = int(max_level)
+
+    def initial_state(self, rng: RandomSource) -> CoinLevelState:
+        return CoinLevelState()
+
+    def interact(
+        self, u: CoinLevelState, v: CoinLevelState, ctx: InteractionContext
+    ) -> tuple[CoinLevelState, CoinLevelState]:
+        # Climb: the initiator flips a coin if it is still climbing.
+        if u.is_contender and u.climbing:
+            if ctx.rng.coin() and u.level < self.max_level:
+                u.level += 1
+            else:
+                u.climbing = False
+
+        # Spread the maximum observed level both ways (epidemic).
+        top = max(u.max_seen_level, v.max_seen_level, u.level, v.level)
+        u.max_seen_level = top
+        v.max_seen_level = top
+
+        # Contenders strictly below the maximum retire.
+        if u.is_contender and u.level < top:
+            u.is_contender = False
+            ctx.emit("eliminated", agent_id=ctx.initiator_id)
+        if v.is_contender and v.level < top:
+            v.is_contender = False
+            ctx.emit("eliminated", agent_id=ctx.responder_id)
+
+        # Tie-break among top-level contenders by pairwise elimination.
+        if u.is_contender and v.is_contender and u.level == v.level:
+            v.is_contender = False
+            ctx.emit("eliminated", agent_id=ctx.responder_id)
+        return u, v
+
+    def output(self, state: CoinLevelState) -> bool:
+        return state.is_contender
+
+    def memory_bits(self, state: CoinLevelState) -> int:
+        level_bits = max(1, int(state.level).bit_length())
+        seen_bits = max(1, int(state.max_seen_level).bit_length())
+        return level_bits + seen_bits + 2
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "max_level": self.max_level}

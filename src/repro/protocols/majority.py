@@ -1,0 +1,189 @@
+"""Majority payload protocols.
+
+The motivation for size counting in the paper is *composition*: modern
+efficient population protocols (majority, leader election, plurality
+consensus) are non-uniform — they need an estimate of ``log n`` to size
+their phase clocks.  A dynamic size counting protocol turns them into
+dynamic protocols.
+
+This module provides two majority protocols used by the composition example
+and tests:
+
+* :class:`ApproximateMajority` — the classic 3-state protocol (Angluin et
+  al.); uniform, needs no size estimate, converges fast but can fail when
+  the initial gap is small.  It serves as the uniform reference payload.
+* :class:`PhasedMajority` — a simple phase-clocked cancellation/duplication
+  majority in the style of the ``O(log n)``-state exact protocols: opinions
+  carry a weight exponent, a phase clock (driven externally by the size
+  estimate) alternates cancellation and doubling phases.  It is non-uniform
+  — exactly the kind of payload the paper's protocol is designed to drive —
+  and :mod:`repro.core.composition` wires it to the dynamic size estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["ApproximateMajority", "PhasedMajorityState", "PhasedMajority"]
+
+
+class ApproximateMajority(Protocol[str]):
+    """Three-state approximate majority (states ``"A"``, ``"B"``, ``"U"``).
+
+    Transitions: an opinionated initiator converts an undecided responder;
+    two opposite opinions turn the responder undecided.  Converges to a
+    consensus on the initial majority opinion w.h.p. when the initial gap is
+    ``Omega(sqrt(n log n))``.
+    """
+
+    name = "approximate-majority"
+
+    A = "A"
+    B = "B"
+    UNDECIDED = "U"
+
+    def __init__(self, initial_opinion: str = "U") -> None:
+        if initial_opinion not in (self.A, self.B, self.UNDECIDED):
+            raise ValueError(f"invalid initial opinion {initial_opinion!r}")
+        self.initial_opinion = initial_opinion
+
+    def initial_state(self, rng: RandomSource) -> str:
+        return self.initial_opinion
+
+    def interact(self, u: str, v: str, ctx: InteractionContext) -> tuple[str, str]:
+        if u == self.UNDECIDED or v == self.UNDECIDED or u == v:
+            # An opinionated agent recruits an undecided one (either role).
+            if u != self.UNDECIDED and v == self.UNDECIDED:
+                return u, u
+            if v != self.UNDECIDED and u == self.UNDECIDED:
+                return v, v
+            return u, v
+        # Opposite opinions: the responder becomes undecided.
+        return u, self.UNDECIDED
+
+    def output(self, state: str) -> str:
+        return state
+
+    def memory_bits(self, state: str) -> int:
+        return 2
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__}
+
+
+@dataclass
+class PhasedMajorityState:
+    """State of the phase-clocked majority payload.
+
+    Attributes
+    ----------
+    opinion:
+        ``+1`` (A), ``-1`` (B) or ``0`` (neutral / cancelled).
+    exponent:
+        Weight exponent; an agent with opinion ``o`` and exponent ``e``
+        represents ``o * 2^-e`` units of initial advantage.
+    phase:
+        Index of the clock phase the agent believes is current; phases
+        alternate between cancellation (even) and doubling (odd).
+    """
+
+    opinion: int = 0
+    exponent: int = 0
+    phase: int = 0
+
+    def copy(self) -> "PhasedMajorityState":
+        return PhasedMajorityState(
+            opinion=self.opinion, exponent=self.exponent, phase=self.phase
+        )
+
+
+class PhasedMajority(Protocol[PhasedMajorityState]):
+    """Cancellation / doubling majority paced by an external phase signal.
+
+    The protocol itself does not advance phases: the composition layer
+    (:class:`repro.core.composition.ComposedProtocol`) bumps the ``phase``
+    of an agent whenever the driving phase clock ticks for that agent.  The
+    per-interaction rules are
+
+    * **cancellation** (even phase): two opposite opinions with equal
+      exponent cancel to neutral;
+    * **doubling** (odd phase): an opinionated agent splits its weight with
+      a neutral agent by increasing both exponents;
+    * neutral agents always adopt the opinion *sign* of higher-weight
+      neighbours for output purposes (tie-broken towards ``+1``).
+
+    Parameters
+    ----------
+    max_exponent:
+        Cap on the weight exponent, which bounds the state space to
+        ``O(log n)`` states when set to ``Theta(log n)``.
+    """
+
+    name = "phased-majority"
+
+    def __init__(self, max_exponent: int = 30) -> None:
+        if max_exponent < 1:
+            raise ValueError(f"max_exponent must be positive, got {max_exponent}")
+        self.max_exponent = int(max_exponent)
+
+    def initial_state(self, rng: RandomSource) -> PhasedMajorityState:
+        return PhasedMajorityState()
+
+    def interact(
+        self, u: PhasedMajorityState, v: PhasedMajorityState, ctx: InteractionContext
+    ) -> tuple[PhasedMajorityState, PhasedMajorityState]:
+        # Agents adopt the newest phase they observe (the clock signal itself
+        # is delivered by the composition layer; here we only propagate it).
+        newest = max(u.phase, v.phase)
+        u.phase = newest
+        v.phase = newest
+
+        if newest % 2 == 0:
+            self._cancellation(u, v)
+        else:
+            self._doubling(u, v)
+        return u, v
+
+    @staticmethod
+    def _cancellation(u: PhasedMajorityState, v: PhasedMajorityState) -> None:
+        if (
+            u.opinion != 0
+            and v.opinion != 0
+            and u.opinion == -v.opinion
+            and u.exponent == v.exponent
+        ):
+            u.opinion = 0
+            v.opinion = 0
+
+    def _doubling(self, u: PhasedMajorityState, v: PhasedMajorityState) -> None:
+        if u.opinion != 0 and v.opinion == 0 and u.exponent < self.max_exponent:
+            u.exponent += 1
+            v.opinion = u.opinion
+            v.exponent = u.exponent
+        elif v.opinion != 0 and u.opinion == 0 and v.exponent < self.max_exponent:
+            v.exponent += 1
+            u.opinion = v.opinion
+            u.exponent = v.exponent
+
+    def advance_phase(self, state: PhasedMajorityState) -> PhasedMajorityState:
+        """Advance the agent's phase by one (called on clock ticks)."""
+        state.phase += 1
+        return state
+
+    def output(self, state: PhasedMajorityState) -> int:
+        """The agent's current opinion sign (+1, -1, or 0 if neutral)."""
+        return state.opinion
+
+    def memory_bits(self, state: PhasedMajorityState) -> int:
+        return (
+            2
+            + max(1, int(state.exponent).bit_length())
+            + max(1, int(state.phase).bit_length())
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "max_exponent": self.max_exponent}

@@ -1,0 +1,98 @@
+"""Non-uniform loosely-stabilizing phase clock (Berenbrink et al. 2022 style).
+
+The clock the paper explicitly contrasts itself with: it is leaderless and
+loosely stabilizing, but *non-uniform* — the transition function needs an
+approximation of ``log n`` baked in.  Our reproduction uses it in two roles:
+
+* as a baseline phase clock whose burst/overlap structure is compared with
+  the paper's uniform clock in the phase clock experiment, and
+* as a demonstration that a non-uniform clock cannot adapt when the
+  population size changes (the whole point of the paper).
+
+The implementation follows the "counter modulo m" scheme described in the
+paper's related-work section: every agent keeps a counter that is advanced
+by a max-propagation-plus-increment rule (the same one-sided CHVP idea used
+for the paper's ``time`` variable, but on a ring of size ``m``).  Whenever
+an agent's counter wraps past zero it receives a *signal* — the clock tick —
+which divides time into bursts and overlaps exactly as in the paper's
+Section 1.2 nomenclature.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["NonUniformPhaseClock"]
+
+
+class NonUniformPhaseClock(Protocol[int]):
+    """Counter-mod-m phase clock that needs ``log n`` as a parameter.
+
+    Parameters
+    ----------
+    log_n_estimate:
+        The (externally supplied) approximation of ``log2 n`` the clock is
+        built around.  This is exactly the non-uniformity the paper removes.
+    hours:
+        Number of clock hours; the ring size is ``hours * phase_factor *
+        log_n_estimate`` counter values.
+    phase_factor:
+        Length of one hour in units of ``log_n_estimate``; must be large
+        enough for an epidemic to complete within one hour (the analysis
+        uses a constant ``>= 4(k+1)``; the empirical default of 8 works well).
+    """
+
+    name = "nonuniform-phase-clock"
+
+    def __init__(self, log_n_estimate: float, hours: int = 3, phase_factor: int = 8) -> None:
+        if log_n_estimate <= 0:
+            raise ValueError(f"log_n_estimate must be positive, got {log_n_estimate}")
+        if hours < 1:
+            raise ValueError(f"hours must be positive, got {hours}")
+        if phase_factor < 1:
+            raise ValueError(f"phase_factor must be positive, got {phase_factor}")
+        self.log_n_estimate = float(log_n_estimate)
+        self.hours = int(hours)
+        self.phase_factor = int(phase_factor)
+        self.hour_length = max(1, int(round(self.phase_factor * self.log_n_estimate)))
+        self.ring_size = self.hours * self.hour_length
+
+    def initial_state(self, rng: RandomSource) -> int:
+        return 0
+
+    def interact(self, u: int, v: int, ctx: InteractionContext) -> tuple[int, int]:
+        # One-way max-propagation on the ring plus an increment for the
+        # initiator.  Because the ring wraps, "max" is taken on the raw
+        # counters, which is the standard simple-clock construction: the
+        # population's counters stay within a narrow band, so plain max is
+        # the correct tie-break except during the wrap itself, where the
+        # wrapped (small) value wins by resetting.
+        advanced = (max(u, v) + 1) % self.ring_size
+        if advanced < u:
+            # The initiator's counter wrapped past zero: a clock tick.
+            ctx.emit("tick", agent_id=ctx.initiator_id, hour=0)
+        return advanced, v
+
+    def output(self, state: int) -> int:
+        """The agent's current hour on the clock face."""
+        return state // self.hour_length
+
+    def phase_of(self, state: int) -> str:
+        """Human-readable hour label (``hour-0`` ... ``hour-{hours-1}``)."""
+        return f"hour-{self.output(state)}"
+
+    def memory_bits(self, state: int) -> int:
+        return max(1, int(self.ring_size - 1).bit_length())
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "log_n_estimate": self.log_n_estimate,
+            "hours": self.hours,
+            "phase_factor": self.phase_factor,
+            "ring_size": self.ring_size,
+        }

@@ -1,0 +1,122 @@
+"""Static (non-dynamic) approximate size counting baselines.
+
+The paper's related-work section surveys three families of static counting
+protocols; we implement the two GRV-based ones here (the token/load-balancing
+protocol lives in :mod:`repro.protocols.token_counting`):
+
+* :class:`MaxGrvCounting` — the Alistarh et al. (2017) approach: every agent
+  samples one geometric random variable (number of coin flips until heads)
+  and the population spreads the maximum by epidemic.  The maximum of ``n``
+  Geom(1/2) variables is a constant-factor approximation of ``log n`` w.h.p.
+  (Lemma 4.1 of the paper).
+* :class:`AveragedMaximaCounting` — the Doty & Eftekhari (2019) refinement:
+  agents hold ``m`` independent GRV slots, the population computes the
+  maximum per slot, and each agent reports the *average* of its slot maxima,
+  which concentrates to ``log n ± 5.7`` (an additive approximation).
+
+Both protocols assume a *fixed* population and the naive "spread the
+maximum" rule.  They are exactly the protocols that break in the dynamic
+setting — when agents are removed, the stale maximum survives forever — and
+the dynamic experiments (see ``experiments/baseline_comparison.py``) show
+this failure mode explicitly, motivating the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["MaxGrvCounting", "AveragedMaximaState", "AveragedMaximaCounting"]
+
+
+class MaxGrvCounting(Protocol[int]):
+    """Static max-of-GRVs counting (Alistarh et al. 2017 style).
+
+    Each agent's state is its current belief about the maximum GRV in the
+    population; the initial state is the agent's own sample and interactions
+    propagate the maximum both ways.  The output is the stored maximum,
+    interpreted as an estimate of ``log2 n``.
+    """
+
+    name = "static-max-grv-counting"
+
+    def __init__(self, samples_per_agent: int = 1) -> None:
+        if samples_per_agent < 1:
+            raise ValueError(f"samples_per_agent must be positive, got {samples_per_agent}")
+        self.samples_per_agent = int(samples_per_agent)
+
+    def initial_state(self, rng: RandomSource) -> int:
+        return rng.geometric_max(self.samples_per_agent)
+
+    def interact(self, u: int, v: int, ctx: InteractionContext) -> tuple[int, int]:
+        peak = u if u >= v else v
+        return peak, peak
+
+    def output(self, state: int) -> float:
+        return float(state)
+
+    def memory_bits(self, state: int) -> int:
+        return max(1, int(state).bit_length())
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "samples_per_agent": self.samples_per_agent,
+        }
+
+
+@dataclass
+class AveragedMaximaState:
+    """State for the averaged-maxima protocol: one running maximum per slot."""
+
+    maxima: list[int] = field(default_factory=list)
+
+    def copy(self) -> "AveragedMaximaState":
+        return AveragedMaximaState(maxima=list(self.maxima))
+
+
+class AveragedMaximaCounting(Protocol[AveragedMaximaState]):
+    """Static averaged-maxima counting (Doty & Eftekhari 2019 style).
+
+    Parameters
+    ----------
+    slots:
+        Number of independent GRV slots ``m``.  The paper cited uses
+        ``m = O(log n)`` slots to achieve the additive ``log n ± 5.7``
+        guarantee; since our protocol catalogue is uniform we expose ``m``
+        as an explicit parameter.
+    """
+
+    name = "static-averaged-maxima-counting"
+
+    def __init__(self, slots: int = 16) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.slots = int(slots)
+
+    def initial_state(self, rng: RandomSource) -> AveragedMaximaState:
+        return AveragedMaximaState(maxima=[rng.geometric() for _ in range(self.slots)])
+
+    def interact(
+        self, u: AveragedMaximaState, v: AveragedMaximaState, ctx: InteractionContext
+    ) -> tuple[AveragedMaximaState, AveragedMaximaState]:
+        merged = [max(a, b) for a, b in zip(u.maxima, v.maxima)]
+        u.maxima = list(merged)
+        v.maxima = merged
+        return u, v
+
+    def output(self, state: AveragedMaximaState) -> float:
+        """Average of the per-slot maxima — an additive estimate of log2 n."""
+        if not state.maxima:
+            return 0.0
+        return sum(state.maxima) / len(state.maxima)
+
+    def memory_bits(self, state: AveragedMaximaState) -> int:
+        return sum(max(1, int(m).bit_length()) for m in state.maxima)
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "slots": self.slots}

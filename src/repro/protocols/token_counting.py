@@ -1,0 +1,225 @@
+"""Leader-and-token counting baseline (Berenbrink, Kaaser & Radzik 2019 style).
+
+The third static counting family surveyed by the paper works as follows: the
+population elects a leader, the leader generates ``M`` tokens which are
+spread by a load-balancing process, and if after balancing some agents hold
+no token then ``M`` must have been smaller than ``n``; the leader doubles
+``M`` and restarts.  When the process stops, ``log M`` is within ±1 of
+``log n``.
+
+Exactly as the paper argues, this design is *leader driven* and therefore
+unusable in the dynamic setting: remove the single leader and the protocol
+silently stops making progress.  Our integration tests and the baseline
+comparison experiment demonstrate this failure mode directly.
+
+Implementation notes
+--------------------
+The original protocol paces its doubling rounds with a phase clock.  To keep
+this baseline self-contained we pace rounds with an explicit
+``round_length`` parameter (in initiated interactions of the leader), which
+makes the protocol *non-uniform* — also faithful to the original, which is
+non-uniform in its use of a phase clock of length ``Theta(log n)``.
+
+Token balancing uses the standard discrete load-balancing rule: when two
+agents meet they split the sum of their tokens as evenly as possible.
+"Some agent is empty" is reported back to the leader by a one-bit epidemic
+that is reset at the start of every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.population import Population
+from repro.engine.protocol import InteractionContext, Protocol
+from repro.engine.rng import RandomSource
+
+__all__ = ["TokenCountingState", "TokenCounting"]
+
+
+@dataclass
+class TokenCountingState:
+    """Per-agent state for the leader-and-token counting baseline.
+
+    Attributes
+    ----------
+    is_leader:
+        Whether this agent is the (unique) leader driving the rounds.
+    tokens:
+        Number of tokens currently held.
+    round_id:
+        Index of the doubling round the agent believes is running.
+    saw_empty:
+        One-bit epidemic flag: "some agent was still empty in the second
+        half of this round" (the first half is reserved for balancing).
+    interactions_in_round:
+        Interactions this agent has had since it adopted the current round;
+        used to tell the balancing half of a round from the checking half.
+    leader_interactions:
+        Leader only — interactions initiated since the round started, used
+        to pace the round length.
+    total_tokens:
+        Leader only — the current value of ``M``.
+    done:
+        Leader only — whether the doubling loop has terminated.
+    estimate:
+        The reported estimate of ``log2 n`` (leaders compute it, followers
+        adopt it by epidemic).
+    """
+
+    is_leader: bool = False
+    tokens: int = 0
+    round_id: int = 0
+    saw_empty: bool = False
+    interactions_in_round: int = 0
+    leader_interactions: int = 0
+    total_tokens: int = 1
+    done: bool = False
+    estimate: float = 0.0
+
+    def copy(self) -> "TokenCountingState":
+        return TokenCountingState(
+            is_leader=self.is_leader,
+            tokens=self.tokens,
+            round_id=self.round_id,
+            saw_empty=self.saw_empty,
+            interactions_in_round=self.interactions_in_round,
+            leader_interactions=self.leader_interactions,
+            total_tokens=self.total_tokens,
+            done=self.done,
+            estimate=self.estimate,
+        )
+
+
+class TokenCounting(Protocol[TokenCountingState]):
+    """Leader-driven doubling / load-balancing size counting.
+
+    Parameters
+    ----------
+    round_length:
+        Number of interactions the leader initiates before it closes a
+        doubling round.  Should be ``Omega(log n)`` for the balancing and
+        the empty-flag epidemic to complete; experiments set it from the
+        population size under test (the protocol is non-uniform).
+    """
+
+    name = "token-counting"
+
+    def __init__(self, round_length: int = 64) -> None:
+        if round_length < 1:
+            raise ValueError(f"round_length must be positive, got {round_length}")
+        self.round_length = int(round_length)
+
+    # ------------------------------------------------------------------ setup
+
+    def initial_state(self, rng: RandomSource) -> TokenCountingState:
+        """Newly added agents are followers with no tokens (the dynamic model)."""
+        return TokenCountingState()
+
+    def make_initial_population(self, n: int, rng: RandomSource) -> Population:
+        """Build a fresh population of ``n`` agents with one designated leader.
+
+        The original protocol elects the leader itself; composing the
+        election is orthogonal to the counting behaviour this baseline
+        exists to demonstrate, so experiments start from the post-election
+        configuration.
+        """
+        if n < 2:
+            raise ValueError(f"population size must be at least 2, got {n}")
+        states = [TokenCountingState() for _ in range(n)]
+        states[0].is_leader = True
+        states[0].tokens = 1
+        states[0].total_tokens = 1
+        return Population(states)
+
+    # ------------------------------------------------------------ interaction
+
+    def interact(
+        self, u: TokenCountingState, v: TokenCountingState, ctx: InteractionContext
+    ) -> tuple[TokenCountingState, TokenCountingState]:
+        self._sync_round(u, v)
+        self._balance_tokens(u, v)
+        self._spread_flags(u, v)
+        if u.is_leader and not u.done:
+            self._advance_leader(u, ctx)
+        if v.is_leader and not v.done:
+            # The responder-leader also observes the interaction; pacing by
+            # initiated interactions only would simply double round_length.
+            pass
+        return u, v
+
+    def _sync_round(self, u: TokenCountingState, v: TokenCountingState) -> None:
+        """Followers joining a newer round drop their stale empty-flag."""
+        newest = max(u.round_id, v.round_id)
+        for state in (u, v):
+            if state.round_id < newest:
+                state.round_id = newest
+                state.saw_empty = False
+                state.interactions_in_round = 0
+            state.interactions_in_round += 1
+
+    def _balance_tokens(self, u: TokenCountingState, v: TokenCountingState) -> None:
+        total = u.tokens + v.tokens
+        u.tokens = (total + 1) // 2
+        v.tokens = total // 2
+
+    def _spread_flags(self, u: TokenCountingState, v: TokenCountingState) -> None:
+        # "Empty agent exists" epidemic towards the leader.  The first half
+        # of a round is reserved for balancing (the original protocol uses a
+        # phase clock for this separation); only agents that are still empty
+        # in the second half signal a shortage of tokens.
+        checking_threshold = self.round_length // 2
+        if u.tokens == 0 and u.interactions_in_round > checking_threshold:
+            u.saw_empty = True
+        if v.tokens == 0 and v.interactions_in_round > checking_threshold:
+            v.saw_empty = True
+        if u.saw_empty or v.saw_empty:
+            u.saw_empty = True
+            v.saw_empty = True
+        # Final estimate spreads from the leader once the loop terminates.
+        if u.done or v.done:
+            estimate = max(u.estimate, v.estimate)
+            u.estimate = estimate
+            v.estimate = estimate
+            u.done = True
+            v.done = True
+
+    def _advance_leader(self, leader: TokenCountingState, ctx: InteractionContext) -> None:
+        leader.leader_interactions += 1
+        if leader.leader_interactions < self.round_length:
+            return
+        # Close the round: double on failure, terminate on success.
+        if leader.saw_empty:
+            leader.total_tokens *= 2
+            leader.tokens += leader.total_tokens // 2
+            leader.round_id += 1
+            leader.saw_empty = False
+            leader.leader_interactions = 0
+            ctx.emit("doubling", m=leader.total_tokens)
+        else:
+            leader.done = True
+            leader.estimate = float(max(1, leader.total_tokens).bit_length() - 1)
+            ctx.emit("terminated", estimate=leader.estimate)
+
+    # ---------------------------------------------------------------- outputs
+
+    def output(self, state: TokenCountingState) -> float:
+        """The agent's current estimate of ``log2 n`` (0.0 until it learns one)."""
+        return state.estimate
+
+    def has_converged(self, population: Population) -> bool:
+        """Whether every agent has learned a final estimate."""
+        return all(state.done for state in population.states())
+
+    def memory_bits(self, state: TokenCountingState) -> int:
+        return (
+            max(1, int(state.tokens).bit_length())
+            + max(1, int(state.total_tokens).bit_length())
+            + max(1, int(state.round_id).bit_length())
+            + max(1, int(state.leader_interactions).bit_length())
+            + 3
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "round_length": self.round_length}

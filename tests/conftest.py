@@ -1,0 +1,44 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.protocol import InteractionContext, ProtocolEvent
+from repro.engine.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """Deterministic random source for tests."""
+    return RandomSource.from_seed(12345)
+
+
+class EventCollector:
+    """Simple event sink used when driving protocols outside a simulator."""
+
+    def __init__(self) -> None:
+        self.events: list[ProtocolEvent] = []
+
+    def __call__(self, event: ProtocolEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        return [event.kind for event in self.events]
+
+
+@pytest.fixture
+def event_collector() -> EventCollector:
+    return EventCollector()
+
+
+@pytest.fixture
+def make_ctx(rng: RandomSource):
+    """Factory for InteractionContext objects bound to the test RNG."""
+
+    def factory(sink=None, interaction: int = 0, initiator: int = 0, responder: int = 1):
+        ctx = InteractionContext(rng, sink=sink)
+        ctx.reset(interaction, initiator, responder)
+        return ctx
+
+    return factory

@@ -1,0 +1,152 @@
+"""Tests for repro.engine.adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.adversary import (
+    AddAgentsAt,
+    CompositeAdversary,
+    NullAdversary,
+    RemoveAgentsAt,
+    RemoveAllButAt,
+    ResizeEvent,
+    ResizeSchedule,
+)
+from repro.engine.errors import InvalidScheduleError
+from repro.engine.population import Population
+
+
+def fresh_state() -> str:
+    return "new"
+
+
+class TestNullAdversary:
+    def test_no_change(self, rng):
+        pop = Population(range(10))
+        NullAdversary().apply(pop, 100, rng, fresh_state)
+        assert pop.size == 10
+
+
+class TestRemoveAgentsAt:
+    def test_fires_once_at_time(self, rng):
+        adversary = RemoveAgentsAt(time=5, count=3)
+        pop = Population(range(10))
+        adversary.apply(pop, 4, rng, fresh_state)
+        assert pop.size == 10
+        adversary.apply(pop, 5, rng, fresh_state)
+        assert pop.size == 7
+        adversary.apply(pop, 6, rng, fresh_state)
+        assert pop.size == 7  # does not fire twice
+
+    def test_fires_late_if_time_skipped(self, rng):
+        adversary = RemoveAgentsAt(time=5, count=2)
+        pop = Population(range(10))
+        adversary.apply(pop, 9, rng, fresh_state)
+        assert pop.size == 8
+
+    def test_rejects_leaving_fewer_than_two(self, rng):
+        adversary = RemoveAgentsAt(time=0, count=9)
+        pop = Population(range(10))
+        with pytest.raises(InvalidScheduleError):
+            adversary.apply(pop, 0, rng, fresh_state)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(InvalidScheduleError):
+            RemoveAgentsAt(time=-1, count=1)
+        with pytest.raises(InvalidScheduleError):
+            RemoveAgentsAt(time=1, count=-1)
+
+    def test_describe(self):
+        description = RemoveAgentsAt(time=3, count=2).describe()
+        assert description["time"] == 3
+        assert description["count"] == 2
+
+
+class TestRemoveAllButAt:
+    def test_downsizes_to_keep(self, rng):
+        adversary = RemoveAllButAt(time=10, keep=4)
+        pop = Population(range(100))
+        adversary.apply(pop, 10, rng, fresh_state)
+        assert pop.size == 4
+
+    def test_noop_before_time(self, rng):
+        adversary = RemoveAllButAt(time=10, keep=4)
+        pop = Population(range(100))
+        adversary.apply(pop, 9, rng, fresh_state)
+        assert pop.size == 100
+
+    def test_noop_when_already_smaller(self, rng):
+        adversary = RemoveAllButAt(time=0, keep=50)
+        pop = Population(range(10))
+        adversary.apply(pop, 0, rng, fresh_state)
+        assert pop.size == 10
+
+    def test_rejects_keep_below_two(self):
+        with pytest.raises(InvalidScheduleError):
+            RemoveAllButAt(time=0, keep=1)
+
+
+class TestAddAgentsAt:
+    def test_adds_in_initial_state(self, rng):
+        adversary = AddAgentsAt(time=2, count=5)
+        pop = Population(["old", "old"])
+        adversary.apply(pop, 2, rng, fresh_state)
+        assert pop.size == 7
+        assert pop.count_where(lambda s: s == "new") == 5
+
+    def test_fires_once(self, rng):
+        adversary = AddAgentsAt(time=2, count=5)
+        pop = Population(["old", "old"])
+        adversary.apply(pop, 2, rng, fresh_state)
+        adversary.apply(pop, 3, rng, fresh_state)
+        assert pop.size == 7
+
+
+class TestResizeSchedule:
+    def test_from_pairs_and_order(self, rng):
+        schedule = ResizeSchedule.from_pairs([(10, 5), (5, 20)])
+        assert [event.time for event in schedule.events] == [5, 10]
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            ResizeSchedule([ResizeEvent(1, 5), ResizeEvent(1, 6)])
+
+    def test_shrink_and_grow(self, rng):
+        schedule = ResizeSchedule.from_pairs([(1, 3), (2, 8)])
+        pop = Population(range(10))
+        schedule.apply(pop, 1, rng, fresh_state)
+        assert pop.size == 3
+        schedule.apply(pop, 2, rng, fresh_state)
+        assert pop.size == 8
+        assert pop.count_where(lambda s: s == "new") == 5
+
+    def test_multiple_due_events_applied_in_order(self, rng):
+        schedule = ResizeSchedule.from_pairs([(1, 3), (2, 8), (3, 4)])
+        pop = Population(range(10))
+        schedule.apply(pop, 5, rng, fresh_state)
+        assert pop.size == 4
+
+    def test_event_validation(self):
+        with pytest.raises(InvalidScheduleError):
+            ResizeEvent(time=-1, target=5)
+        with pytest.raises(InvalidScheduleError):
+            ResizeEvent(time=1, target=1)
+
+    def test_describe_lists_events(self):
+        schedule = ResizeSchedule.from_pairs([(1, 3)])
+        assert schedule.describe()["events"] == [{"time": 1, "target": 3}]
+
+
+class TestCompositeAdversary:
+    def test_applies_all_parts(self, rng):
+        composite = CompositeAdversary(
+            [RemoveAgentsAt(time=1, count=2), AddAgentsAt(time=1, count=5)]
+        )
+        pop = Population(range(10))
+        composite.apply(pop, 1, rng, fresh_state)
+        assert pop.size == 13
+
+    def test_describe(self):
+        composite = CompositeAdversary([NullAdversary()])
+        assert composite.describe()["parts"] == [{"class": "NullAdversary"}]

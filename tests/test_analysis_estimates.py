@@ -1,0 +1,139 @@
+"""Tests for estimate-quality metrics and convergence/holding analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.convergence import (
+    loose_stabilization_report,
+    measure_convergence,
+    measure_holding,
+)
+from repro.analysis.estimates import (
+    deviation_series,
+    estimates_valid,
+    relative_deviation,
+    steady_state_window,
+    summarize_window,
+)
+from repro.engine.recorder import SnapshotStats
+
+
+def snap(t: int, n: int, lo: float, med: float, hi: float) -> SnapshotStats:
+    return SnapshotStats(parallel_time=t, population_size=n, minimum=lo, median=med, maximum=hi)
+
+
+class TestRelativeDeviation:
+    def test_values(self):
+        row = relative_deviation(snap(3, 1024, 5, 10, 20))
+        assert row.minimum == 0.5
+        assert row.median == 1.0
+        assert row.maximum == 2.0
+        assert row.parallel_time == 3
+
+    def test_rejects_degenerate_population(self):
+        with pytest.raises(ValueError):
+            relative_deviation(snap(0, 1, 1, 1, 1))
+
+    def test_series_mapping(self):
+        rows = [snap(1, 1024, 10, 10, 10), snap(2, 1024, 20, 20, 20)]
+        deviations = deviation_series(rows)
+        assert [d.median for d in deviations] == [1.0, 2.0]
+
+
+class TestValidity:
+    def test_valid_configuration(self):
+        assert estimates_valid(snap(0, 1024, 6, 10, 14))
+
+    def test_invalid_when_minimum_too_low(self):
+        assert not estimates_valid(snap(0, 1024, 2, 10, 14))
+
+    def test_invalid_when_maximum_too_high(self):
+        assert not estimates_valid(snap(0, 1024, 6, 10, 999))
+
+    def test_custom_factors(self):
+        row = snap(0, 1024, 9, 10, 25)
+        assert estimates_valid(row, lower_factor=0.5, upper_factor=3.0)
+        assert not estimates_valid(row, lower_factor=0.5, upper_factor=2.0)
+
+    def test_empty_population_is_invalid(self):
+        assert not estimates_valid(snap(0, 0, 1, 1, 1))
+
+
+class TestWindows:
+    def test_steady_state_window_drops_prefix(self):
+        rows = [snap(t, 100, 1, 1, 1) for t in range(10)]
+        assert len(steady_state_window(rows, skip_fraction=0.5)) == 5
+        with pytest.raises(ValueError):
+            steady_state_window(rows, skip_fraction=1.0)
+
+    def test_summarize_window(self):
+        rows = [snap(1, 100, 4, 8, 12), snap(2, 100, 5, 10, 11), snap(3, 100, 6, 9, 20)]
+        summary = summarize_window(rows)
+        assert summary["minimum"] == 4
+        assert summary["maximum"] == 20
+        assert summary["median"] == 9
+
+    def test_summarize_empty_window(self):
+        with pytest.raises(ValueError):
+            summarize_window([])
+
+
+class TestConvergence:
+    def _trace(self) -> list[SnapshotStats]:
+        n = 1024  # log2 = 10
+        rows = []
+        for t in range(5):
+            rows.append(snap(t, n, 1, 1, 1))  # invalid start
+        for t in range(5, 30):
+            rows.append(snap(t, n, 8, 11, 14))  # valid plateau
+        for t in range(30, 35):
+            rows.append(snap(t, n, 1, 11, 14))  # broken again
+        return rows
+
+    def test_measure_convergence_finds_first_persistent_valid_time(self):
+        assert measure_convergence(self._trace(), persistence=5) == 5
+
+    def test_measure_convergence_none_when_never_valid(self):
+        rows = [snap(t, 1024, 1, 1, 1) for t in range(10)]
+        assert measure_convergence(rows) is None
+
+    def test_persistence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            measure_convergence(self._trace(), persistence=0)
+
+    def test_measure_holding_without_grace(self):
+        holding, until_end = measure_holding(self._trace(), 5)
+        assert holding == 29 - 5
+        assert not until_end
+
+    def test_measure_holding_with_grace_survives_blips(self):
+        rows = self._trace()
+        holding, until_end = measure_holding(rows, 5, grace=10)
+        assert until_end  # the 5 broken snapshots fit within the grace budget
+        assert holding >= 24
+
+    def test_measure_holding_grace_validation(self):
+        with pytest.raises(ValueError):
+            measure_holding(self._trace(), 5, grace=-1)
+
+    def test_loose_stabilization_report(self):
+        report = loose_stabilization_report(self._trace(), persistence=5)
+        assert report.convergence_time == 5
+        assert report.holding_time == 24
+        assert not report.held_until_end
+
+    def test_loose_stabilization_report_unconverged(self):
+        rows = [snap(t, 1024, 1, 1, 1) for t in range(10)]
+        report = loose_stabilization_report(rows)
+        assert report.convergence_time is None
+        assert report.holding_time is None
+
+    def test_holding_until_end_of_trace(self):
+        rows = [snap(t, 1024, 8, 10, 12) for t in range(20)]
+        report = loose_stabilization_report(rows, persistence=3)
+        assert report.convergence_time == 0
+        assert report.held_until_end
+        assert report.holding_time == 19

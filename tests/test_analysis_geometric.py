@@ -1,0 +1,90 @@
+"""Tests for the geometric-maximum analysis helpers (Lemma 4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.geometric import (
+    geometric_cdf,
+    geometric_pmf,
+    lemma_4_1_bounds,
+    lemma_4_1_failure_probability,
+    max_grv_cdf,
+    max_grv_expectation,
+    probability_max_in_bounds,
+)
+
+
+class TestDistributionBasics:
+    def test_pmf_values(self):
+        assert geometric_pmf(1) == 0.5
+        assert geometric_pmf(2) == 0.25
+        assert geometric_pmf(0) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        assert sum(geometric_pmf(v) for v in range(1, 60)) == pytest.approx(1.0)
+
+    def test_pmf_invalid_p(self):
+        with pytest.raises(ValueError):
+            geometric_pmf(1, p=0.0)
+
+    def test_cdf_values(self):
+        assert geometric_cdf(1) == 0.5
+        assert geometric_cdf(2) == 0.75
+        assert geometric_cdf(0) == 0.0
+
+    def test_cdf_monotone(self):
+        values = [geometric_cdf(v) for v in range(1, 20)]
+        assert values == sorted(values)
+
+    def test_max_cdf_power_relation(self):
+        assert max_grv_cdf(3, 5) == pytest.approx(geometric_cdf(3) ** 5)
+
+    def test_max_cdf_invalid_count(self):
+        with pytest.raises(ValueError):
+            max_grv_cdf(3, 0)
+
+
+class TestExpectation:
+    def test_single_sample_expectation_is_two(self):
+        # E[Geom(1/2)] = 2.
+        assert max_grv_expectation(1) == pytest.approx(2.0, abs=1e-6)
+
+    def test_expectation_grows_like_log2(self):
+        e64 = max_grv_expectation(64)
+        e1024 = max_grv_expectation(1024)
+        assert e1024 - e64 == pytest.approx(math.log2(1024) - math.log2(64), abs=0.5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            max_grv_expectation(0)
+
+
+class TestLemma41:
+    def test_bounds_formula(self):
+        lower, upper = lemma_4_1_bounds(1024, k=2)
+        assert lower == 5.0
+        assert upper == 2 * 3 * 10
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            lemma_4_1_bounds(1, 2)
+        with pytest.raises(ValueError):
+            lemma_4_1_bounds(100, 0)
+
+    def test_failure_probability_decreases_with_n(self):
+        assert lemma_4_1_failure_probability(1000, 2) < lemma_4_1_failure_probability(100, 2)
+
+    def test_failure_probability_capped_at_one(self):
+        assert lemma_4_1_failure_probability(2, 1) <= 1.0
+
+    def test_exact_probability_dominates_lemma_bound(self):
+        """The exact probability of the Lemma 4.1 event beats 1 - 2 n^-k."""
+        for n, k in [(100, 1), (100, 2), (1000, 1), (1000, 2)]:
+            exact = probability_max_in_bounds(n, k)
+            assert exact >= 1.0 - lemma_4_1_failure_probability(n, k)
+
+    def test_exact_probability_is_a_probability(self):
+        assert 0.0 <= probability_max_in_bounds(50, 1) <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for burst/overlap extraction (Theorem 2.2 analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.synchronization import Burst, analyze_synchrony, extract_bursts
+from repro.engine.protocol import ProtocolEvent
+
+
+def tick(agent: int, interaction: int) -> ProtocolEvent:
+    return ProtocolEvent(kind="tick", agent_id=agent, interaction=interaction)
+
+
+class TestBurst:
+    def test_properties(self):
+        burst = Burst(start=100, end=150, ticks_per_agent={1: 1, 2: 1, 3: 2})
+        assert burst.tick_count == 4
+        assert burst.agent_count == 3
+        assert burst.length == 50
+
+    def test_is_exact_with_population_size(self):
+        exact = Burst(start=0, end=10, ticks_per_agent={0: 1, 1: 1, 2: 1})
+        assert exact.is_exact(3)
+        assert not exact.is_exact(4)
+        double = Burst(start=0, end=10, ticks_per_agent={0: 2, 1: 1, 2: 1})
+        assert not double.is_exact(3)
+
+    def test_is_exact_with_agent_ids(self):
+        burst = Burst(start=0, end=10, ticks_per_agent={7: 1, 9: 1})
+        assert burst.is_exact({7, 9})
+        assert not burst.is_exact({7, 8})
+
+
+class TestExtractBursts:
+    def test_splits_at_large_gaps(self):
+        events = [tick(0, 0), tick(1, 5), tick(0, 100), tick(1, 104)]
+        bursts = extract_bursts(events, gap_threshold=20)
+        assert len(bursts) == 2
+        assert bursts[0].start == 0 and bursts[0].end == 5
+        assert bursts[1].start == 100 and bursts[1].end == 104
+
+    def test_single_burst_when_gaps_small(self):
+        events = [tick(i, i * 3) for i in range(10)]
+        assert len(extract_bursts(events, gap_threshold=20)) == 1
+
+    def test_unsorted_events_are_sorted(self):
+        events = [tick(1, 104), tick(0, 0), tick(0, 100), tick(1, 5)]
+        bursts = extract_bursts(events, gap_threshold=20)
+        assert len(bursts) == 2
+
+    def test_empty_events(self):
+        assert extract_bursts([], gap_threshold=10) == []
+
+    def test_invalid_gap_threshold(self):
+        with pytest.raises(ValueError):
+            extract_bursts([], gap_threshold=0)
+
+    def test_ignores_other_event_kinds(self):
+        events = [tick(0, 0), ProtocolEvent("other", 0, 3)]
+        bursts = extract_bursts(events, gap_threshold=10)
+        assert bursts[0].tick_count == 1
+
+
+class TestAnalyzeSynchrony:
+    def _periodic_events(self, n: int, bursts: int, period: int) -> list[ProtocolEvent]:
+        """Synthetic trace: every agent ticks exactly once per burst."""
+        events = []
+        for b in range(bursts):
+            base = b * period
+            for agent in range(n):
+                events.append(tick(agent, base + agent))
+        return events
+
+    def test_exact_fraction_for_perfect_clock(self):
+        events = self._periodic_events(n=10, bursts=5, period=500)
+        report = analyze_synchrony(events, 10, gap_threshold=30)
+        assert report.total_bursts == 3  # interior bursts only
+        assert report.exact_fraction == 1.0
+
+    def test_period_and_overlap_measurements(self):
+        events = self._periodic_events(n=10, bursts=4, period=500)
+        report = analyze_synchrony(events, 10, gap_threshold=30)
+        assert report.mean_period() == pytest.approx(500.0)
+        assert report.mean_overlap_length() == pytest.approx(500 - 9)
+        assert report.mean_burst_length() == pytest.approx(9.0)
+
+    def test_missing_agent_breaks_exactness(self):
+        events = self._periodic_events(n=10, bursts=3, period=500)
+        # Drop one tick from the middle burst (agent 0 at interaction 500).
+        events = [e for e in events if not (e.interaction == 500 and e.agent_id == 0)]
+        report = analyze_synchrony(events, 10, gap_threshold=30, drop_partial_edges=False)
+        assert report.exact_bursts == 2
+        assert report.total_bursts == 3
+
+    def test_default_gap_threshold_is_three_n(self):
+        events = [tick(0, 0), tick(0, 2 * 10), tick(0, 200)]
+        report = analyze_synchrony(events, 10)
+        # Gap of 20 < 3n = 30 keeps the first two together; 200 starts a new burst.
+        assert len(report.bursts) == 2
+
+    def test_population_size_validation(self):
+        with pytest.raises(ValueError):
+            analyze_synchrony([], 1)
+
+    def test_empty_trace(self):
+        report = analyze_synchrony([], 10)
+        assert report.total_bursts == 0
+        assert report.exact_fraction == 0.0
+        assert report.mean_period() == 0.0
+        assert report.mean_burst_length() == 0.0
+        assert report.mean_overlap_length() == 0.0

@@ -1,0 +1,140 @@
+"""Tests for theory-bound calculators, memory summaries, and table formatting."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.memory import memory_reference_bits, summarize_memory
+from repro.analysis.tables import format_table, series_to_rows, write_csv, write_json
+from repro.analysis.theory import (
+    chvp_lower_bound_value,
+    chvp_upper_bound_time,
+    epidemic_interaction_bound,
+    initiation_bounds,
+    lemma_4_5_schedule,
+    phase_clock_period_interactions,
+    theorem_2_1_bounds,
+)
+from repro.core.params import empirical_parameters
+
+
+class TestTheoryBounds:
+    def test_epidemic_bound_formula(self):
+        assert epidemic_interaction_bound(1024, k=1) == 4 * 2 * 1024 * 10
+
+    def test_epidemic_bound_validation(self):
+        with pytest.raises(ValueError):
+            epidemic_interaction_bound(1)
+
+    def test_chvp_upper_bound_monotone_in_delta(self):
+        assert chvp_upper_bound_time(100, 20) > chvp_upper_bound_time(100, 10)
+
+    def test_chvp_upper_bound_validation(self):
+        with pytest.raises(ValueError):
+            chvp_upper_bound_time(100, -1)
+
+    def test_chvp_lower_bound_formula(self):
+        value = chvp_lower_bound_value(100, 1024, delta=5, k=2)
+        assert value == 100 - 12 * (5 + 2 * 10)
+
+    def test_initiation_bounds_bracket_c_log_n(self):
+        low, high = initiation_bounds(c=4, k=1, n=1024)
+        assert low < 4 * 10 < high
+
+    def test_initiation_bounds_validation(self):
+        with pytest.raises(ValueError):
+            initiation_bounds(c=1, k=2, n=100)
+
+    def test_lemma_4_5_schedule_is_ordered(self):
+        schedule = lemma_4_5_schedule(n=1000, m=1.0, k=2)
+        assert schedule["i1"] < schedule["i2"] < schedule["i3"]
+        assert schedule["max_initiations"] > 0
+
+    def test_lemma_4_5_validation(self):
+        with pytest.raises(ValueError):
+            lemma_4_5_schedule(n=1000, m=1.0, k=1)
+
+    def test_theorem_2_1_bounds(self):
+        bounds = theorem_2_1_bounds(1024, k=2, initial_estimate=60)
+        assert bounds.convergence_reference == 70
+        assert bounds.holding_reference == 1024 * 10
+        assert bounds.memory_reference_bits > 0
+
+    def test_theorem_2_1_defaults(self):
+        bounds = theorem_2_1_bounds(1024)
+        assert bounds.initial_estimate == 10
+        with pytest.raises(ValueError):
+            theorem_2_1_bounds(1024, k=1)
+
+    def test_phase_clock_period_reference(self):
+        params = empirical_parameters()
+        assert phase_clock_period_interactions(1024, params) == pytest.approx(
+            6 * 1024 * 10
+        )
+
+
+class TestMemorySummary:
+    def test_reference_bits(self):
+        assert memory_reference_bits(2 ** 16) == pytest.approx(4.0)
+        assert memory_reference_bits(2 ** 16, largest_initial_value=256) == pytest.approx(12.0)
+        with pytest.raises(ValueError):
+            memory_reference_bits(1)
+
+    def test_summarize_memory(self):
+        rows = [
+            {"parallel_time": 1.0, "max_bits": 30.0, "mean_bits": 20.0},
+            {"parallel_time": 2.0, "max_bits": 18.0, "mean_bits": 15.0},
+            {"parallel_time": 3.0, "max_bits": 16.0, "mean_bits": 14.0},
+            {"parallel_time": 4.0, "max_bits": 17.0, "mean_bits": 14.0},
+        ]
+        summary = summarize_memory(rows, population_size=1024)
+        assert summary.peak_bits == 30.0
+        assert summary.steady_state_bits == 17.0  # max over the second half
+        assert summary.peak_over_reference > 0
+
+    def test_summarize_memory_validation(self):
+        with pytest.raises(ValueError):
+            summarize_memory([], 100)
+        with pytest.raises(ValueError):
+            summarize_memory([{"max_bits": 1.0}], 100, steady_state_fraction=1.0)
+
+
+class TestTables:
+    def test_format_table_alignment_and_floats(self):
+        rows = [{"n": 10, "value": 1.23456}, {"n": 1000, "value": 7.0}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "1.235" in text
+        assert "1000" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="demo")
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_series_to_rows(self):
+        series = {"x": [1, 2, 3], "y": [4, 5, 6]}
+        rows = series_to_rows(series)
+        assert rows[1] == {"x": 2, "y": 5}
+        assert series_to_rows({}) == []
+
+    def test_write_csv_and_json(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        csv_path = write_csv(tmp_path / "out" / "rows.csv", rows)
+        assert csv_path.exists()
+        content = csv_path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert len(content) == 3
+
+        json_path = write_json(tmp_path / "out" / "meta.json", {"hello": [1, 2]})
+        assert json.loads(json_path.read_text()) == {"hello": [1, 2]}
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == ""

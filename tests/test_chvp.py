@@ -1,0 +1,90 @@
+"""Tests for CHVP / CLVP and the Lemma 4.3 / 4.4 bounds."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.theory import chvp_lower_bound_value, chvp_upper_bound_time
+from repro.engine.population import Population
+from repro.engine.simulator import Simulator
+from repro.protocols.chvp import CHVP, CLVP
+
+
+class TestCHVPRule:
+    def test_initiator_adopts_max_minus_one(self, make_ctx):
+        protocol = CHVP()
+        assert protocol.interact(3, 10, make_ctx()) == (9, 10)
+        assert protocol.interact(10, 3, make_ctx()) == (9, 3)
+
+    def test_equal_values_decrement(self, make_ctx):
+        assert CHVP().interact(5, 5, make_ctx()) == (4, 5)
+
+    def test_floor_clamps(self, make_ctx):
+        protocol = CHVP(floor=0)
+        assert protocol.interact(0, 0, make_ctx()) == (0, 0)
+
+    def test_unbounded_goes_negative(self, make_ctx):
+        assert CHVP().interact(0, 0, make_ctx()) == (-1, 0)
+
+    def test_initial_state(self, rng):
+        assert CHVP(initial_value=42).initial_state(rng) == 42
+
+    def test_memory_bits_handles_negative(self):
+        protocol = CHVP()
+        assert protocol.memory_bits(-3) >= 2
+        assert protocol.memory_bits(7) == 3
+
+    def test_describe(self):
+        assert CHVP(initial_value=5, floor=0).describe()["floor"] == 0
+
+
+class TestCLVPRule:
+    def test_initiator_adopts_min_plus_one(self, make_ctx):
+        protocol = CLVP()
+        assert protocol.interact(3, 10, make_ctx()) == (4, 10)
+        assert protocol.interact(10, 3, make_ctx()) == (4, 3)
+
+    def test_ceiling_clamps(self, make_ctx):
+        protocol = CLVP(ceiling=5)
+        assert protocol.interact(5, 5, make_ctx()) == (5, 5)
+
+    def test_duality_with_chvp(self, make_ctx):
+        """CLVP on negated values mirrors CHVP (the coupling used in App. C)."""
+        chvp, clvp = CHVP(), CLVP()
+        for u, v in [(3, 8), (8, 3), (5, 5), (0, 2)]:
+            chvp_result = chvp.interact(u, v, make_ctx())[0]
+            clvp_result = clvp.interact(-u, -v, make_ctx())[0]
+            assert chvp_result == -clvp_result
+
+
+class TestCHVPSimulation:
+    def test_values_stay_in_narrow_band(self):
+        """Lemma 4.3/4.4: after O(Delta + log n) time the population sits in a band."""
+        n, start = 100, 200
+        simulator = Simulator(CHVP(initial_value=start), n, seed=8)
+        delta = 30
+        parallel_time = math.ceil(chvp_upper_bound_time(n, delta, k=1.0) / n)
+        simulator.run(parallel_time)
+        values = simulator.outputs()
+        # Upper bound (Lemma 4.3): the maximum dropped by at least delta.
+        assert max(values) <= start - delta
+        # Lower bound (Lemma 4.4 flavour): nobody fell dramatically below the band.
+        lower_reference = chvp_lower_bound_value(start, n, delta, k=2.0)
+        assert min(values) >= lower_reference - 12 * math.log2(n)
+
+    def test_maximum_never_increases(self):
+        simulator = Simulator(CHVP(initial_value=50), 30, seed=2)
+        previous_max = 50
+        for _ in range(20):
+            simulator.run(1)
+            current_max = max(simulator.outputs())
+            assert current_max <= previous_max
+            previous_max = current_max
+
+    def test_straggler_catches_up(self):
+        """An agent far below the maximum is pulled up by higher value propagation."""
+        population = Population([100] * 49 + [0])
+        simulator = Simulator(CHVP(), population, seed=3)
+        simulator.run(30)
+        values = simulator.outputs()
+        assert min(values) > 40  # the straggler adopted a high value long ago

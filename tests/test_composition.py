@@ -1,0 +1,127 @@
+"""Tests for composing the size estimate with payload protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composition import ComposedProtocol, ComposedState
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.state import CountingState
+from repro.engine.recorder import EventRecorder
+from repro.engine.simulator import Simulator
+from repro.protocols.majority import ApproximateMajority, PhasedMajority, PhasedMajorityState
+
+
+class TestComposedState:
+    def test_copy_is_deep_for_clock(self):
+        state = ComposedState(clock=CountingState(max_value=5), payload="A")
+        clone = state.copy()
+        clone.clock.max_value = 9
+        assert state.clock.max_value == 5
+
+    def test_copy_uses_payload_copy_when_available(self):
+        payload = PhasedMajorityState(opinion=1)
+        state = ComposedState(clock=CountingState(), payload=payload)
+        clone = state.copy()
+        clone.payload.opinion = -1
+        assert state.payload.opinion == 1
+
+
+class TestComposedProtocol:
+    def test_initial_state_combines_both(self, rng):
+        composed = ComposedProtocol(ApproximateMajority())
+        state = composed.initial_state(rng)
+        assert state.clock.max_value == 1
+        assert state.payload == "U"
+
+    def test_invalid_restart_threshold(self):
+        with pytest.raises(ValueError):
+            ComposedProtocol(ApproximateMajority(), restart_threshold=0)
+
+    def test_make_initial_population_with_payload_states(self, rng):
+        composed = ComposedProtocol(ApproximateMajority())
+        population = composed.make_initial_population(4, rng, payload_states=["A", "A", "B", "U"])
+        opinions = [composed.output(state) for state in population.states()]
+        assert opinions == ["A", "A", "B", "U"]
+
+    def test_make_initial_population_length_mismatch(self, rng):
+        composed = ComposedProtocol(ApproximateMajority())
+        with pytest.raises(ValueError):
+            composed.make_initial_population(3, rng, payload_states=["A"])
+
+    def test_interaction_advances_both_layers(self, make_ctx):
+        composed = ComposedProtocol(ApproximateMajority())
+        u = ComposedState(clock=CountingState(max_value=5, last_max=5, time=25), payload="A")
+        v = ComposedState(clock=CountingState(max_value=5, last_max=5, time=28), payload="U")
+        u, v = composed.interact(u, v, make_ctx())
+        assert u.payload == "A" and v.payload == "A"  # majority recruited
+        assert u.clock.time == 27  # CHVP applied to the clock layer
+
+    def test_tick_advances_payload_phase(self, make_ctx):
+        composed = ComposedProtocol(PhasedMajority())
+        # The initiator's clock is about to wrap -> reset -> tick -> phase bump.
+        u = ComposedState(
+            clock=CountingState(max_value=5, last_max=5, time=0),
+            payload=PhasedMajorityState(opinion=1, phase=0),
+        )
+        v = ComposedState(
+            clock=CountingState(max_value=5, last_max=5, time=10),
+            payload=PhasedMajorityState(opinion=0, phase=0),
+        )
+        u, v = composed.interact(u, v, make_ctx())
+        assert u.payload.phase == 1
+
+    def test_custom_on_tick_callback(self, make_ctx):
+        calls = []
+
+        def on_tick(payload_protocol, payload_state):
+            calls.append(payload_state)
+            return payload_state
+
+        composed = ComposedProtocol(ApproximateMajority(), on_tick=on_tick)
+        u = ComposedState(clock=CountingState(max_value=5, last_max=5, time=0), payload="A")
+        v = ComposedState(clock=CountingState(max_value=5, last_max=5, time=10), payload="U")
+        composed.interact(u, v, make_ctx())
+        assert calls == ["A"]
+
+    def test_tick_events_visible_to_recorders(self):
+        composed = ComposedProtocol(ApproximateMajority())
+        recorder = EventRecorder(kinds={"tick"})
+        simulator = Simulator(composed, 60, seed=81, recorders=[recorder])
+        simulator.run(200)
+        assert len(recorder.events) > 0
+
+    def test_estimate_accessor(self):
+        composed = ComposedProtocol(ApproximateMajority())
+        state = ComposedState(clock=CountingState(max_value=9, last_max=3), payload="A")
+        assert composed.estimate(state) == 9.0
+
+    def test_memory_is_sum_of_layers(self):
+        composed = ComposedProtocol(ApproximateMajority())
+        state = ComposedState(clock=CountingState(max_value=9, last_max=3, time=50), payload="A")
+        assert composed.memory_bits(state) == composed.counting.memory_bits(
+            state.clock
+        ) + composed.payload.memory_bits(state.payload)
+
+    def test_describe_mentions_payload(self):
+        description = ComposedProtocol(ApproximateMajority()).describe()
+        assert description["payload"]["name"] == "approximate-majority"
+
+
+class TestEndToEndComposition:
+    def test_majority_decided_while_size_tracked(self):
+        n = 120
+        composed = ComposedProtocol(ApproximateMajority(), counting=DynamicSizeCounting())
+        import numpy as np
+
+        from repro.engine.rng import RandomSource
+
+        rng = RandomSource.from_seed(82)
+        payloads = ["A"] * 84 + ["B"] * 36
+        population = composed.make_initial_population(n, rng, payload_states=payloads)
+        simulator = Simulator(composed, population, rng=rng)
+        simulator.run(300)
+        opinions = [composed.output(state) for state in simulator.states()]
+        estimates = [composed.estimate(state) for state in simulator.states()]
+        assert opinions.count("A") == n  # initial majority wins
+        assert min(estimates) >= 0.5 * np.log2(n)  # size estimate stays sane

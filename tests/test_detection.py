@@ -1,0 +1,82 @@
+"""Tests for the robust detection protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.population import Population
+from repro.engine.simulator import Simulator
+from repro.protocols.detection import DetectionProtocol, DetectionState
+
+
+class TestDetectionRule:
+    def test_both_non_sources_adopt_joint_minimum(self, make_ctx):
+        protocol = DetectionProtocol()
+        u, v = protocol.interact(DetectionState(3), DetectionState(7), make_ctx())
+        assert u.value == 4
+        assert v.value == 4
+
+    def test_source_stays_at_zero(self, make_ctx):
+        protocol = DetectionProtocol()
+        source = DetectionState(0, is_source=True)
+        other = DetectionState(9)
+        u, v = protocol.interact(source, other, make_ctx())
+        assert u.value == 0
+        assert v.value == 1  # min(0 + 1, 9 + 1)
+
+    def test_state_copy(self):
+        state = DetectionState(4, is_source=True)
+        clone = state.copy()
+        clone.value = 9
+        assert state.value == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DetectionProtocol(threshold=-1)
+        with pytest.raises(ValueError):
+            DetectionProtocol(source_fraction=1.5)
+
+    def test_output_thresholding(self):
+        protocol = DetectionProtocol(threshold=5)
+        assert protocol.output(DetectionState(3)) is True
+        assert protocol.output(DetectionState(9)) is False
+        assert protocol.detects_absence(DetectionState(9)) is True
+        assert protocol.output(DetectionState(9, is_source=True)) is True
+
+    def test_memory_bits(self):
+        protocol = DetectionProtocol()
+        assert protocol.memory_bits(DetectionState(0)) == 2
+        assert protocol.memory_bits(DetectionState(255)) == 9
+
+    def test_source_fraction_sampling(self, rng):
+        protocol = DetectionProtocol(source_fraction=1.0)
+        assert protocol.initial_state(rng).is_source
+        protocol = DetectionProtocol(source_fraction=0.0)
+        assert not protocol.initial_state(rng).is_source
+
+
+class TestDetectionSimulation:
+    @staticmethod
+    def _population(n: int, sources: int) -> Population:
+        states = [DetectionState(0, is_source=i < sources) for i in range(n)]
+        return Population(states)
+
+    def test_with_source_values_stay_low(self):
+        n = 80
+        protocol = DetectionProtocol(threshold=30)
+        simulator = Simulator(protocol, self._population(n, sources=1), seed=4)
+        simulator.run(60)
+        non_source_values = [s.value for s in simulator.states() if not s.is_source]
+        # With a source present the values are repeatedly dragged down: all
+        # agents should remain well below Omega(log n)-scale thresholds.
+        assert max(non_source_values) <= 30
+
+    def test_without_source_values_grow(self):
+        n = 80
+        protocol = DetectionProtocol(threshold=30)
+        simulator = Simulator(protocol, self._population(n, sources=0), seed=4)
+        simulator.run(60)
+        values = [s.value for s in simulator.states()]
+        # Without a source every agent's value grows roughly with time.
+        assert min(values) > 30
+        assert all(protocol.detects_absence(s) for s in simulator.states())

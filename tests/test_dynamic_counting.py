@@ -1,0 +1,203 @@
+"""Tests for Algorithm 2 (DynamicSizeCounting) — transition rules and behaviour."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.params import empirical_parameters, theory_parameters
+from repro.core.state import CountingState, Phase
+from repro.engine.recorder import EstimateRecorder, EventRecorder
+from repro.engine.simulator import Simulator
+
+
+@pytest.fixture
+def protocol() -> DynamicSizeCounting:
+    return DynamicSizeCounting(empirical_parameters())
+
+
+class TestSetup:
+    def test_initial_state(self, protocol, rng):
+        state = protocol.initial_state(rng)
+        assert state.max_value == 1 and state.last_max == 1
+        assert state.time == protocol.params.tau1
+        assert state.interactions == 0
+
+    def test_make_initial_population(self, protocol, rng):
+        population = protocol.make_initial_population(25, rng)
+        assert population.size == 25
+        with pytest.raises(ValueError):
+            protocol.make_initial_population(1, rng)
+
+    def test_make_estimate_population(self, protocol, rng):
+        population = protocol.make_estimate_population(10, 60.0, rng)
+        assert all(state.effective_max == 60 for state in population.states())
+        with pytest.raises(ValueError):
+            protocol.make_estimate_population(1, 60.0, rng)
+
+    def test_default_parameters_are_empirical(self):
+        assert DynamicSizeCounting().params.tau1 == 6.0
+
+    def test_describe_includes_params(self, protocol):
+        assert protocol.describe()["params"]["tau_prime"] == 20.0
+
+
+class TestResetRules:
+    """Lines 2-6 of Algorithm 2."""
+
+    def test_wraparound_reset(self, protocol, make_ctx, event_collector):
+        u = CountingState(max_value=10, last_max=10, time=0, interactions=5)
+        v = CountingState(max_value=10, last_max=10, time=30, interactions=5)
+        u, v = protocol.interact(u, v, make_ctx(sink=event_collector))
+        assert "reset" in event_collector.kinds()
+        assert u.interactions == 1  # reset to 0, then +1 from the CHVP line
+        assert u.last_max == 10  # old max becomes the trailing estimate
+        assert u.max_value >= 1  # fresh GRV
+
+    def test_reset_to_exchange_transition(self, protocol, make_ctx, event_collector):
+        params = protocol.params
+        # u deep in the reset phase, v freshly reset (exchange phase).
+        u = CountingState(max_value=10, last_max=10, time=5, interactions=3)
+        v = CountingState(max_value=2, last_max=10, time=params.tau1 * 10, interactions=0)
+        protocol.interact(u, v, make_ctx(sink=event_collector))
+        assert "reset" in event_collector.kinds()
+
+    def test_hold_to_exchange_on_differing_max(self, protocol, make_ctx, event_collector):
+        # u in the hold phase, maxima differ -> reset.
+        u = CountingState(max_value=10, last_max=10, time=30, interactions=3)
+        v = CountingState(max_value=12, last_max=12, time=30, interactions=3)
+        protocol.interact(u, v, make_ctx(sink=event_collector))
+        assert "reset" in event_collector.kinds()
+
+    def test_no_reset_in_exchange_with_differing_max(self, protocol, make_ctx, event_collector):
+        # u in the exchange phase adopts the larger max instead of resetting.
+        u = CountingState(max_value=10, last_max=10, time=50, interactions=3)
+        v = CountingState(max_value=12, last_max=12, time=60, interactions=3)
+        u, v = protocol.interact(u, v, make_ctx(sink=event_collector))
+        assert "reset" not in event_collector.kinds()
+        assert u.max_value == 12
+        assert u.last_max == 12
+        assert u.time == pytest.approx(max(protocol.params.tau1 * 12, 60) - 1)
+
+    def test_no_reset_in_hold_with_equal_max(self, protocol, make_ctx, event_collector):
+        u = CountingState(max_value=10, last_max=10, time=30, interactions=3)
+        v = CountingState(max_value=10, last_max=10, time=30, interactions=3)
+        protocol.interact(u, v, make_ctx(sink=event_collector))
+        assert event_collector.kinds() == []
+
+    def test_reset_time_uses_old_max_when_larger(self, protocol, make_ctx):
+        # Algorithm 2 line 6: time <- tau1 * max(old max, fresh grv).
+        u = CountingState(max_value=50, last_max=50, time=0, interactions=5)
+        v = CountingState(max_value=50, last_max=50, time=10, interactions=5)
+        u, _ = protocol.interact(u, v, make_ctx())
+        # The fresh GRV is almost surely < 50, so the countdown is rewound
+        # using the old maximum (minus 1 from the CHVP step).
+        assert u.time >= protocol.params.tau1 * 50 - 1
+
+
+class TestBackupRules:
+    """Lines 7-10 of Algorithm 2."""
+
+    def test_backup_counter_resets_even_without_adoption(self, protocol, make_ctx):
+        params = protocol.params
+        threshold = params.backup_threshold(10)
+        u = CountingState(max_value=10, last_max=10, time=50, interactions=int(threshold) + 1)
+        v = CountingState(max_value=10, last_max=10, time=50, interactions=0)
+        u, _ = protocol.interact(u, v, make_ctx())
+        # interactions reset to zero (then +1 from the CHVP line).
+        assert u.interactions == 1
+
+    def test_backup_adoption_requires_larger_grv(self, protocol, make_ctx, event_collector):
+        params = protocol.params
+        threshold = params.backup_threshold(1000)
+        u = CountingState(max_value=1000, last_max=1000, time=5000, interactions=int(threshold) + 1)
+        v = CountingState(max_value=1000, last_max=1000, time=5000, interactions=0)
+        u, _ = protocol.interact(u, v, make_ctx(sink=event_collector))
+        # A fresh GRV(16) is astronomically unlikely to exceed 1000, so the
+        # stored maximum must be unchanged and no backup event emitted.
+        assert u.max_value == 1000
+        assert "backup" not in event_collector.kinds()
+
+
+class TestExchangeRules:
+    """Lines 11-15 of Algorithm 2."""
+
+    def test_exchange_adopts_larger_max_and_last_max(self, protocol, make_ctx):
+        u = CountingState(max_value=8, last_max=3, time=60, interactions=2)
+        v = CountingState(max_value=12, last_max=9, time=70, interactions=2)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.max_value == 12
+        assert u.last_max == 9  # adopts v's lastMax wholesale (line 12)
+        assert v.max_value == 12  # responder unchanged
+
+    def test_last_max_shared_when_maxima_agree(self, protocol, make_ctx):
+        u = CountingState(max_value=10, last_max=3, time=50, interactions=2)
+        v = CountingState(max_value=10, last_max=9, time=50, interactions=2)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.last_max == 9
+        assert v.last_max == 9  # responder state object is not modified, value was already 9
+
+    def test_last_max_not_shared_across_exchange_reset_boundary(self, protocol, make_ctx):
+        # u in exchange, v in reset with the same max: line 13 excludes this pair.
+        u = CountingState(max_value=10, last_max=3, time=55, interactions=2)
+        v = CountingState(max_value=10, last_max=9, time=5, interactions=2)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.last_max == 3
+
+    def test_chvp_time_update(self, protocol, make_ctx):
+        u = CountingState(max_value=10, last_max=10, time=30, interactions=0)
+        v = CountingState(max_value=10, last_max=10, time=45, interactions=0)
+        u, _ = protocol.interact(u, v, make_ctx())
+        assert u.time == 44
+        assert u.interactions == 1
+
+    def test_responder_never_changes(self, protocol, make_ctx):
+        u = CountingState(max_value=8, last_max=3, time=60, interactions=2)
+        v = CountingState(max_value=12, last_max=9, time=70, interactions=4)
+        v_snapshot = v.as_dict()
+        protocol.interact(u, v, make_ctx())
+        assert v.as_dict() == v_snapshot
+
+
+class TestOutputs:
+    def test_output_is_effective_max(self, protocol):
+        state = CountingState(max_value=9, last_max=13)
+        assert protocol.output(state) == 13.0
+
+    def test_output_divides_overestimation_for_theory_params(self):
+        protocol = DynamicSizeCounting(theory_parameters(k=2))
+        state = CountingState(max_value=600, last_max=1)
+        assert protocol.output(state) == 10.0
+
+    def test_phase_of(self, protocol):
+        state = CountingState(max_value=10, last_max=10, time=50)
+        assert protocol.phase_of(state) is Phase.EXCHANGE
+
+    def test_memory_bits(self, protocol):
+        assert protocol.memory_bits(CountingState(max_value=10, last_max=10, time=60)) >= 4
+
+
+class TestEndToEnd:
+    def test_converges_to_constant_factor_estimate(self):
+        n = 250
+        protocol = DynamicSizeCounting()
+        recorder = EstimateRecorder()
+        simulator = Simulator(protocol, n, seed=51, recorders=[recorder])
+        simulator.run(250)
+        final = recorder.rows[-1]
+        log_n = math.log2(n)
+        assert 0.5 * log_n <= final.minimum
+        assert final.maximum <= 4 * log_n
+        # All agents agree once converged (single epidemic maximum).
+        assert final.maximum - final.minimum <= 2
+
+    def test_reset_events_recur(self):
+        protocol = DynamicSizeCounting()
+        events = EventRecorder(kinds={"reset"})
+        simulator = Simulator(protocol, 120, seed=52, recorders=[events])
+        simulator.run(400)
+        # Every agent resets roughly once per round; over 400 parallel time
+        # with a round length of O(100) there must be several resets each.
+        assert len(events.events) > 120

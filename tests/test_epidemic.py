@@ -1,0 +1,82 @@
+"""Tests for epidemic protocols and the Lemma 4.2 time bound."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.theory import epidemic_interaction_bound
+from repro.engine.population import Population
+from repro.engine.recorder import EventRecorder
+from repro.engine.simulator import Simulator
+from repro.protocols.epidemic import InfectionEpidemic, MaxEpidemic
+
+
+class TestMaxEpidemic:
+    def test_initial_state(self, rng):
+        assert MaxEpidemic().initial_state(rng) == 0
+        assert MaxEpidemic(initial_value=5).initial_state(rng) == 5
+
+    def test_one_way_only_updates_initiator(self, make_ctx):
+        protocol = MaxEpidemic(one_way=True)
+        # Initiator adopts the larger responder value; responder is untouched.
+        assert protocol.interact(1, 9, make_ctx()) == (9, 9)
+        # Responder with the smaller value keeps it in the one-way variant.
+        assert protocol.interact(9, 1, make_ctx()) == (9, 1)
+
+    def test_two_way_updates_both(self, make_ctx):
+        protocol = MaxEpidemic(one_way=False)
+        u, v = protocol.interact(3, 8, make_ctx())
+        assert u == 8 and v == 8
+
+    def test_memory_bits(self):
+        protocol = MaxEpidemic()
+        assert protocol.memory_bits(0) == 1
+        assert protocol.memory_bits(255) == 8
+
+    def test_describe(self):
+        description = MaxEpidemic(initial_value=2, one_way=False).describe()
+        assert description["initial_value"] == 2
+        assert description["one_way"] is False
+
+    def test_spreads_within_lemma_4_2_bound(self):
+        n = 100
+        population = Population([1] + [0] * (n - 1))
+        simulator = Simulator(MaxEpidemic(one_way=True), population, seed=5)
+        bound_interactions = epidemic_interaction_bound(n, k=1.0)
+        simulator.run(math.ceil(bound_interactions / n))
+        assert all(value == 1 for value in simulator.outputs())
+
+
+class TestInfectionEpidemic:
+    def test_initially_susceptible(self, rng):
+        assert InfectionEpidemic().initial_state(rng) == InfectionEpidemic.SUSCEPTIBLE
+
+    def test_two_way_infection(self, make_ctx):
+        protocol = InfectionEpidemic()
+        assert protocol.interact(0, 1, make_ctx()) == (1, 1)
+        assert protocol.interact(1, 0, make_ctx()) == (1, 1)
+        assert protocol.interact(0, 0, make_ctx()) == (0, 0)
+
+    def test_one_way_infection(self, make_ctx):
+        protocol = InfectionEpidemic(one_way=True)
+        assert protocol.interact(0, 1, make_ctx()) == (1, 1)
+        # One-way: an infected initiator does not infect the responder.
+        assert protocol.interact(1, 0, make_ctx()) == (1, 0)
+
+    def test_infection_events_emitted(self, make_ctx, event_collector):
+        protocol = InfectionEpidemic()
+        protocol.interact(0, 1, make_ctx(sink=event_collector))
+        assert event_collector.kinds() == ["infected"]
+
+    def test_memory_is_one_bit(self):
+        assert InfectionEpidemic().memory_bits(0) == 1
+        assert InfectionEpidemic().memory_bits(1) == 1
+
+    def test_full_infection_in_simulation(self):
+        population = Population([1] + [0] * 63)
+        recorder = EventRecorder(kinds={"infected"})
+        simulator = Simulator(InfectionEpidemic(), population, seed=9, recorders=[recorder])
+        simulator.run(40)
+        assert all(state == 1 for state in simulator.outputs())
+        # Every agent except the source was infected exactly once.
+        assert len(recorder.events) == 63

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs end to end (scaled down via import).
+
+The examples are user-facing scripts; here we only check that each module
+imports and exposes a ``main`` callable, and we execute the cheapest one
+fully so that a broken public API surfaces in the test suite and not only
+when a user runs the script.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scenarios(self):
+        assert len(EXAMPLE_FILES) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_defines_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = load_example(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Final estimate band" in output

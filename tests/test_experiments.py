@@ -1,0 +1,194 @@
+"""Tests for the experiment harness (presets, runners, CLI, persistence).
+
+The experiment tests use tiny custom presets so that the whole module runs
+in seconds; the ``quick`` presets themselves are exercised by the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.base import ExperimentPreset, ExperimentResult
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.cli import EXPERIMENT_RUNNERS, main
+from repro.experiments.config import PRESETS, get_preset, list_presets
+from repro.experiments.convergence_table import run_convergence_table, trace_to_snapshots
+from repro.experiments.fig2_size_estimate import run_fig2
+from repro.experiments.fig3_relative_error import run_fig3
+from repro.experiments.fig4_population_drop import adaptation_time, run_fig4
+from repro.experiments.fig5_initial_estimate import forgetting_time, run_fig5
+from repro.experiments.figures import run_estimate_trace
+from repro.experiments.memory_table import run_memory_table
+from repro.experiments.phase_clock_experiment import run_phase_clock_experiment
+
+
+def tiny(**extra) -> ExperimentPreset:
+    return ExperimentPreset(
+        name="tiny",
+        population_sizes=(200,),
+        parallel_time=150,
+        trials=2,
+        seed=7,
+        extra=extra,
+    )
+
+
+class TestPresets:
+    def test_every_experiment_has_three_effort_levels(self):
+        for experiment, levels in PRESETS.items():
+            assert set(levels) == {"quick", "default", "paper"}, experiment
+
+    def test_get_preset_errors(self):
+        with pytest.raises(KeyError):
+            get_preset("nonexistent")
+        with pytest.raises(KeyError):
+            get_preset("fig2", "gigantic")
+
+    def test_list_presets(self):
+        listing = list_presets()
+        assert "fig4" in listing
+        assert listing["fig4"] == ["default", "paper", "quick"]
+
+    def test_paper_presets_match_paper_parameters(self):
+        fig4 = get_preset("fig4", "paper")
+        assert fig4.extra["drop_time"] == 1350
+        assert fig4.extra["keep"] == 500
+        assert fig4.parallel_time == 5000
+        assert fig4.trials == 96
+        assert 1_000_000 in get_preset("fig2", "paper").population_sizes
+
+    def test_with_overrides(self):
+        preset = get_preset("fig2", "quick").with_overrides(trials=1, extra={"foo": 1})
+        assert preset.trials == 1
+        assert preset.extra["foo"] == 1
+
+
+class TestEstimateTrace:
+    def test_run_estimate_trace_structure(self):
+        trace = run_estimate_trace(300, 60, trials=2, seed=3)
+        assert len(trace.parallel_time) == 60
+        assert len(trace.minimum) == len(trace.maximum) == 60
+        assert all(lo <= hi for lo, hi in zip(trace.minimum, trace.maximum))
+
+    def test_run_estimate_trace_with_resize(self):
+        trace = run_estimate_trace(300, 60, trials=1, seed=3, resize_schedule=[(20, 50)])
+        assert trace.population_size[10] == 300
+        assert trace.population_size[-1] == 50
+
+    def test_run_estimate_trace_with_initial_estimate(self):
+        trace = run_estimate_trace(100, 10, trials=1, seed=3, initial_estimate=60.0)
+        assert trace.maximum[0] == 60.0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            run_estimate_trace(100, 10, trials=0, seed=3)
+
+
+class TestFigureRunners:
+    def test_fig2_rows_and_series(self):
+        result = run_fig2(tiny())
+        assert result.experiment == "fig2"
+        assert len(result.rows) == 1
+        assert "n_200" in result.series
+        row = result.rows[0]
+        assert row["log2_n"] == pytest.approx(math.log2(200))
+        assert row["steady_median"] >= 0.5 * row["log2_n"]
+
+    def test_fig3_relative_deviation_positive(self):
+        result = run_fig3(tiny())
+        row = result.rows[0]
+        assert row["relative_median"] >= 0.5
+        assert row["relative_minimum"] <= row["relative_maximum"]
+
+    def test_fig4_detects_adaptation(self):
+        result = run_fig4(tiny(drop_time=40, keep=20))
+        row = result.rows[0]
+        assert row["keep"] == 20
+        assert row["median_before_drop"] > 0
+
+    def test_fig5_tracks_initial_estimate(self):
+        result = run_fig5(tiny(initial_estimate=30.0))
+        row = result.rows[0]
+        assert row["initial_estimate"] == 30.0
+
+    def test_adaptation_time_midpoint_rule(self):
+        times = [0.0, 10.0, 20.0, 30.0]
+        medians = [16.0, 16.0, 12.0, 10.0]
+        assert adaptation_time(times, medians, 5.0, pre_drop_level=16.0, target_level=10.0) == 20.0
+        assert adaptation_time(times, medians, 5.0, pre_drop_level=9.0, target_level=10.0) == 5.0
+        assert (
+            adaptation_time(times, [16.0] * 4, 5.0, pre_drop_level=16.0, target_level=10.0) is None
+        )
+
+    def test_forgetting_time(self):
+        assert forgetting_time([0, 1, 2], [60, 60, 12], 60) == 2
+        assert forgetting_time([0, 1], [60, 60], 60) is None
+
+
+class TestTableRunners:
+    def test_convergence_table(self):
+        result = run_convergence_table(tiny(initial_estimates=(1.0,)))
+        assert len(result.rows) == 1
+        assert result.rows[0]["converged"]
+
+    def test_trace_to_snapshots(self):
+        trace = run_estimate_trace(100, 5, trials=1, seed=1)
+        snapshots = trace_to_snapshots(trace)
+        assert len(snapshots) == 5
+        assert snapshots[0].population_size == 100
+
+    def test_memory_table_shows_baseline_overhead(self):
+        preset = ExperimentPreset(
+            name="tiny", population_sizes=(80,), parallel_time=60, trials=1, seed=5
+        )
+        result = run_memory_table(preset)
+        row = result.rows[0]
+        assert row["doty_eftekhari_steady_bits"] > row["ours_steady_bits"]
+
+    def test_phase_clock_experiment(self):
+        preset = ExperimentPreset(
+            name="tiny", population_sizes=(60,), parallel_time=900, trials=1, seed=5
+        )
+        result = run_phase_clock_experiment(preset)
+        row = result.rows[0]
+        assert row["mean_period_interactions"] > 0
+
+    def test_baseline_comparison_distinguishes_static(self):
+        preset = ExperimentPreset(
+            name="tiny",
+            population_sizes=(150,),
+            parallel_time=600,
+            trials=1,
+            seed=5,
+            extra={"drop_time": 100, "keep": 20},
+        )
+        result = run_baseline_comparison(preset)
+        by_protocol = {row["protocol"]: row for row in result.rows}
+        assert by_protocol["dynamic-size-counting (ours)"]["adapted_to_drop"]
+        assert not by_protocol["static-max-grv"]["adapted_to_drop"]
+
+
+class TestResultPersistenceAndCli:
+    def test_save_writes_csv_and_manifest(self, tmp_path):
+        result = run_fig2(tiny())
+        out = result.save(tmp_path)
+        assert (out / "rows.csv").exists()
+        assert (out / "manifest.json").exists()
+        assert any(path.name.startswith("series_") for path in out.iterdir())
+
+    def test_result_table_renders(self):
+        result = ExperimentResult(
+            experiment="demo", description="d", rows=[{"a": 1.0, "b": 2}]
+        )
+        assert "demo" in result.table()
+
+    def test_cli_list(self, capsys):
+        assert main(["list"]) == 0
+        captured = capsys.readouterr()
+        assert "fig2" in captured.out
+
+    def test_cli_runner_registry_complete(self):
+        assert set(EXPERIMENT_RUNNERS) == set(PRESETS)

@@ -1,0 +1,91 @@
+"""Tests for GRV generation (Algorithm 3) and synthetic coins."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.grv import SyntheticCoinGrvGenerator, grv, grv_maximum
+from repro.engine.rng import RandomSource
+
+
+class TestDirectGeneration:
+    def test_grv_support(self, rng):
+        samples = [grv(rng) for _ in range(1000)]
+        assert min(samples) >= 1
+
+    def test_grv_maximum_requires_positive_k(self, rng):
+        with pytest.raises(ValueError):
+            grv_maximum(rng, 0)
+
+    def test_grv_maximum_at_least_one(self, rng):
+        assert all(grv_maximum(rng, 3) >= 1 for _ in range(50))
+
+    def test_grv_maximum_concentration(self, rng):
+        """The mean of max-of-k GRVs grows like log2(k) (Lemma 4.1 flavour)."""
+        k = 256
+        samples = [grv_maximum(rng, k) for _ in range(300)]
+        mean = sum(samples) / len(samples)
+        assert math.log2(k) - 1.5 <= mean <= math.log2(k) + 3.5
+
+
+class TestSyntheticCoins:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SyntheticCoinGrvGenerator(k=0)
+
+    def test_not_ready_initially(self):
+        generator = SyntheticCoinGrvGenerator(k=1)
+        assert not generator.ready
+        with pytest.raises(RuntimeError):
+            _ = generator.value
+
+    def test_single_sample_all_tails(self):
+        generator = SyntheticCoinGrvGenerator(k=1)
+        result = generator.feed(False)  # immediate tails -> run length 1
+        assert result == 1
+        assert generator.ready
+        assert generator.value == 1
+
+    def test_single_sample_with_heads_run(self):
+        generator = SyntheticCoinGrvGenerator(k=1)
+        assert generator.feed(True) is None
+        assert generator.feed(True) is None
+        assert generator.feed(False) == 3  # two heads + terminating tails
+
+    def test_maximum_over_multiple_samples(self):
+        generator = SyntheticCoinGrvGenerator(k=3)
+        # Sample 1: length 1, sample 2: length 4, sample 3: length 2.
+        coins = [False, True, True, True, False, True, False]
+        results = [generator.feed(coin) for coin in coins]
+        assert results[-1] == 4
+        assert all(r is None for r in results[:-1])
+
+    def test_feed_after_completion_is_noop(self):
+        generator = SyntheticCoinGrvGenerator(k=1)
+        generator.feed(False)
+        assert generator.feed(False) is None
+        assert generator.value == 1
+
+    def test_reset_allows_reuse(self):
+        generator = SyntheticCoinGrvGenerator(k=1)
+        generator.feed(False)
+        generator.reset()
+        assert not generator.ready
+        assert generator.feed(False) == 1
+
+    def test_matches_direct_generation_distribution(self):
+        """Synthetic-coin generation has the same distribution as Algorithm 3."""
+        rng = RandomSource.from_seed(99)
+        synthetic_samples = []
+        for _ in range(400):
+            generator = SyntheticCoinGrvGenerator(k=4)
+            while not generator.ready:
+                generator.feed(rng.coin())
+            synthetic_samples.append(generator.value)
+        direct_rng = RandomSource.from_seed(77)
+        direct_samples = [grv_maximum(direct_rng, 4) for _ in range(400)]
+        synthetic_mean = sum(synthetic_samples) / len(synthetic_samples)
+        direct_mean = sum(direct_samples) / len(direct_samples)
+        assert abs(synthetic_mean - direct_mean) < 0.6

@@ -1,0 +1,78 @@
+"""Tests for junta election."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.protocols.junta import JuntaElection, JuntaState
+
+
+class TestJuntaRule:
+    def test_initial_state(self, rng):
+        state = JuntaElection().initial_state(rng)
+        assert state.level == 0 and state.climbing and state.max_seen_level == 0
+
+    def test_max_level_spreads_both_ways(self, make_ctx):
+        protocol = JuntaElection()
+        u = JuntaState(level=2, climbing=False, max_seen_level=2)
+        v = JuntaState(level=0, climbing=False, max_seen_level=5)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.max_seen_level == 5
+        assert v.max_seen_level == 5
+
+    def test_level_cap(self, make_ctx):
+        protocol = JuntaElection(max_level=3)
+        state = JuntaState(level=3, climbing=True)
+        other = JuntaState(climbing=False)
+        for _ in range(30):
+            state, other = protocol.interact(state, other, make_ctx())
+        assert state.level <= 3
+
+    def test_invalid_max_level(self):
+        with pytest.raises(ValueError):
+            JuntaElection(max_level=0)
+
+    def test_output_true_only_on_top_level(self):
+        protocol = JuntaElection()
+        member = JuntaState(level=4, climbing=False, max_seen_level=4)
+        loser = JuntaState(level=2, climbing=False, max_seen_level=4)
+        climber = JuntaState(level=4, climbing=True, max_seen_level=4)
+        assert protocol.output(member)
+        assert not protocol.output(loser)
+        assert not protocol.output(climber)
+
+    def test_state_copy_is_independent(self):
+        state = JuntaState(level=2, climbing=False, max_seen_level=3)
+        clone = state.copy()
+        clone.level = 9
+        assert state.level == 2
+
+    def test_memory_bits(self):
+        protocol = JuntaElection()
+        assert protocol.memory_bits(JuntaState(level=7, max_seen_level=7)) >= 6
+
+
+class TestJuntaSimulation:
+    def test_junta_is_small_but_nonempty(self):
+        n = 200
+        protocol = JuntaElection()
+        simulator = Simulator(protocol, n, seed=10)
+        simulator.run(150)
+        junta = sum(1 for s in simulator.states() if protocol.output(s))
+        # The junta consists of the agents on the maximum coin level: w.h.p.
+        # non-empty and far smaller than n (expected size is O(polylog n)).
+        assert 1 <= junta <= n // 4
+
+    def test_all_agents_agree_on_max_level(self):
+        protocol = JuntaElection()
+        simulator = Simulator(protocol, 100, seed=11)
+        simulator.run(120)
+        seen = {s.max_seen_level for s in simulator.states()}
+        assert len(seen) == 1
+        top = seen.pop()
+        assert top >= 1
+        # The maximum level is log2(n) + O(1) w.h.p.; allow a wide band.
+        assert top <= 4 * math.log2(100)

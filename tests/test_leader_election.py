@@ -1,0 +1,104 @@
+"""Tests for the leader election substrates."""
+
+from __future__ import annotations
+
+from repro.engine.recorder import EventRecorder
+from repro.engine.simulator import Simulator
+from repro.protocols.leader_election import (
+    CoinLevelLeaderElection,
+    CoinLevelState,
+    LeaderState,
+    PairwiseEliminationLeaderElection,
+)
+
+
+class TestPairwiseElimination:
+    def test_initial_state_is_contender(self, rng):
+        assert PairwiseEliminationLeaderElection().initial_state(rng).is_contender
+
+    def test_contender_meeting_contender_eliminates_responder(self, make_ctx):
+        protocol = PairwiseEliminationLeaderElection()
+        u, v = protocol.interact(LeaderState(True), LeaderState(True), make_ctx())
+        assert u.is_contender
+        assert not v.is_contender
+
+    def test_non_contenders_unchanged(self, make_ctx):
+        protocol = PairwiseEliminationLeaderElection()
+        u, v = protocol.interact(LeaderState(False), LeaderState(True), make_ctx())
+        assert not u.is_contender
+        assert v.is_contender
+
+    def test_elimination_event_emitted(self, make_ctx, event_collector):
+        protocol = PairwiseEliminationLeaderElection()
+        protocol.interact(LeaderState(True), LeaderState(True), make_ctx(sink=event_collector))
+        assert event_collector.kinds() == ["eliminated"]
+
+    def test_memory_is_one_bit(self):
+        assert PairwiseEliminationLeaderElection().memory_bits(LeaderState()) == 1
+
+    def test_contender_count_never_increases_and_never_zero(self):
+        protocol = PairwiseEliminationLeaderElection()
+        simulator = Simulator(protocol, 60, seed=6)
+        previous = 60
+        for _ in range(30):
+            simulator.run(5)
+            contenders = sum(1 for s in simulator.states() if s.is_contender)
+            assert 1 <= contenders <= previous
+            previous = contenders
+
+    def test_converges_to_single_leader(self):
+        protocol = PairwiseEliminationLeaderElection()
+        simulator = Simulator(protocol, 40, seed=7)
+        simulator.run(400)  # O(n) parallel time suffices for n = 40
+        contenders = sum(1 for s in simulator.states() if s.is_contender)
+        assert contenders == 1
+
+
+class TestCoinLevelElection:
+    def test_initial_state(self, rng):
+        state = CoinLevelLeaderElection().initial_state(rng)
+        assert state.is_contender and state.climbing and state.level == 0
+
+    def test_lower_level_contender_retires(self, make_ctx):
+        protocol = CoinLevelLeaderElection()
+        low = CoinLevelState(level=1, climbing=False, is_contender=True)
+        high = CoinLevelState(level=5, climbing=False, is_contender=True)
+        u, v = protocol.interact(low, high, make_ctx())
+        assert not u.is_contender
+        assert u.max_seen_level == 5
+        assert v.is_contender
+
+    def test_equal_level_tie_break(self, make_ctx):
+        protocol = CoinLevelLeaderElection()
+        a = CoinLevelState(level=3, climbing=False, is_contender=True)
+        b = CoinLevelState(level=3, climbing=False, is_contender=True)
+        u, v = protocol.interact(a, b, make_ctx())
+        assert u.is_contender
+        assert not v.is_contender
+
+    def test_max_level_cap(self, make_ctx):
+        protocol = CoinLevelLeaderElection(max_level=2)
+        state = CoinLevelState(level=2, climbing=True, is_contender=True)
+        other = CoinLevelState(level=0, climbing=False, is_contender=False)
+        for _ in range(20):
+            state, other = protocol.interact(state, other, make_ctx())
+        assert state.level <= 2
+
+    def test_invalid_max_level(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CoinLevelLeaderElection(max_level=0)
+
+    def test_converges_to_single_leader(self):
+        protocol = CoinLevelLeaderElection()
+        recorder = EventRecorder(kinds={"eliminated"})
+        simulator = Simulator(protocol, 50, seed=8, recorders=[recorder])
+        simulator.run(400)
+        leaders = sum(1 for s in simulator.states() if protocol.output(s))
+        assert leaders == 1
+        assert len(recorder.events) >= 49
+
+    def test_memory_bits_positive(self):
+        protocol = CoinLevelLeaderElection()
+        assert protocol.memory_bits(CoinLevelState(level=3, max_seen_level=7)) >= 5

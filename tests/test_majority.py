@@ -1,0 +1,124 @@
+"""Tests for the majority payload protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.population import Population
+from repro.engine.simulator import Simulator
+from repro.protocols.majority import ApproximateMajority, PhasedMajority, PhasedMajorityState
+
+
+class TestApproximateMajority:
+    def test_initial_state(self, rng):
+        assert ApproximateMajority().initial_state(rng) == "U"
+        assert ApproximateMajority(initial_opinion="A").initial_state(rng) == "A"
+
+    def test_invalid_initial_opinion(self):
+        with pytest.raises(ValueError):
+            ApproximateMajority(initial_opinion="X")
+
+    def test_opinion_recruits_undecided(self, make_ctx):
+        protocol = ApproximateMajority()
+        assert protocol.interact("A", "U", make_ctx()) == ("A", "A")
+        assert protocol.interact("U", "B", make_ctx()) == ("B", "B")
+
+    def test_conflict_makes_responder_undecided(self, make_ctx):
+        protocol = ApproximateMajority()
+        assert protocol.interact("A", "B", make_ctx()) == ("A", "U")
+        assert protocol.interact("B", "A", make_ctx()) == ("B", "U")
+
+    def test_same_opinion_unchanged(self, make_ctx):
+        assert ApproximateMajority().interact("A", "A", make_ctx()) == ("A", "A")
+
+    def test_memory_two_bits(self):
+        assert ApproximateMajority().memory_bits("A") == 2
+
+    def test_converges_to_initial_majority(self):
+        n = 200
+        states = ["A"] * 140 + ["B"] * 60
+        simulator = Simulator(ApproximateMajority(), Population(states), seed=41)
+        simulator.run(200)
+        outputs = simulator.outputs()
+        assert outputs.count("A") == n  # consensus on the majority opinion
+
+
+class TestPhasedMajority:
+    def test_initial_state_neutral(self, rng):
+        state = PhasedMajority().initial_state(rng)
+        assert state.opinion == 0 and state.exponent == 0 and state.phase == 0
+
+    def test_invalid_max_exponent(self):
+        with pytest.raises(ValueError):
+            PhasedMajority(max_exponent=0)
+
+    def test_cancellation_in_even_phase(self, make_ctx):
+        protocol = PhasedMajority()
+        u = PhasedMajorityState(opinion=1, exponent=0, phase=0)
+        v = PhasedMajorityState(opinion=-1, exponent=0, phase=0)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.opinion == 0 and v.opinion == 0
+
+    def test_no_cancellation_with_different_exponents(self, make_ctx):
+        protocol = PhasedMajority()
+        u = PhasedMajorityState(opinion=1, exponent=1, phase=0)
+        v = PhasedMajorityState(opinion=-1, exponent=0, phase=0)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.opinion == 1 and v.opinion == -1
+
+    def test_doubling_in_odd_phase(self, make_ctx):
+        protocol = PhasedMajority()
+        u = PhasedMajorityState(opinion=1, exponent=0, phase=1)
+        v = PhasedMajorityState(opinion=0, exponent=0, phase=1)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.opinion == 1 and v.opinion == 1
+        assert u.exponent == 1 and v.exponent == 1
+
+    def test_doubling_respects_exponent_cap(self, make_ctx):
+        protocol = PhasedMajority(max_exponent=1)
+        u = PhasedMajorityState(opinion=1, exponent=1, phase=1)
+        v = PhasedMajorityState(opinion=0, exponent=0, phase=1)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert v.opinion == 0  # no doubling beyond the cap
+
+    def test_phase_propagates_to_older_agent(self, make_ctx):
+        protocol = PhasedMajority()
+        u = PhasedMajorityState(phase=0)
+        v = PhasedMajorityState(phase=3)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.phase == 3 and v.phase == 3
+
+    def test_advance_phase(self):
+        protocol = PhasedMajority()
+        state = PhasedMajorityState(phase=2)
+        protocol.advance_phase(state)
+        assert state.phase == 3
+
+    def test_weight_invariant_under_cancellation_and_doubling(self, make_ctx):
+        """Signed weight sum(opinion * 2^-exponent) is preserved by both rules."""
+        protocol = PhasedMajority()
+
+        def weight(*states: PhasedMajorityState) -> float:
+            return sum(s.opinion * 2.0 ** -s.exponent for s in states)
+
+        cancel_u = PhasedMajorityState(opinion=1, exponent=2, phase=0)
+        cancel_v = PhasedMajorityState(opinion=-1, exponent=2, phase=0)
+        before = weight(cancel_u, cancel_v)
+        cancel_u, cancel_v = protocol.interact(cancel_u, cancel_v, make_ctx())
+        assert weight(cancel_u, cancel_v) == before == 0.0
+
+        double_u = PhasedMajorityState(opinion=1, exponent=0, phase=1)
+        double_v = PhasedMajorityState(opinion=0, exponent=0, phase=1)
+        before = weight(double_u, double_v)
+        double_u, double_v = protocol.interact(double_u, double_v, make_ctx())
+        assert weight(double_u, double_v) == pytest.approx(before)
+
+    def test_memory_bits_positive(self):
+        protocol = PhasedMajority()
+        assert protocol.memory_bits(PhasedMajorityState(opinion=1, exponent=3, phase=5)) >= 5
+
+    def test_state_copy_independent(self):
+        state = PhasedMajorityState(opinion=1, exponent=2, phase=3)
+        clone = state.copy()
+        clone.exponent = 9
+        assert state.exponent == 2

@@ -1,0 +1,84 @@
+"""Tests for the non-uniform (counter mod m) phase clock baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.synchronization import analyze_synchrony
+from repro.engine.recorder import EventRecorder
+from repro.engine.simulator import Simulator
+from repro.protocols.nonuniform_clock import NonUniformPhaseClock
+
+
+class TestConfiguration:
+    def test_ring_size(self):
+        clock = NonUniformPhaseClock(log_n_estimate=10, hours=3, phase_factor=8)
+        assert clock.hour_length == 80
+        assert clock.ring_size == 240
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NonUniformPhaseClock(log_n_estimate=0)
+        with pytest.raises(ValueError):
+            NonUniformPhaseClock(log_n_estimate=5, hours=0)
+        with pytest.raises(ValueError):
+            NonUniformPhaseClock(log_n_estimate=5, phase_factor=0)
+
+    def test_initial_state_zero(self, rng):
+        assert NonUniformPhaseClock(log_n_estimate=5).initial_state(rng) == 0
+
+    def test_memory_is_logarithmic_in_ring_size(self):
+        clock = NonUniformPhaseClock(log_n_estimate=10)
+        assert clock.memory_bits(0) == math.ceil(math.log2(clock.ring_size))
+
+    def test_describe_mentions_nonuniform_parameter(self):
+        assert NonUniformPhaseClock(log_n_estimate=12).describe()["log_n_estimate"] == 12
+
+
+class TestTransitions:
+    def test_initiator_advances_past_responder(self, make_ctx):
+        clock = NonUniformPhaseClock(log_n_estimate=10)
+        u, v = clock.interact(5, 9, make_ctx())
+        assert u == 10
+        assert v == 9
+
+    def test_wrap_emits_tick(self, make_ctx, event_collector):
+        clock = NonUniformPhaseClock(log_n_estimate=1, hours=3, phase_factor=1)  # ring = 3
+        u, v = clock.interact(2, 2, make_ctx(sink=event_collector))
+        assert u == 0
+        assert event_collector.kinds() == ["tick"]
+
+    def test_output_is_hour(self):
+        clock = NonUniformPhaseClock(log_n_estimate=10, hours=3, phase_factor=8)
+        assert clock.output(0) == 0
+        assert clock.output(80) == 1
+        assert clock.output(239) == 2
+        assert clock.phase_of(80) == "hour-1"
+
+
+class TestClockBehaviour:
+    def test_population_stays_roughly_synchronised(self):
+        n = 150
+        clock = NonUniformPhaseClock(log_n_estimate=math.log2(n))
+        simulator = Simulator(clock, n, seed=31)
+        simulator.run(200)
+        values = list(simulator.states())
+        spread = max(values) - min(values)
+        # Counters stay within a band much smaller than the ring (unless the
+        # population is currently wrapping, in which case the spread is close
+        # to the full ring size; accept either situation).
+        assert spread <= clock.ring_size
+        near_wrap = max(values) > clock.ring_size * 0.9 and min(values) < clock.ring_size * 0.1
+        assert spread < clock.ring_size // 2 or near_wrap
+
+    def test_ticks_form_periodic_bursts(self):
+        n = 100
+        clock = NonUniformPhaseClock(log_n_estimate=math.log2(n))
+        recorder = EventRecorder(kinds={"tick"})
+        simulator = Simulator(clock, n, seed=32, recorders=[recorder])
+        simulator.run(600)
+        report = analyze_synchrony(recorder.events, n, gap_threshold=3 * n)
+        assert report.total_bursts >= 2
+        assert report.mean_period() > 0

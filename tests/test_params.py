@@ -1,0 +1,94 @@
+"""Tests for the protocol parameter presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParameters, empirical_parameters, theory_parameters
+
+
+class TestValidation:
+    def test_phase_constants_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(tau1=2, tau2=4, tau3=1, tau_prime=10)
+        with pytest.raises(ValueError):
+            ProtocolParameters(tau1=4, tau2=4, tau3=1, tau_prime=10)
+
+    def test_tau_prime_positive(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(tau1=6, tau2=4, tau3=2, tau_prime=0)
+
+    def test_k_at_least_one(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(tau1=6, tau2=4, tau3=2, tau_prime=20, k=0)
+
+    def test_overestimation_at_least_one(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters(tau1=6, tau2=4, tau3=2, tau_prime=20, overestimation=0.5)
+
+    def test_grv_samples_defaults_to_k(self):
+        params = ProtocolParameters(tau1=6, tau2=4, tau3=2, tau_prime=20, k=7)
+        assert params.grv_samples == 7
+
+    def test_explicit_grv_samples(self):
+        params = ProtocolParameters(tau1=6, tau2=4, tau3=2, tau_prime=20, k=7, grv_samples=3)
+        assert params.grv_samples == 3
+
+    def test_frozen(self):
+        params = empirical_parameters()
+        with pytest.raises(AttributeError):
+            params.tau1 = 99  # type: ignore[misc]
+
+
+class TestHelpers:
+    def test_thresholds(self):
+        params = empirical_parameters()
+        assert params.exchange_threshold(10) == 40
+        assert params.hold_threshold(10) == 20
+        assert params.reset_time(10) == 60
+        assert params.backup_threshold(10) == 200
+
+    def test_overestimate(self):
+        params = theory_parameters(k=2)
+        assert params.overestimate(3) == 20 * 3 * 3  # 20 (k + 1) * grv
+
+    def test_round_length_estimate_monotone(self):
+        params = empirical_parameters()
+        assert params.round_length_estimate(20) > params.round_length_estimate(10)
+
+    def test_describe_round_trips_fields(self):
+        params = empirical_parameters()
+        description = params.describe()
+        assert description["tau1"] == params.tau1
+        assert description["k"] == params.k
+
+
+class TestPresets:
+    def test_empirical_matches_paper_section_5(self):
+        params = empirical_parameters()
+        assert (params.tau1, params.tau2, params.tau3) == (6.0, 4.0, 2.0)
+        assert params.tau_prime == 20.0
+        assert params.k == 16
+        assert params.overestimation == 1.0
+
+    def test_theory_matches_lemma_4_5(self):
+        params = theory_parameters(k=2)
+        assert params.tau1 == 1140 * 2
+        assert params.tau2 == 1119 * 2
+        assert params.tau3 == 454 * 2
+        assert params.tau_prime == 4350 * 2
+        assert params.overestimation == 20 * 3
+
+    def test_theory_requires_k_at_least_two(self):
+        with pytest.raises(ValueError):
+            theory_parameters(k=1)
+
+    def test_empirical_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            empirical_parameters(k=0)
+
+    def test_theory_constants_satisfy_ordering_for_various_k(self):
+        for k in (2, 3, 5, 10):
+            params = theory_parameters(k)
+            assert params.tau1 > params.tau2 > params.tau3 > 0
+            assert params.tau_prime > params.tau1

@@ -1,0 +1,101 @@
+"""Tests for the UniformPhaseClock wrapper and Theorem 2.2 behaviour."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.synchronization import analyze_synchrony
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.params import empirical_parameters
+from repro.core.phase_clock import UniformPhaseClock
+from repro.core.state import CountingState, Phase
+from repro.engine.recorder import EventRecorder
+from repro.engine.simulator import Simulator
+
+
+class TestWrapper:
+    def test_params_exposed(self):
+        clock = UniformPhaseClock()
+        assert clock.params.tau1 == 6.0
+
+    def test_wraps_custom_counting_protocol(self):
+        counting = DynamicSizeCounting(empirical_parameters(k=4))
+        clock = UniformPhaseClock(counting)
+        assert clock.counting is counting
+        assert clock.params.k == 4
+
+    def test_initial_state_delegates(self, rng):
+        clock = UniformPhaseClock()
+        state = clock.initial_state(rng)
+        assert state.max_value == 1
+
+    def test_output_is_estimate(self):
+        clock = UniformPhaseClock()
+        assert clock.output(CountingState(max_value=11, last_max=7)) == 11.0
+
+    def test_hour_of(self):
+        clock = UniformPhaseClock()
+        assert clock.hour_of(CountingState(max_value=10, last_max=10, time=50)) is Phase.EXCHANGE
+        assert clock.hour_of(CountingState(max_value=10, last_max=10, time=5)) is Phase.RESET
+
+    def test_hand_position_range(self):
+        clock = UniformPhaseClock()
+        fresh = CountingState(max_value=10, last_max=10, time=60)
+        nearly_done = CountingState(max_value=10, last_max=10, time=1)
+        assert clock.hand_position(fresh) == 0.0
+        assert 0.9 < clock.hand_position(nearly_done) <= 1.0
+        # Degenerate states clamp instead of exploding.
+        assert clock.hand_position(CountingState(max_value=0, last_max=0, time=5)) == 0.0
+
+    def test_expected_round_length_monotone(self):
+        clock = UniformPhaseClock()
+        assert clock.expected_round_length(20) > clock.expected_round_length(10)
+
+    def test_memory_bits_delegates(self):
+        clock = UniformPhaseClock()
+        state = CountingState(max_value=10, last_max=10, time=60)
+        assert clock.memory_bits(state) == clock.counting.memory_bits(state)
+
+    def test_describe_nests_counting_description(self):
+        description = UniformPhaseClock().describe()
+        assert description["counting"]["name"] == "dynamic-size-counting"
+
+    def test_reset_events_relabelled_as_ticks(self, make_ctx, event_collector):
+        clock = UniformPhaseClock()
+        u = CountingState(max_value=10, last_max=10, time=0)
+        v = CountingState(max_value=10, last_max=10, time=20)
+        clock.interact(u, v, make_ctx(sink=event_collector))
+        assert event_collector.kinds() == ["tick"]
+
+
+class TestTheorem22Behaviour:
+    def test_every_agent_ticks_once_per_burst(self):
+        """The core claim of Theorem 2.2, checked on a converged population."""
+        n = 100
+        clock = UniformPhaseClock()
+        recorder = EventRecorder(kinds={"tick"})
+        simulator = Simulator(clock, n, seed=71, recorders=[recorder])
+        simulator.run(1400)
+        # Ignore the convergence transient: analyse ticks from the second half.
+        cutoff = simulator.interactions_executed // 2
+        events = [e for e in recorder.events if e.interaction >= cutoff]
+        report = analyze_synchrony(events, n, gap_threshold=3 * n)
+        assert report.total_bursts >= 2
+        assert report.exact_fraction >= 0.7
+
+    def test_period_scales_like_n_log_n(self):
+        """The clock period per agent grows with log n (Theta(n log n) interactions)."""
+        periods = {}
+        for n in (60, 240):
+            clock = UniformPhaseClock()
+            recorder = EventRecorder(kinds={"tick"})
+            simulator = Simulator(clock, n, seed=72, recorders=[recorder])
+            simulator.run(700)
+            cutoff = simulator.interactions_executed // 2
+            events = [e for e in recorder.events if e.interaction >= cutoff]
+            report = analyze_synchrony(events, n, gap_threshold=3 * n)
+            periods[n] = report.mean_period() / n  # period in parallel time
+        # log2(240)/log2(60) is about 1.34; the measured ratio should exceed 1
+        # clearly, and stay well below e.g. linear scaling in n (ratio 4).
+        ratio = periods[240] / periods[60]
+        assert 1.0 < ratio < 3.0

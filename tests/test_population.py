@@ -1,0 +1,136 @@
+"""Tests for repro.engine.population."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.errors import EmptyPopulationError, UnknownAgentError
+from repro.engine.population import Population
+
+
+class TestConstruction:
+    def test_empty(self):
+        pop = Population()
+        assert len(pop) == 0
+        assert pop.size == 0
+        assert not pop.is_interactable()
+
+    def test_from_iterable(self):
+        pop = Population(range(5))
+        assert pop.size == 5
+        assert list(pop) == [0, 1, 2, 3, 4]
+
+    def test_interactable_needs_two(self):
+        assert not Population([1]).is_interactable()
+        assert Population([1, 2]).is_interactable()
+
+
+class TestStateAccess:
+    def test_state_and_set_state(self):
+        pop = Population(["a", "b"])
+        assert pop.state(0) == "a"
+        pop.set_state(0, "z")
+        assert pop[0] == "z"
+
+    def test_out_of_range_raises(self):
+        pop = Population([1, 2])
+        with pytest.raises(UnknownAgentError):
+            pop.state(2)
+        with pytest.raises(UnknownAgentError):
+            pop.set_state(-1, 0)
+
+    def test_stable_ids_initial(self):
+        pop = Population([10, 20, 30])
+        assert list(pop.stable_ids()) == [0, 1, 2]
+
+    def test_states_view_matches_iteration(self):
+        pop = Population([1, 2, 3])
+        assert list(pop.states()) == list(pop)
+
+
+class TestAddRemove:
+    def test_add_returns_fresh_stable_id(self):
+        pop = Population([1, 2])
+        sid = pop.add(3)
+        assert sid == 2
+        assert pop.size == 3
+        assert pop.add(4) == 3
+
+    def test_add_many(self):
+        pop = Population()
+        ids = pop.add_many([5, 6, 7])
+        assert ids == [0, 1, 2]
+        assert pop.size == 3
+
+    def test_remove_returns_state(self):
+        pop = Population(["a", "b", "c"])
+        removed = pop.remove(0)
+        assert removed == "a"
+        assert pop.size == 2
+        assert set(pop) == {"b", "c"}
+
+    def test_remove_preserves_stable_id_mapping(self):
+        pop = Population(["a", "b", "c"])
+        pop.remove(0)  # swap-with-last: "c" moves to slot 0
+        remaining = {pop.stable_id(i): pop.state(i) for i in range(pop.size)}
+        assert remaining == {2: "c", 1: "b"}
+
+    def test_stable_ids_never_reused(self):
+        pop = Population(["a", "b"])
+        pop.remove(1)
+        new_id = pop.add("c")
+        assert new_id == 2  # id 1 is not reused
+
+    def test_remove_out_of_range(self):
+        pop = Population([1, 2])
+        with pytest.raises(UnknownAgentError):
+            pop.remove(5)
+
+
+class TestRandomRemoval:
+    def test_remove_random_count(self, rng):
+        pop = Population(range(50))
+        removed = pop.remove_random(20, rng)
+        assert len(removed) == 20
+        assert pop.size == 30
+
+    def test_remove_random_too_many(self, rng):
+        pop = Population(range(5))
+        with pytest.raises(EmptyPopulationError):
+            pop.remove_random(6, rng)
+
+    def test_remove_random_negative(self, rng):
+        pop = Population(range(5))
+        with pytest.raises(ValueError):
+            pop.remove_random(-1, rng)
+
+    def test_downsize_to(self, rng):
+        pop = Population(range(100))
+        pop.downsize_to(10, rng)
+        assert pop.size == 10
+
+    def test_downsize_to_noop_when_smaller(self, rng):
+        pop = Population(range(5))
+        assert pop.downsize_to(10, rng) == []
+        assert pop.size == 5
+
+    def test_downsize_negative_target(self, rng):
+        pop = Population(range(5))
+        with pytest.raises(ValueError):
+            pop.downsize_to(-1, rng)
+
+    def test_downsize_keeps_subset_of_original(self, rng):
+        pop = Population(range(30))
+        pop.downsize_to(7, rng)
+        assert set(pop).issubset(set(range(30)))
+        assert len(set(pop)) == 7
+
+
+class TestAggregates:
+    def test_map_states(self):
+        pop = Population([1, 2, 3])
+        assert pop.map_states(lambda x: x * 2) == [2, 4, 6]
+
+    def test_count_where(self):
+        pop = Population(range(10))
+        assert pop.count_where(lambda x: x % 2 == 0) == 5

@@ -1,0 +1,107 @@
+"""Tests for the protocol abstraction (repro.engine.protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.protocol import InteractionContext, OneWayProtocol, Protocol, ProtocolEvent
+from repro.engine.rng import RandomSource
+
+
+class Adder(Protocol[int]):
+    """Toy two-way protocol: both agents move to the sum of their states."""
+
+    name = "adder"
+
+    def initial_state(self, rng):
+        return 1
+
+    def interact(self, u, v, ctx):
+        total = u + v
+        return total, total
+
+
+class Decrementer(OneWayProtocol[int]):
+    """Toy one-way protocol: the initiator decrements towards the responder."""
+
+    name = "decrementer"
+
+    def initial_state(self, rng):
+        return 10
+
+    def update_initiator(self, u, v, ctx):
+        return min(u, v) - 1
+
+
+class TestProtocolDefaults:
+    def test_output_defaults_to_state(self):
+        assert Adder().output(42) == 42
+
+    def test_memory_bits_for_ints(self):
+        protocol = Adder()
+        assert protocol.memory_bits(0) == 1
+        assert protocol.memory_bits(1) == 1
+        assert protocol.memory_bits(7) == 3
+        assert protocol.memory_bits(8) == 4
+
+    def test_memory_bits_for_bool(self):
+        assert Adder().memory_bits(True) == 1
+
+    def test_memory_bits_unknown_type_raises(self):
+        with pytest.raises(NotImplementedError):
+            Adder().memory_bits("not an int")
+
+    def test_describe_contains_name(self):
+        description = Adder().describe()
+        assert description["name"] == "adder"
+        assert description["class"] == "Adder"
+
+
+class TestOneWayProtocol:
+    def test_responder_unchanged(self, make_ctx):
+        protocol = Decrementer()
+        u, v = protocol.interact(10, 5, make_ctx())
+        assert v == 5
+        assert u == 4
+
+
+class TestInteractionContext:
+    def test_reset_updates_fields(self, rng):
+        ctx = InteractionContext(rng)
+        ctx.reset(17, 3, 8)
+        assert ctx.interaction == 17
+        assert ctx.initiator_id == 3
+        assert ctx.responder_id == 8
+
+    def test_emit_without_sink_is_noop(self, rng):
+        ctx = InteractionContext(rng, sink=None)
+        ctx.reset(0, 1, 2)
+        ctx.emit("tick")  # must not raise
+        assert not ctx.has_sink
+
+    def test_emit_defaults_agent_to_initiator(self, rng, event_collector):
+        ctx = InteractionContext(rng, sink=event_collector)
+        ctx.reset(5, 11, 22)
+        ctx.emit("reset", grv=4)
+        assert len(event_collector.events) == 1
+        event = event_collector.events[0]
+        assert isinstance(event, ProtocolEvent)
+        assert event.kind == "reset"
+        assert event.agent_id == 11
+        assert event.interaction == 5
+        assert event.data == {"grv": 4}
+
+    def test_emit_explicit_agent(self, rng, event_collector):
+        ctx = InteractionContext(rng, sink=event_collector)
+        ctx.reset(5, 11, 22)
+        ctx.emit("eliminated", agent_id=22)
+        assert event_collector.events[0].agent_id == 22
+
+    def test_has_sink(self, rng, event_collector):
+        assert InteractionContext(rng, sink=event_collector).has_sink
+        assert not InteractionContext(rng).has_sink
+
+    def test_rng_accessible(self):
+        source = RandomSource.from_seed(0)
+        ctx = InteractionContext(source)
+        assert ctx.rng is source

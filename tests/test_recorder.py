@@ -1,0 +1,113 @@
+"""Tests for repro.engine.recorder."""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.population import Population
+from repro.engine.protocol import ProtocolEvent
+from repro.engine.recorder import (
+    EstimateRecorder,
+    EventRecorder,
+    MemoryRecorder,
+    PhaseOccupancyRecorder,
+    PopulationSizeRecorder,
+    SnapshotStats,
+)
+from repro.protocols.epidemic import MaxEpidemic
+
+
+class TestSnapshotStats:
+    def test_true_log_n(self):
+        stats = SnapshotStats(parallel_time=1, population_size=1024, minimum=1, median=2, maximum=3)
+        assert stats.true_log_n == 10.0
+
+    def test_true_log_n_empty_population(self):
+        stats = SnapshotStats(parallel_time=1, population_size=0, minimum=0, median=0, maximum=0)
+        assert math.isnan(stats.true_log_n)
+
+
+class TestEstimateRecorder:
+    def test_min_median_max(self):
+        recorder = EstimateRecorder()
+        pop = Population([1, 5, 3, 9, 7])
+        recorder.on_snapshot(4, pop, MaxEpidemic())
+        row = recorder.rows[0]
+        assert row.minimum == 1
+        assert row.median == 5
+        assert row.maximum == 9
+        assert row.parallel_time == 4
+        assert row.population_size == 5
+
+    def test_even_population_median(self):
+        recorder = EstimateRecorder()
+        recorder.on_snapshot(0, Population([1, 2, 3, 4]), MaxEpidemic())
+        assert recorder.rows[0].median == 2.5
+
+    def test_custom_output_fn(self):
+        recorder = EstimateRecorder(output_fn=lambda state: state * 10)
+        recorder.on_snapshot(0, Population([1, 2]), MaxEpidemic())
+        assert recorder.rows[0].maximum == 20
+
+    def test_series_columns_aligned(self):
+        recorder = EstimateRecorder()
+        protocol = MaxEpidemic()
+        recorder.on_snapshot(1, Population([1, 2]), protocol)
+        recorder.on_snapshot(2, Population([3, 4]), protocol)
+        series = recorder.series()
+        assert series["parallel_time"] == [1.0, 2.0]
+        assert series["maximum"] == [2.0, 4.0]
+        assert len(series["minimum"]) == len(series["median"]) == 2
+
+
+class TestPopulationSizeRecorder:
+    def test_sizes(self):
+        recorder = PopulationSizeRecorder()
+        recorder.on_snapshot(1, Population([1, 2, 3]), MaxEpidemic())
+        recorder.on_snapshot(2, Population([1]), MaxEpidemic())
+        assert recorder.sizes() == [3, 1]
+
+
+class TestPhaseOccupancyRecorder:
+    def test_counts_phases(self):
+        recorder = PhaseOccupancyRecorder(lambda state: "even" if state % 2 == 0 else "odd")
+        recorder.on_snapshot(3, Population([0, 1, 2, 3, 4]), MaxEpidemic())
+        row = recorder.rows[0]
+        assert row["even"] == 3
+        assert row["odd"] == 2
+        assert row["parallel_time"] == 3
+
+
+class TestEventRecorder:
+    def test_filters_by_kind(self):
+        recorder = EventRecorder(kinds={"tick"})
+        recorder.on_event(ProtocolEvent("tick", agent_id=1, interaction=10))
+        recorder.on_event(ProtocolEvent("other", agent_id=2, interaction=11))
+        assert len(recorder.events) == 1
+        assert recorder.events[0].kind == "tick"
+
+    def test_collects_all_without_filter(self):
+        recorder = EventRecorder()
+        recorder.on_event(ProtocolEvent("a", 1, 1))
+        recorder.on_event(ProtocolEvent("b", 1, 2))
+        assert len(recorder.events) == 2
+        assert len(recorder.events_of_kind("a")) == 1
+
+
+class TestMemoryRecorder:
+    def test_bits_tracked(self):
+        recorder = MemoryRecorder()
+        recorder.on_snapshot(1, Population([1, 255]), MaxEpidemic())
+        row = recorder.rows[0]
+        assert row["max_bits"] == 8.0
+        assert row["mean_bits"] == (1 + 8) / 2
+
+    def test_peak_bits(self):
+        recorder = MemoryRecorder()
+        protocol = MaxEpidemic()
+        recorder.on_snapshot(1, Population([1, 3]), protocol)
+        recorder.on_snapshot(2, Population([1, 1023]), protocol)
+        assert recorder.peak_bits() == 10.0
+
+    def test_peak_bits_empty(self):
+        assert MemoryRecorder().peak_bits() == 0.0

@@ -1,0 +1,136 @@
+"""Tests for repro.engine.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RandomSource, make_rng, spawn_streams
+
+
+class TestMakeRng:
+    def test_same_seed_same_sequence(self):
+        a = make_rng(7)
+        b = make_rng(7)
+        assert list(a.integers(0, 100, size=10)) == list(b.integers(0, 100, size=10))
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1)
+        b = make_rng(2)
+        assert list(a.integers(0, 1_000_000, size=10)) != list(b.integers(0, 1_000_000, size=10))
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        assert len(spawn_streams(3, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_streams(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(3, -1)
+
+    def test_streams_are_independent(self):
+        streams = spawn_streams(11, 2)
+        a = list(streams[0].integers(0, 1_000_000, size=20))
+        b = list(streams[1].integers(0, 1_000_000, size=20))
+        assert a != b
+
+    def test_reproducible_from_root_seed(self):
+        first = spawn_streams(99, 3)
+        second = spawn_streams(99, 3)
+        for x, y in zip(first, second):
+            assert list(x.integers(0, 1000, size=5)) == list(y.integers(0, 1000, size=5))
+
+
+class TestRandomSource:
+    def test_coin_is_boolean(self, rng):
+        assert all(isinstance(rng.coin(), bool) for _ in range(10))
+
+    def test_coin_is_roughly_fair(self, rng):
+        heads = sum(rng.coin() for _ in range(4000))
+        assert 1700 < heads < 2300
+
+    def test_biased_coin_extremes(self, rng):
+        assert all(rng.biased_coin(1.0) for _ in range(10))
+        assert not any(rng.biased_coin(0.0) for _ in range(10))
+
+    def test_biased_coin_rejects_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            rng.biased_coin(1.5)
+        with pytest.raises(ValueError):
+            rng.biased_coin(-0.1)
+
+    def test_geometric_support(self, rng):
+        samples = [rng.geometric() for _ in range(2000)]
+        assert min(samples) >= 1
+        # P[X = 1] = 1/2, so roughly half the samples should be 1.
+        ones = samples.count(1)
+        assert 800 < ones < 1200
+
+    def test_geometric_max_at_least_single(self, rng):
+        assert rng.geometric_max(0) == 1
+        for _ in range(100):
+            assert rng.geometric_max(5) >= 1
+
+    def test_geometric_max_grows_with_count(self, rng):
+        small = np.mean([rng.geometric_max(1) for _ in range(500)])
+        large = np.mean([rng.geometric_max(64) for _ in range(500)])
+        assert large > small + 3  # log2(64) = 6 expected shift
+
+    def test_geometric_max_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            rng.geometric_max(-1)
+
+    def test_uniform_index_range(self, rng):
+        values = {rng.uniform_index(5) for _ in range(200)}
+        assert values == {0, 1, 2, 3, 4}
+
+    def test_uniform_index_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            rng.uniform_index(0)
+
+    def test_ordered_pair_distinct(self, rng):
+        for _ in range(500):
+            i, j = rng.ordered_pair(7)
+            assert i != j
+            assert 0 <= i < 7
+            assert 0 <= j < 7
+
+    def test_ordered_pair_requires_two_agents(self, rng):
+        with pytest.raises(ValueError):
+            rng.ordered_pair(1)
+
+    def test_ordered_pair_covers_all_pairs(self, rng):
+        seen = {rng.ordered_pair(3) for _ in range(500)}
+        assert seen == {(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)}
+
+    def test_ordered_pairs_vectorised_distinct(self, rng):
+        initiators, responders = rng.ordered_pairs(10, 1000)
+        assert len(initiators) == len(responders) == 1000
+        assert not np.any(initiators == responders)
+        assert initiators.min() >= 0 and initiators.max() < 10
+        assert responders.min() >= 0 and responders.max() < 10
+
+    def test_ordered_pairs_rejects_bad_input(self, rng):
+        with pytest.raises(ValueError):
+            rng.ordered_pairs(1, 5)
+        with pytest.raises(ValueError):
+            rng.ordered_pairs(5, -1)
+
+    def test_shuffled_is_permutation(self, rng):
+        items = list(range(20))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+
+    def test_spawn_children_are_independent(self, rng):
+        children = list(rng.spawn(2))
+        a = [children[0].geometric() for _ in range(20)]
+        b = [children[1].geometric() for _ in range(20)]
+        assert a != b
+
+    def test_from_seed_reproducible(self):
+        a = RandomSource.from_seed(5)
+        b = RandomSource.from_seed(5)
+        assert [a.geometric() for _ in range(10)] == [b.geometric() for _ in range(10)]

@@ -1,0 +1,76 @@
+"""Tests for the multi-trial runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.recorder import EstimateRecorder
+from repro.engine.runner import TrialRunner, aggregate_series
+from repro.engine.simulator import Simulator
+from repro.protocols.static_counting import MaxGrvCounting
+
+
+class TestAggregateSeries:
+    def test_basic_aggregation(self):
+        agg = aggregate_series("x", [0, 1, 2], [[1, 2, 3], [3, 2, 1], [2, 2, 2]])
+        assert agg.minimum == [1, 2, 1]
+        assert agg.median == [2, 2, 2]
+        assert agg.maximum == [3, 2, 3]
+        assert agg.index == [0, 1, 2]
+
+    def test_truncates_to_shortest_trial(self):
+        agg = aggregate_series("x", [0, 1, 2], [[1, 2, 3], [4, 5]])
+        assert len(agg.minimum) == 2
+
+    def test_empty_trials(self):
+        agg = aggregate_series("x", [0, 1], [])
+        assert agg.minimum == []
+        assert agg.as_dict()["median"] == []
+
+    def test_even_number_of_trials_median(self):
+        agg = aggregate_series("x", [0], [[1.0], [3.0]])
+        assert agg.median == [2.0]
+
+    def test_as_dict_round_trip(self):
+        agg = aggregate_series("x", [0, 1], [[1, 2]])
+        data = agg.as_dict()
+        assert set(data) == {"index", "minimum", "median", "maximum"}
+
+
+class TestTrialRunner:
+    @staticmethod
+    def _trial(trial_index, rng):
+        recorder = EstimateRecorder()
+        simulator = Simulator(MaxGrvCounting(), 50, rng=rng, recorders=[recorder])
+        result = simulator.run(20)
+        series = recorder.series()
+        return result, {"parallel_time": series["parallel_time"], "maximum": series["maximum"]}
+
+    def test_runs_requested_trials(self):
+        runner = TrialRunner(self._trial, trials=3, seed=1)
+        outcomes = runner.run()
+        assert len(outcomes) == 3
+        assert [o.trial for o in outcomes] == [0, 1, 2]
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            TrialRunner(self._trial, trials=0, seed=1)
+
+    def test_trials_use_independent_streams(self):
+        runner = TrialRunner(self._trial, trials=2, seed=5)
+        outcomes = runner.run()
+        # Different random streams almost surely give different trajectories.
+        assert outcomes[0].data["maximum"] != outcomes[1].data["maximum"]
+
+    def test_run_and_aggregate(self):
+        runner = TrialRunner(self._trial, trials=3, seed=2)
+        outcomes, aggregated = runner.run_and_aggregate("maximum")
+        assert len(outcomes) == 3
+        assert len(aggregated.maximum) == len(aggregated.index) > 0
+        # The estimate is the max of GRVs, so it is at least 1 everywhere.
+        assert all(value >= 1 for value in aggregated.minimum)
+
+    def test_reproducible_with_same_seed(self):
+        first = TrialRunner(self._trial, trials=2, seed=9).run()
+        second = TrialRunner(self._trial, trials=2, seed=9).run()
+        assert first[0].data["maximum"] == second[0].data["maximum"]

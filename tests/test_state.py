@@ -1,0 +1,121 @@
+"""Tests for the counting state and phase classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import empirical_parameters, theory_parameters
+from repro.core.state import CountingState, Phase, classify_phase, state_memory_bits
+
+
+class TestCountingState:
+    def test_fresh_state_matches_paper(self):
+        params = empirical_parameters()
+        state = CountingState.fresh(params)
+        assert state.max_value == 1.0
+        assert state.last_max == 1.0
+        assert state.time == params.tau1
+        assert state.interactions == 0
+
+    def test_effective_max(self):
+        assert CountingState(max_value=3, last_max=7).effective_max == 7
+        assert CountingState(max_value=9, last_max=7).effective_max == 9
+
+    def test_estimate_divides_out_overestimation(self):
+        params = theory_parameters(k=2)  # overestimation = 60
+        state = CountingState(max_value=600, last_max=1)
+        assert state.estimate(params) == 10.0
+
+    def test_estimate_without_overestimation(self):
+        params = empirical_parameters()
+        assert CountingState(max_value=13, last_max=10).estimate(params) == 13.0
+
+    def test_copy_independent(self):
+        state = CountingState(max_value=5, last_max=4, time=30, interactions=2)
+        clone = state.copy()
+        clone.max_value = 99
+        assert state.max_value == 5
+
+    def test_as_dict(self):
+        state = CountingState(max_value=5, last_max=4, time=30, interactions=2)
+        assert state.as_dict() == {"max": 5, "last_max": 4, "time": 30, "interactions": 2}
+
+    def test_with_estimate_in_exchange(self):
+        params = empirical_parameters()
+        state = CountingState.with_estimate(60, params)
+        assert state.max_value == 60
+        assert state.time == params.tau1 * 60
+        assert classify_phase(state, params) is Phase.EXCHANGE
+
+    def test_with_estimate_mid_clock(self):
+        params = empirical_parameters()
+        state = CountingState.with_estimate(60, params, in_exchange=False)
+        assert classify_phase(state, params) is Phase.HOLD
+
+    def test_with_estimate_applies_overestimation(self):
+        params = theory_parameters(k=2)
+        state = CountingState.with_estimate(10, params)
+        assert state.max_value == 10 * params.overestimation
+
+    def test_with_estimate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CountingState.with_estimate(0, empirical_parameters())
+
+
+class TestPhaseClassification:
+    def setup_method(self):
+        self.params = empirical_parameters()  # tau1=6, tau2=4, tau3=2
+
+    def test_exchange_phase(self):
+        state = CountingState(max_value=10, last_max=10, time=40)
+        assert classify_phase(state, self.params) is Phase.EXCHANGE
+
+    def test_hold_phase(self):
+        state = CountingState(max_value=10, last_max=10, time=39)
+        assert classify_phase(state, self.params) is Phase.HOLD
+        state.time = 20
+        assert classify_phase(state, self.params) is Phase.HOLD
+
+    def test_reset_phase(self):
+        state = CountingState(max_value=10, last_max=10, time=19)
+        assert classify_phase(state, self.params) is Phase.RESET
+        state.time = 0
+        assert classify_phase(state, self.params) is Phase.RESET
+
+    def test_negative_time_counts_as_reset(self):
+        state = CountingState(max_value=10, last_max=10, time=-5)
+        assert classify_phase(state, self.params) is Phase.RESET
+
+    def test_phases_partition_the_time_axis(self):
+        """Every time value maps to exactly one phase (they form a partition)."""
+        state = CountingState(max_value=10, last_max=10)
+        seen_phases = set()
+        for time in range(-5, 70):
+            state.time = time
+            seen_phases.add(classify_phase(state, self.params))
+        assert seen_phases == {Phase.EXCHANGE, Phase.HOLD, Phase.RESET}
+
+    def test_scale_uses_larger_of_max_and_last_max(self):
+        # With lastMax = 20 the exchange threshold is 80, not 40.
+        state = CountingState(max_value=10, last_max=20, time=50)
+        assert classify_phase(state, self.params) is Phase.HOLD
+
+    def test_phase_enum_string(self):
+        assert str(Phase.EXCHANGE) == "exchange"
+
+
+class TestMemoryAccounting:
+    def test_fresh_state_is_small(self):
+        bits = state_memory_bits(CountingState.fresh(empirical_parameters()))
+        assert bits <= 10
+
+    def test_bits_grow_logarithmically(self):
+        small = state_memory_bits(CountingState(max_value=8, last_max=8, time=48, interactions=10))
+        large = state_memory_bits(
+            CountingState(max_value=8000, last_max=8000, time=48000, interactions=10)
+        )
+        assert large > small
+        assert large - small <= 35  # log-scale growth, not linear
+
+    def test_minimum_one_bit_per_variable(self):
+        assert state_memory_bits(CountingState(max_value=0, last_max=0, time=0, interactions=0)) == 4

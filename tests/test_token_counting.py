@@ -1,0 +1,123 @@
+"""Tests for the leader-and-token counting baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.adversary import RemoveAgentsAt
+from repro.engine.population import Population
+from repro.engine.simulator import Simulator
+from repro.protocols.token_counting import TokenCounting, TokenCountingState
+
+
+class TestSetup:
+    def test_new_agents_are_followers(self, rng):
+        state = TokenCounting().initial_state(rng)
+        assert not state.is_leader
+        assert state.tokens == 0
+
+    def test_initial_population_has_one_leader(self, rng):
+        population = TokenCounting().make_initial_population(10, rng)
+        leaders = population.count_where(lambda s: s.is_leader)
+        assert leaders == 1
+        assert population.size == 10
+
+    def test_initial_population_minimum_size(self, rng):
+        with pytest.raises(ValueError):
+            TokenCounting().make_initial_population(1, rng)
+
+    def test_invalid_round_length(self):
+        with pytest.raises(ValueError):
+            TokenCounting(round_length=0)
+
+
+class TestTransitions:
+    def test_token_balancing_splits_evenly(self, make_ctx):
+        protocol = TokenCounting()
+        u = TokenCountingState(tokens=5)
+        v = TokenCountingState(tokens=0)
+        u, v = protocol.interact(u, v, make_ctx())
+        assert u.tokens + v.tokens == 5
+        assert abs(u.tokens - v.tokens) <= 1
+
+    def test_empty_flag_set_when_balancing_leaves_an_agent_empty(self, make_ctx):
+        protocol = TokenCounting(round_length=64)
+        late = 64  # past the balancing half of the round
+        u = TokenCountingState(tokens=1, interactions_in_round=late)
+        v = TokenCountingState(tokens=0, interactions_in_round=late)
+        u, v = protocol.interact(u, v, make_ctx())
+        # A single token cannot be split: one agent stays empty, which raises
+        # the "M was too small" flag on both participants.
+        assert u.saw_empty and v.saw_empty
+
+    def test_empty_flag_not_set_during_balancing_half(self, make_ctx):
+        protocol = TokenCounting(round_length=64)
+        u = TokenCountingState(tokens=1, interactions_in_round=0)
+        v = TokenCountingState(tokens=0, interactions_in_round=0)
+        u, v = protocol.interact(u, v, make_ctx())
+        # Early in the round emptiness is expected (tokens are still being
+        # spread), so no shortage is signalled yet.
+        assert not u.saw_empty and not v.saw_empty
+
+    def test_empty_flag_not_set_when_everyone_gets_tokens(self, make_ctx):
+        protocol = TokenCounting(round_length=64)
+        u = TokenCountingState(tokens=0, interactions_in_round=64)
+        v = TokenCountingState(tokens=4, interactions_in_round=64)
+        u, v = protocol.interact(u, v, make_ctx())
+        # Balancing gives both agents tokens, so no shortage is signalled.
+        assert not u.saw_empty and not v.saw_empty
+
+    def test_round_sync_clears_stale_flag(self, make_ctx):
+        protocol = TokenCounting()
+        stale = TokenCountingState(tokens=3, round_id=0, saw_empty=True)
+        newer = TokenCountingState(tokens=3, round_id=2, saw_empty=False)
+        u, v = protocol.interact(stale, newer, make_ctx())
+        assert u.round_id == 2
+
+    def test_final_estimate_spreads(self, make_ctx):
+        protocol = TokenCounting()
+        done = TokenCountingState(tokens=1, done=True, estimate=6.0)
+        fresh = TokenCountingState(tokens=1)
+        u, v = protocol.interact(fresh, done, make_ctx())
+        assert u.done and u.estimate == 6.0
+
+    def test_state_copy_independent(self):
+        state = TokenCountingState(tokens=4)
+        clone = state.copy()
+        clone.tokens = 9
+        assert state.tokens == 4
+
+    def test_memory_bits_positive(self):
+        protocol = TokenCounting()
+        assert protocol.memory_bits(TokenCountingState(tokens=8, total_tokens=16)) > 8
+
+
+class TestEndToEnd:
+    def test_estimates_log_n_within_constant(self, rng):
+        n = 64
+        protocol = TokenCounting(round_length=3 * n)
+        population = protocol.make_initial_population(n, rng)
+        simulator = Simulator(protocol, population, seed=15)
+        simulator.run(3_000)
+        assert protocol.has_converged(simulator.population)
+        estimates = {s.estimate for s in simulator.states()}
+        assert len(estimates) == 1
+        estimate = estimates.pop()
+        assert abs(estimate - math.log2(n)) <= 3  # log n +- O(1) style guarantee
+
+    def test_breaks_when_leader_removed(self, rng):
+        """The paper's argument: remove the single leader and progress stops."""
+        n = 64
+        protocol = TokenCounting(round_length=6 * n)
+        population = protocol.make_initial_population(n, rng)
+        # Remove the leader (slot 0 initially) right at the start.
+        leader_slot = next(
+            i for i in range(population.size) if population.state(i).is_leader
+        )
+        population.remove(leader_slot)
+        simulator = Simulator(protocol, population, seed=16)
+        simulator.run(1_000)
+        assert not protocol.has_converged(simulator.population)
+        assert all(s.estimate == 0.0 for s in simulator.states())
