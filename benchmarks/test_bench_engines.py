@@ -1,0 +1,82 @@
+"""Engine x protocol benchmark matrix (engineering, not in the paper).
+
+Times every engine (sequential / array / batched) on every protocol with a
+vectorised counterpart, across a sweep of population sizes — the
+engine-sweep shape of a classic simulator bench harness.  Each cell runs
+once (``pedantic``; these are throughput probes, not micro-benchmarks) and
+records the executed interaction count in ``extra_info`` so that
+interactions-per-second can be derived from the pytest-benchmark JSON.
+
+Population sizes scale with ``REPRO_BENCH_EFFORT`` (see ``conftest.py``):
+the quick preset keeps the whole matrix in seconds, the larger presets let
+the batched engine show its asymptotic advantage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.engine.registry import ENGINE_NAMES, make_engine
+from repro.protocols.epidemic import MaxEpidemic
+from repro.protocols.junta import JuntaElection
+from repro.protocols.majority import ApproximateMajority
+
+#: Scalar protocol factories with registered vectorised counterparts.
+PROTOCOLS = {
+    "dynamic-counting": DynamicSizeCounting,
+    "max-epidemic": MaxEpidemic,
+    "junta-election": JuntaElection,
+    "approximate-majority": ApproximateMajority,
+}
+
+#: Population sizes per effort level.  The exact engines are O(n) Python
+#: work per parallel step, so the sweep stays modest below ``paper``.
+SIZES = {
+    "quick": (200, 500),
+    "default": (500, 2_000, 10_000),
+    "paper": (1_000, 10_000, 100_000),
+}
+
+PARALLEL_TIME = 10
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_bench_engine_matrix(benchmark, effort, engine, protocol_name):
+    sizes = SIZES[effort]
+
+    def sweep() -> int:
+        interactions = 0
+        for n in sizes:
+            simulator = make_engine(engine, PROTOCOLS[protocol_name](), n, seed=1)
+            result = simulator.run(PARALLEL_TIME)
+            assert result.parallel_time == PARALLEL_TIME
+            interactions += result.interactions
+        return interactions
+
+    interactions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["protocol"] = protocol_name
+    benchmark.extra_info["population_sizes"] = list(sizes)
+    benchmark.extra_info["parallel_time_per_size"] = PARALLEL_TIME
+    benchmark.extra_info["interactions_per_run"] = interactions
+    assert interactions == sum(sizes) * PARALLEL_TIME
+
+
+#: Larger single-cell probe of the batched engine (the matrix above keeps
+#: its sizes small so the Python-loop engines stay fast).
+BATCHED_SCALE = {"quick": 50_000, "default": 200_000, "paper": 1_000_000}
+
+
+def test_bench_batched_engine_at_scale(benchmark, effort):
+    n, parallel_time = BATCHED_SCALE[effort], 30
+
+    def run():
+        simulator = make_engine("batched", DynamicSizeCounting(), n, seed=1)
+        return simulator.run(parallel_time)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["population_size"] = n
+    benchmark.extra_info["interactions_per_run"] = result.interactions
+    assert result.interactions == n * parallel_time

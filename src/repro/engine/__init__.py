@@ -2,8 +2,12 @@
 
 The engine package is independent of the paper's specific protocol: it
 provides the random scheduler, the dynamic population, size-change
-adversaries, recorders, multi-trial orchestration, and two execution
-engines (exact sequential and batched/vectorised).
+adversaries, recorders, multi-trial orchestration, and three execution
+engines behind one :class:`repro.engine.api.Engine` contract — exact
+sequential (:class:`Simulator`), exact struct-of-arrays
+(:class:`ArraySimulator`), and batched/vectorised
+(:class:`BatchedSimulator`) — selectable by name through
+:func:`repro.engine.registry.make_engine`.
 """
 
 from repro.engine.adversary import (
@@ -16,7 +20,14 @@ from repro.engine.adversary import (
     ResizeSchedule,
     SizeAdversary,
 )
-from repro.engine.batch_engine import BatchedSimulator, BatchSnapshot, VectorizedProtocol
+from repro.engine.api import Engine, EngineSnapshot, RunResult
+from repro.engine.array_engine import ArrayRunResult, ArraySimulator
+from repro.engine.batch_engine import (
+    BatchedRunResult,
+    BatchedSimulator,
+    BatchSnapshot,
+    VectorizedProtocol,
+)
 from repro.engine.errors import (
     ConfigurationError,
     EmptyPopulationError,
@@ -37,6 +48,14 @@ from repro.engine.recorder import (
     Recorder,
     SnapshotStats,
 )
+from repro.engine.registry import (
+    ENGINE_NAMES,
+    has_vectorized,
+    make_engine,
+    register_vectorized,
+    registered_protocols,
+    vectorized_for,
+)
 from repro.engine.rng import RandomSource, make_rng, spawn_streams
 from repro.engine.runner import AggregatedSeries, TrialOutcome, TrialRunner, aggregate_series
 from repro.engine.simulator import SimulationResult, Simulator
@@ -44,9 +63,15 @@ from repro.engine.simulator import SimulationResult, Simulator
 __all__ = [
     "AddAgentsAt",
     "AggregatedSeries",
+    "ArrayRunResult",
+    "ArraySimulator",
     "BatchSnapshot",
+    "BatchedRunResult",
     "BatchedSimulator",
     "CallbackRecorder",
+    "ENGINE_NAMES",
+    "Engine",
+    "EngineSnapshot",
     "CompositeAdversary",
     "ConfigurationError",
     "EmptyPopulationError",
@@ -70,6 +95,7 @@ __all__ = [
     "RemoveAllButAt",
     "ResizeEvent",
     "ResizeSchedule",
+    "RunResult",
     "SimulationResult",
     "Simulator",
     "SizeAdversary",
@@ -79,6 +105,11 @@ __all__ = [
     "UnknownAgentError",
     "VectorizedProtocol",
     "aggregate_series",
+    "has_vectorized",
+    "make_engine",
     "make_rng",
+    "register_vectorized",
+    "registered_protocols",
     "spawn_streams",
+    "vectorized_for",
 ]

@@ -17,36 +17,50 @@ of the sequential scheduler: information spreads at the same asymptotic rate
 within one parallel time unit is not preserved.
 
 All figure-scale experiments that use this engine are cross-validated at
-small n against the exact :class:`repro.engine.simulator.Simulator` (see
-``tests/test_engine_equivalence.py``); the qualitative shapes of Figs. 2–5
-are insensitive to the within-round interleaving.
+small n against the exact :class:`repro.engine.simulator.Simulator` and the
+exact struct-of-arrays :class:`repro.engine.array_engine.ArraySimulator`
+(see ``tests/test_engine_equivalence.py``); the qualitative shapes of
+Figs. 2–5 are insensitive to the within-round interleaving.
 
 Protocols opt in by implementing the :class:`VectorizedProtocol` interface,
 which represents the whole population as a struct-of-arrays dictionary of
-NumPy vectors.
+NumPy vectors.  The registry in :mod:`repro.engine.registry` maps scalar
+protocol classes to their vectorised counterparts.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.engine.errors import ConfigurationError, EmptyPopulationError
+from repro.engine.api import ArrayStateEngine, EngineSnapshot, RunResult
+from repro.engine.errors import ConfigurationError
 from repro.engine.rng import RandomSource
 
-__all__ = ["VectorizedProtocol", "BatchSnapshot", "BatchedSimulator"]
+__all__ = [
+    "VectorizedProtocol",
+    "BatchSnapshot",
+    "BatchedRunResult",
+    "BatchedSimulator",
+]
 
 
 class VectorizedProtocol(abc.ABC):
-    """Interface for protocols that support the batched engine.
+    """Interface for protocols that support the struct-of-arrays engines.
 
     The population state is a dictionary mapping variable names to NumPy
     arrays of equal length ``n`` ("struct of arrays").  The protocol defines
     how to create initial arrays, how to apply one batch of interactions,
     and how to compute the reported output per agent.
+
+    Protocols that additionally implement :meth:`interact_one` — the same
+    transition applied to a single ``(initiator, responder)`` slot pair —
+    can also run on the exact :class:`repro.engine.array_engine.
+    ArraySimulator`, which preserves sequential semantics over the array
+    state.
     """
 
     #: Human-readable name used in experiment metadata.
@@ -73,6 +87,26 @@ class VectorizedProtocol(abc.ABC):
         later interactions of the batch win.
         """
 
+    def interact_one(
+        self,
+        arrays: dict[str, np.ndarray],
+        initiator: int,
+        responder: int,
+        rng: RandomSource,
+    ) -> None:
+        """Apply a single interaction to slots ``initiator`` / ``responder``.
+
+        Optional: only needed for the exact :class:`repro.engine.
+        array_engine.ArraySimulator`.  Implementations must mirror the
+        scalar protocol's transition *including its random-draw order* so
+        that the array engine reproduces the sequential engine's trajectory
+        under a shared seed.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement interact_one(); it can "
+            f"run on the batched engine but not on the exact array engine"
+        )
+
     @abc.abstractmethod
     def output_array(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
         """Per-agent reported output (e.g. the estimate of log n)."""
@@ -85,37 +119,21 @@ class VectorizedProtocol(abc.ABC):
         return {"name": self.name, "class": type(self).__name__}
 
 
-@dataclass
-class BatchSnapshot:
-    """Aggregate statistics of one snapshot of the batched engine."""
-
-    parallel_time: int
-    population_size: int
-    minimum: float
-    median: float
-    maximum: float
+#: Shared snapshot type under its historical batched-engine name.
+BatchSnapshot = EngineSnapshot
 
 
 @dataclass
-class BatchedRunResult:
-    """Outcome of a batched run: per-snapshot statistics plus metadata."""
+class BatchedRunResult(RunResult):
+    """Outcome of a batched run: per-snapshot statistics plus metadata.
 
-    snapshots: list[BatchSnapshot]
-    parallel_time: int
-    final_size: int
-    metadata: dict[str, Any] = field(default_factory=dict)
-
-    def series(self) -> dict[str, list[float]]:
-        return {
-            "parallel_time": [float(s.parallel_time) for s in self.snapshots],
-            "population_size": [float(s.population_size) for s in self.snapshots],
-            "minimum": [s.minimum for s in self.snapshots],
-            "median": [s.median for s in self.snapshots],
-            "maximum": [s.maximum for s in self.snapshots],
-        }
+    A :class:`repro.engine.api.RunResult` under its historical name; the
+    ``stopped_early`` flag records whether a ``stop_when`` condition fired
+    before the horizon, exactly as on the sequential engine.
+    """
 
 
-class BatchedSimulator:
+class BatchedSimulator(ArrayStateEngine):
     """Vectorised engine executing one parallel time step per batch.
 
     Parameters
@@ -140,6 +158,8 @@ class BatchedSimulator:
         ``tests/test_engine_equivalence.py``).
     """
 
+    name = "batched"
+
     def __init__(
         self,
         protocol: VectorizedProtocol,
@@ -151,45 +171,17 @@ class BatchedSimulator:
         initial_arrays: dict[str, np.ndarray] | None = None,
         sub_batches: int = 8,
     ) -> None:
-        if n < 2:
-            raise ConfigurationError(f"population size must be at least 2, got {n}")
         if sub_batches < 1:
             raise ConfigurationError(f"sub_batches must be at least 1, got {sub_batches}")
         self.sub_batches = int(sub_batches)
-        self.protocol = protocol
-        self.rng = rng if rng is not None else RandomSource.from_seed(seed)
-        if initial_arrays is None:
-            self.arrays = protocol.initial_arrays(n, self.rng)
-        else:
-            self.arrays = {key: np.array(val, copy=True) for key, val in initial_arrays.items()}
-        self._validate_arrays(n)
-        self.parallel_time = 0
-        self._resize_events = sorted(
-            ((int(t), int(size)) for t, size in resize_schedule), key=lambda e: e[0]
+        super().__init__(
+            protocol,
+            n,
+            rng=rng,
+            seed=seed,
+            resize_schedule=resize_schedule,
+            initial_arrays=initial_arrays,
         )
-        for time, size in self._resize_events:
-            if time < 0:
-                raise ConfigurationError(f"resize time must be non-negative, got {time}")
-            if size < 2:
-                raise ConfigurationError(f"resize target must be at least 2, got {size}")
-        self._resize_cursor = 0
-
-    def _validate_arrays(self, n: int) -> None:
-        lengths = {key: len(arr) for key, arr in self.arrays.items()}
-        if not lengths:
-            raise ConfigurationError("protocol returned no state arrays")
-        if len(set(lengths.values())) != 1:
-            raise ConfigurationError(f"state arrays have inconsistent lengths: {lengths}")
-        actual = next(iter(lengths.values()))
-        if actual != n:
-            raise ConfigurationError(f"state arrays have length {actual}, expected {n}")
-
-    # ------------------------------------------------------------------ size
-
-    @property
-    def size(self) -> int:
-        """Current population size."""
-        return len(next(iter(self.arrays.values())))
 
     # ------------------------------------------------------------------- run
 
@@ -198,36 +190,21 @@ class BatchedSimulator:
         parallel_time: int,
         *,
         snapshot_every: int = 1,
-        stop_when: Callable[["BatchedSimulator", BatchSnapshot], bool] | None = None,
+        stop_when: Callable[..., bool] | None = None,
     ) -> BatchedRunResult:
         """Run for ``parallel_time`` steps, recording a snapshot every ``snapshot_every``."""
-        if parallel_time < 0:
-            raise ConfigurationError(f"parallel_time must be non-negative, got {parallel_time}")
-        if snapshot_every < 1:
-            raise ConfigurationError(f"snapshot_every must be >= 1, got {snapshot_every}")
-        snapshots: list[BatchSnapshot] = []
-        target = self.parallel_time + parallel_time
-        while self.parallel_time < target:
-            steps = min(snapshot_every, target - self.parallel_time)
-            for _ in range(steps):
-                self.step_parallel_round()
-            self._apply_resizes()
-            snapshot = self._snapshot()
-            snapshots.append(snapshot)
-            if stop_when is not None and stop_when(self, snapshot):
-                break
-        return BatchedRunResult(
-            snapshots=snapshots,
-            parallel_time=self.parallel_time,
-            final_size=self.size,
-            metadata={"protocol": self.protocol.describe(), "engine": "batched"},
+        result = super().run(
+            parallel_time, stop_when=stop_when, snapshot_every=snapshot_every
         )
+        assert isinstance(result, BatchedRunResult)
+        return result
+
+    def _advance_one_parallel_step(self) -> None:
+        self.step_parallel_round()
 
     def step_parallel_round(self) -> None:
         """Execute one parallel time step (``n`` interactions, in sub-batches)."""
-        n = self.size
-        if n < 2:
-            raise EmptyPopulationError("population has fewer than two agents")
+        n = self._require_interactable()
         remaining = n
         chunk = max(1, n // self.sub_batches)
         while remaining > 0:
@@ -235,57 +212,17 @@ class BatchedSimulator:
             initiators, responders = self.rng.ordered_pairs(n, batch)
             self.protocol.interact_batch(self.arrays, initiators, responders, self.rng)
             remaining -= batch
+        self.interactions_executed += n
         self.parallel_time += 1
 
-    # -------------------------------------------------------------- adversary
-
-    def _apply_resizes(self) -> None:
-        while (
-            self._resize_cursor < len(self._resize_events)
-            and self._resize_events[self._resize_cursor][0] <= self.parallel_time
-        ):
-            _, target = self._resize_events[self._resize_cursor]
-            self._resize_cursor += 1
-            self.resize_to(target)
-
-    def resize_to(self, target: int) -> None:
-        """Resize the population to ``target`` agents.
-
-        Shrinking keeps a uniformly random subset of the current agents
-        (the paper's decimation adversary); growing appends fresh agents in
-        the protocol's initial state.
-        """
-        if target < 2:
-            raise ConfigurationError(f"resize target must be at least 2, got {target}")
-        current = self.size
-        if target == current:
-            return
-        if target < current:
-            keep = self.rng.generator.choice(current, size=target, replace=False)
-            keep.sort()
-            for key in self.arrays:
-                self.arrays[key] = self.arrays[key][keep]
-        else:
-            extra = self.protocol.initial_arrays(target - current, self.rng)
-            for key in self.arrays:
-                if key not in extra:
-                    raise ConfigurationError(
-                        f"initial_arrays is missing state variable {key!r} when growing"
-                    )
-                self.arrays[key] = np.concatenate([self.arrays[key], extra[key]])
-
-    # -------------------------------------------------------------- snapshots
-
-    def _snapshot(self) -> BatchSnapshot:
-        outputs = np.asarray(self.protocol.output_array(self.arrays), dtype=float)
-        return BatchSnapshot(
+    def _build_result(
+        self, snapshots: list[EngineSnapshot], stopped_early: bool
+    ) -> BatchedRunResult:
+        return BatchedRunResult(
             parallel_time=self.parallel_time,
-            population_size=self.size,
-            minimum=float(outputs.min()),
-            median=float(np.median(outputs)),
-            maximum=float(outputs.max()),
+            interactions=self.interactions_executed,
+            final_size=self.size,
+            stopped_early=stopped_early,
+            snapshots=snapshots,
+            metadata={"protocol": self.protocol.describe(), "engine": self.name},
         )
-
-    def outputs(self) -> np.ndarray:
-        """Current per-agent outputs."""
-        return np.asarray(self.protocol.output_array(self.arrays), dtype=float)

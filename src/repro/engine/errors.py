@@ -37,6 +37,15 @@ class ConfigurationError(EngineError):
     """Raised when simulator or experiment configuration is invalid."""
 
 
+class UnsupportedEngineError(ConfigurationError):
+    """Raised when a workload only supports a subset of the engines.
+
+    Distinct from a plain :class:`ConfigurationError` so that sweeps (the
+    CLI's ``all --engine X`` mode) can skip engine-incompatible experiments
+    while still treating genuine misconfigurations as fatal.
+    """
+
+
 class ProtocolContractError(EngineError):
     """Raised when a protocol violates the engine's interaction contract.
 

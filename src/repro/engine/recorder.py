@@ -14,16 +14,16 @@ and tests can post-process them without the engine in the loop.
 from __future__ import annotations
 
 import abc
-import math
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
+from repro.engine.api import EngineSnapshot, quantiles
 from repro.engine.population import Population
 from repro.engine.protocol import Protocol, ProtocolEvent
 
 __all__ = [
     "Recorder",
     "SnapshotStats",
+    "quantiles",
     "EstimateRecorder",
     "PopulationSizeRecorder",
     "PhaseOccupancyRecorder",
@@ -52,32 +52,10 @@ class Recorder(abc.ABC):
         """Called once after the last interaction."""
 
 
-def _quantiles(values: Sequence[float]) -> tuple[float, float, float]:
-    """Return (min, median, max) of a non-empty sequence."""
-    ordered = sorted(values)
-    n = len(ordered)
-    mid = n // 2
-    if n % 2 == 1:
-        median = float(ordered[mid])
-    else:
-        median = (ordered[mid - 1] + ordered[mid]) / 2.0
-    return float(ordered[0]), median, float(ordered[-1])
-
-
-@dataclass(frozen=True)
-class SnapshotStats:
-    """Min / median / max of a per-agent quantity at one parallel time step."""
-
-    parallel_time: int
-    population_size: int
-    minimum: float
-    median: float
-    maximum: float
-
-    @property
-    def true_log_n(self) -> float:
-        """log2 of the population size at this snapshot (the quantity estimated)."""
-        return math.log2(self.population_size) if self.population_size > 0 else float("nan")
+#: Min / median / max of a per-agent quantity at one parallel time step —
+#: the shared :class:`repro.engine.api.EngineSnapshot` under its historical
+#: recorder-layer name.
+SnapshotStats = EngineSnapshot
 
 
 class EstimateRecorder(Recorder):
@@ -93,12 +71,22 @@ class EstimateRecorder(Recorder):
         self._output_fn = output_fn
         self.rows: list[SnapshotStats] = []
 
+    @property
+    def uses_protocol_output(self) -> bool:
+        """Whether rows report the protocol's own output (no custom ``output_fn``).
+
+        When true, a row is interchangeable with the engine's own snapshot
+        statistics, which lets the simulator reuse it instead of computing
+        the same triple twice.
+        """
+        return self._output_fn is None
+
     def on_snapshot(self, parallel_time, population, protocol) -> None:
         fn = self._output_fn or protocol.output
         values = [float(fn(state)) for state in population.states()]
         if not values:
             return
-        lo, med, hi = _quantiles(values)
+        lo, med, hi = quantiles(values)
         self.rows.append(
             SnapshotStats(
                 parallel_time=parallel_time,

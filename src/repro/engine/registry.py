@@ -1,0 +1,253 @@
+"""Protocol-to-vectorized registry and engine selection by name.
+
+Two pieces of plumbing that make the unified engine layer usable from
+experiment code:
+
+* a **registry** mapping scalar protocol classes (subclasses of
+  :class:`repro.engine.protocol.Protocol`) to factories for their
+  vectorised counterparts, so that the array/batched engines can be asked
+  to run a scalar protocol and look up the struct-of-arrays implementation
+  themselves; and
+* :func:`make_engine`, which builds any of the three engines —
+  ``"sequential"`` / ``"array"`` / ``"batched"`` — from a protocol and a
+  population size, converting a ``resize_schedule`` into the right
+  adversary representation for each engine.
+
+The default registrations (dynamic size counting, the uniform phase clock,
+epidemics, junta election, approximate majority) are loaded lazily on first
+lookup, so importing this module stays cheap and free of circular imports.
+
+Example
+-------
+>>> from repro.core.dynamic_counting import DynamicSizeCounting
+>>> from repro.engine.registry import make_engine
+>>> engine = make_engine("batched", DynamicSizeCounting(), 10_000, seed=1)
+>>> result = engine.run(100)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.engine.adversary import ResizeSchedule, SizeAdversary
+from repro.engine.api import Engine
+from repro.engine.array_engine import ArraySimulator
+from repro.engine.batch_engine import BatchedSimulator, VectorizedProtocol
+from repro.engine.errors import ConfigurationError
+from repro.engine.population import Population
+from repro.engine.recorder import Recorder
+from repro.engine.rng import RandomSource
+from repro.engine.simulator import Simulator
+
+__all__ = [
+    "ENGINE_NAMES",
+    "register_vectorized",
+    "has_vectorized",
+    "vectorized_for",
+    "registered_protocols",
+    "make_engine",
+]
+
+#: Names accepted by :func:`make_engine` (and the experiments' ``engine=``).
+ENGINE_NAMES = ("sequential", "array", "batched")
+
+#: Scalar protocol class -> factory building its vectorised counterpart.
+_REGISTRY: dict[type, Callable[[Any], VectorizedProtocol]] = {}
+_defaults_loaded = False
+
+
+def register_vectorized(
+    protocol_cls: type, factory: Callable[[Any], VectorizedProtocol]
+) -> None:
+    """Register ``factory(protocol) -> VectorizedProtocol`` for a protocol class.
+
+    The factory receives the scalar protocol instance so that it can carry
+    over parameters (protocol constants, one-way flags, level caps, ...).
+    Registering a class again replaces the previous factory.
+    """
+    _REGISTRY[protocol_cls] = factory
+
+
+def _ensure_default_registrations() -> None:
+    """Load the built-in registrations (deferred to avoid import cycles)."""
+    global _defaults_loaded
+    if _defaults_loaded:
+        return
+    _defaults_loaded = True
+    from repro.core.dynamic_counting import DynamicSizeCounting
+    from repro.core.phase_clock import UniformPhaseClock
+    from repro.core.vectorized import VectorizedDynamicCounting
+    from repro.protocols.epidemic import InfectionEpidemic, MaxEpidemic
+    from repro.protocols.junta import JuntaElection
+    from repro.protocols.majority import ApproximateMajority
+    from repro.protocols.vectorized import (
+        VectorizedApproximateMajority,
+        VectorizedInfectionEpidemic,
+        VectorizedJuntaElection,
+        VectorizedMaxEpidemic,
+    )
+
+    register_vectorized(
+        DynamicSizeCounting, lambda p: VectorizedDynamicCounting(p.params)
+    )
+    # The uniform phase clock *is* the counting protocol (its ticks are the
+    # resets), so its vectorised counterpart is the counting kernel, whose
+    # ``resets`` array doubles as the cumulative tick count.
+    register_vectorized(
+        UniformPhaseClock, lambda p: VectorizedDynamicCounting(p.params)
+    )
+    register_vectorized(
+        MaxEpidemic, lambda p: VectorizedMaxEpidemic(p.initial_value, p.one_way)
+    )
+    register_vectorized(
+        InfectionEpidemic, lambda p: VectorizedInfectionEpidemic(p.one_way)
+    )
+    register_vectorized(JuntaElection, lambda p: VectorizedJuntaElection(p.max_level))
+    register_vectorized(
+        ApproximateMajority, lambda p: VectorizedApproximateMajority(p.initial_opinion)
+    )
+
+
+def has_vectorized(protocol: Any) -> bool:
+    """Whether a vectorised counterpart is known for ``protocol``."""
+    if isinstance(protocol, VectorizedProtocol):
+        return True
+    _ensure_default_registrations()
+    return any(isinstance(protocol, cls) for cls in _REGISTRY)
+
+
+def vectorized_for(protocol: Any) -> VectorizedProtocol:
+    """Return the vectorised counterpart of a scalar protocol instance.
+
+    A :class:`VectorizedProtocol` passed in is returned unchanged.  Lookup
+    walks the protocol's exact class first and then its MRO, so registering
+    a base class covers subclasses too.
+    """
+    if isinstance(protocol, VectorizedProtocol):
+        return protocol
+    _ensure_default_registrations()
+    for cls in type(protocol).__mro__:
+        factory = _REGISTRY.get(cls)
+        if factory is not None:
+            return factory(protocol)
+    raise ConfigurationError(
+        f"no vectorized counterpart registered for {type(protocol).__name__}; "
+        f"registered protocols: {', '.join(registered_protocols()) or '(none)'}. "
+        f"Use register_vectorized() or run on the sequential engine."
+    )
+
+
+def registered_protocols() -> list[str]:
+    """Sorted names of the scalar protocol classes with registrations."""
+    _ensure_default_registrations()
+    return sorted(cls.__name__ for cls in _REGISTRY)
+
+
+def make_engine(
+    engine: str,
+    protocol: Any,
+    population: int | Population,
+    *,
+    rng: RandomSource | None = None,
+    seed: int | None = None,
+    resize_schedule: Iterable[tuple[int, int]] = (),
+    adversary: SizeAdversary | None = None,
+    recorders: Iterable[Recorder] = (),
+    snapshot_stats: bool = True,
+    initial_arrays: dict[str, np.ndarray] | None = None,
+    sub_batches: int = 8,
+) -> Engine:
+    """Build an engine by name for the given protocol and population.
+
+    Parameters
+    ----------
+    engine:
+        One of :data:`ENGINE_NAMES`: ``"sequential"`` (exact, object
+        state), ``"array"`` (exact, struct-of-arrays state) or
+        ``"batched"`` (approximate, vectorised).
+    protocol:
+        A scalar :class:`repro.engine.protocol.Protocol` (looked up in the
+        registry for the array/batched engines) or a
+        :class:`VectorizedProtocol` (used directly; rejected by the
+        sequential engine).
+    population:
+        Initial population size; the sequential engine also accepts a
+        pre-built :class:`Population`.
+    resize_schedule:
+        ``(parallel_time, target_size)`` adversary events, translated into
+        a :class:`repro.engine.adversary.ResizeSchedule` for the sequential
+        engine and passed through natively to the array engines.
+    adversary / recorders / snapshot_stats:
+        Sequential-engine extras (richer than the shared snapshot hooks);
+        ``snapshot_stats=False`` skips the per-snapshot output statistics
+        for callers that only consume recorders.  ``adversary`` and
+        ``recorders`` are rejected for the array/batched engines.
+    initial_arrays / sub_batches:
+        Array-engine extras; rejected for the sequential engine.
+    """
+    resize_schedule = tuple(resize_schedule)
+    if engine == "sequential":
+        if isinstance(protocol, VectorizedProtocol):
+            raise ConfigurationError(
+                "the sequential engine needs a scalar Protocol, got the "
+                f"vectorized {type(protocol).__name__}"
+            )
+        if initial_arrays is not None:
+            raise ConfigurationError(
+                "initial_arrays is only supported by the array/batched engines; "
+                "pass a pre-built Population to the sequential engine instead"
+            )
+        if adversary is not None and resize_schedule:
+            raise ConfigurationError("pass either adversary or resize_schedule, not both")
+        if adversary is None and resize_schedule:
+            adversary = ResizeSchedule.from_pairs(resize_schedule)
+        return Simulator(
+            protocol,
+            population,
+            rng=rng,
+            seed=seed,
+            adversary=adversary,
+            recorders=recorders,
+            snapshot_stats=snapshot_stats,
+        )
+    if engine in ("array", "batched"):
+        if adversary is not None:
+            raise ConfigurationError(
+                f"the {engine} engine takes resize_schedule pairs, not a "
+                f"SizeAdversary; got {type(adversary).__name__}"
+            )
+        if list(recorders):
+            raise ConfigurationError(
+                f"the {engine} engine does not support Recorder observers; "
+                f"use Engine.add_snapshot_hook() instead"
+            )
+        if not isinstance(population, int):
+            raise ConfigurationError(
+                f"the {engine} engine needs an integer population size, got "
+                f"{type(population).__name__}; use initial_arrays for custom "
+                f"initial configurations"
+            )
+        vectorized = vectorized_for(protocol)
+        if engine == "array":
+            return ArraySimulator(
+                vectorized,
+                population,
+                rng=rng,
+                seed=seed,
+                resize_schedule=resize_schedule,
+                initial_arrays=initial_arrays,
+            )
+        return BatchedSimulator(
+            vectorized,
+            population,
+            rng=rng,
+            seed=seed,
+            resize_schedule=resize_schedule,
+            initial_arrays=initial_arrays,
+            sub_batches=sub_batches,
+        )
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; available engines: {', '.join(ENGINE_NAMES)}"
+    )

@@ -15,16 +15,19 @@ For figure-scale populations (n >= 10^5) use
 :class:`repro.engine.batch_engine.BatchedSimulator`, which trades exactness
 of the interleaving for vectorised speed, or
 :class:`repro.engine.array_engine.ArraySimulator`, which keeps exact
-semantics with a lower-overhead state representation specialised to the
-dynamic size counting protocol family.
+sequential semantics with a lower-overhead struct-of-arrays state
+representation.  All engines implement the shared
+:class:`repro.engine.api.Engine` contract and return
+:class:`repro.engine.api.RunResult`-compatible results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 from repro.engine.adversary import NullAdversary, SizeAdversary
+from repro.engine.api import Engine, EngineSnapshot, RunResult, quantiles
 from repro.engine.errors import (
     ConfigurationError,
     EmptyPopulationError,
@@ -32,38 +35,23 @@ from repro.engine.errors import (
 )
 from repro.engine.population import Population
 from repro.engine.protocol import InteractionContext, Protocol, ProtocolEvent
-from repro.engine.recorder import Recorder
+from repro.engine.recorder import EstimateRecorder, Recorder
 from repro.engine.rng import RandomSource
 
 __all__ = ["SimulationResult", "Simulator"]
 
 
 @dataclass
-class SimulationResult:
-    """Summary of one simulation run.
+class SimulationResult(RunResult):
+    """Summary of one sequential simulation run.
 
-    Attributes
-    ----------
-    parallel_time:
-        Number of parallel time steps executed.
-    interactions:
-        Total number of pairwise interactions executed.
-    final_size:
-        Population size at the end of the run.
-    stopped_early:
-        Whether a stop condition fired before the configured horizon.
-    metadata:
-        Free-form dictionary (protocol description, seed, ...).
+    A :class:`repro.engine.api.RunResult` under its historical name; kept as
+    a distinct type so that call sites can continue to spell out which
+    engine produced the result.
     """
 
-    parallel_time: int
-    interactions: int
-    final_size: int
-    stopped_early: bool = False
-    metadata: dict[str, Any] = field(default_factory=dict)
 
-
-class Simulator:
+class Simulator(Engine):
     """Exact sequential population protocol simulator.
 
     Parameters
@@ -83,7 +71,15 @@ class Simulator:
         Population-size adversary, consulted once per parallel time step.
     recorders:
         Observers notified at every snapshot and for protocol events.
+    snapshot_stats:
+        Whether to compute the per-snapshot output statistics that populate
+        ``RunResult.snapshots`` (the unified engine API).  Costs one pass
+        over all agent outputs per snapshot; callers that only consume
+        recorders can turn it off.
     """
+
+    name = "sequential"
+    _default_stop_arity = 1
 
     def __init__(
         self,
@@ -94,7 +90,9 @@ class Simulator:
         seed: int | None = None,
         adversary: SizeAdversary | None = None,
         recorders: Iterable[Recorder] = (),
+        snapshot_stats: bool = True,
     ) -> None:
+        super().__init__()
         self.protocol = protocol
         self.rng = rng if rng is not None else RandomSource.from_seed(seed)
         if isinstance(population, Population):
@@ -114,8 +112,7 @@ class Simulator:
         self.adversary = adversary if adversary is not None else NullAdversary()
         self.recorders: list[Recorder] = list(recorders)
         self._context = InteractionContext(self.rng, sink=self._dispatch_event)
-        self.interactions_executed = 0
-        self.parallel_time = 0
+        self._outputs_numeric = bool(snapshot_stats)
 
     # ----------------------------------------------------------------- events
 
@@ -123,62 +120,17 @@ class Simulator:
         for recorder in self.recorders:
             recorder.on_event(event)
 
-    # ------------------------------------------------------------------- run
+    # --------------------------------------------------------- run-loop hooks
 
-    def run(
-        self,
-        parallel_time: int,
-        *,
-        stop_when: Callable[["Simulator"], bool] | None = None,
-        snapshot_every: int = 1,
-    ) -> SimulationResult:
-        """Run the simulation for ``parallel_time`` parallel time steps.
-
-        Parameters
-        ----------
-        parallel_time:
-            Horizon in parallel time units (each unit is ``n`` interactions
-            at the *current* population size ``n``).
-        stop_when:
-            Optional predicate evaluated after every snapshot; returning
-            ``True`` stops the run early.  Used by convergence-time
-            experiments.
-        snapshot_every:
-            Take a snapshot (and consult the adversary / recorders) every
-            this many parallel time steps.  The default of 1 matches the
-            paper.
-        """
-        if parallel_time < 0:
-            raise ConfigurationError(f"parallel_time must be non-negative, got {parallel_time}")
-        if snapshot_every < 1:
-            raise ConfigurationError(f"snapshot_every must be >= 1, got {snapshot_every}")
-
+    def _on_run_start(self) -> None:
         for recorder in self.recorders:
             recorder.on_start(self.population, self.protocol)
 
-        stopped_early = False
-        target_time = self.parallel_time + parallel_time
-        while self.parallel_time < target_time:
-            steps = min(snapshot_every, target_time - self.parallel_time)
-            for _ in range(steps):
-                self._run_one_parallel_step()
-            self._snapshot()
-            if stop_when is not None and stop_when(self):
-                stopped_early = True
-                break
-
+    def _on_run_finish(self) -> None:
         for recorder in self.recorders:
             recorder.on_finish(self.population, self.protocol)
 
-        return SimulationResult(
-            parallel_time=self.parallel_time,
-            interactions=self.interactions_executed,
-            final_size=self.population.size,
-            stopped_early=stopped_early,
-            metadata={"protocol": self.protocol.describe(), "engine": "sequential"},
-        )
-
-    def _run_one_parallel_step(self) -> None:
+    def _advance_one_parallel_step(self) -> None:
         """Execute ``n`` interactions (one parallel time unit)."""
         population = self.population
         if not population.is_interactable():
@@ -217,7 +169,7 @@ class Simulator:
         population.set_state(j, new_v)
         self.interactions_executed += 1
 
-    def _snapshot(self) -> None:
+    def _take_snapshot(self) -> EngineSnapshot:
         self.adversary.apply(
             self.population,
             self.parallel_time,
@@ -226,8 +178,65 @@ class Simulator:
         )
         for recorder in self.recorders:
             recorder.on_snapshot(self.parallel_time, self.population, self.protocol)
+        # A default EstimateRecorder already computed exactly this triple —
+        # its row type *is* EngineSnapshot, so reuse it instead of making a
+        # second pass over all agent outputs.
+        for recorder in self.recorders:
+            if (
+                isinstance(recorder, EstimateRecorder)
+                and recorder.uses_protocol_output
+                and recorder.rows
+                and recorder.rows[-1].parallel_time == self.parallel_time
+            ):
+                return recorder.rows[-1]
+        return self._numeric_snapshot()
+
+    def _numeric_snapshot(self) -> EngineSnapshot:
+        """Min/median/max of the numeric outputs (``nan`` if non-numeric).
+
+        Protocols with non-numeric outputs (e.g. the three-state majority's
+        ``"A"``/``"B"``/``"U"``) disable the statistics after the first
+        failed conversion, keeping the snapshot timeline intact.
+        """
+        nan = float("nan")
+        minimum = median = maximum = nan
+        if self._outputs_numeric:
+            try:
+                values = [
+                    float(self.protocol.output(state))
+                    for state in self.population.states()
+                ]
+            except (TypeError, ValueError):
+                self._outputs_numeric = False
+            else:
+                if values:
+                    minimum, median, maximum = quantiles(values)
+        return EngineSnapshot(
+            parallel_time=self.parallel_time,
+            population_size=self.population.size,
+            minimum=minimum,
+            median=median,
+            maximum=maximum,
+        )
+
+    def _build_result(
+        self, snapshots: list[EngineSnapshot], stopped_early: bool
+    ) -> SimulationResult:
+        return SimulationResult(
+            parallel_time=self.parallel_time,
+            interactions=self.interactions_executed,
+            final_size=self.population.size,
+            stopped_early=stopped_early,
+            snapshots=snapshots,
+            metadata={"protocol": self.protocol.describe(), "engine": self.name},
+        )
 
     # ------------------------------------------------------------- inspection
+
+    @property
+    def size(self) -> int:
+        """Current population size."""
+        return self.population.size
 
     def outputs(self) -> list[Any]:
         """Current protocol outputs of all agents."""

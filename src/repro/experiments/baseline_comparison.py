@@ -24,6 +24,7 @@ from typing import Any
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import empirical_parameters
 from repro.engine.adversary import RemoveAllButAt
+from repro.engine.errors import UnsupportedEngineError
 from repro.engine.recorder import EstimateRecorder, MemoryRecorder
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import Simulator
@@ -59,6 +60,7 @@ def _run_protocol(
             rng=rng,
             adversary=RemoveAllButAt(time=drop_time, keep=keep),
             recorders=[estimates, memory],
+            snapshot_stats=False,
         )
         simulator.run(parallel_time)
         pre = [r.median for r in estimates.rows if r.parallel_time < drop_time]
@@ -84,9 +86,22 @@ def _run_protocol(
 
 
 def run_baseline_comparison(
-    preset: ExperimentPreset | None = None, *, effort: str = "quick"
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "sequential",
 ) -> ExperimentResult:
-    """Compare our protocol, Doty–Eftekhari, and static counting under decimation."""
+    """Compare our protocol, Doty–Eftekhari, and static counting under decimation.
+
+    Only the exact sequential engine is supported: the baseline protocols
+    have no vectorised counterparts and the comparison records per-state
+    memory footprints.
+    """
+    if engine != "sequential":
+        raise UnsupportedEngineError(
+            f"the baseline experiment requires engine='sequential' (baseline "
+            f"protocols are not vectorised), got {engine!r}"
+        )
     preset = preset or get_preset("baseline", effort)
     params = empirical_parameters()
     drop_time = int(preset.extra.get("drop_time", 1350))

@@ -5,6 +5,7 @@ regenerated table, and optionally persists the rows/series under an output
 directory.  Example::
 
     repro-experiments fig4 --effort quick --output results/
+    repro-experiments fig2 --effort quick --engine array
     repro-experiments all --effort default
 """
 
@@ -15,6 +16,8 @@ import sys
 import time
 from typing import Callable
 
+from repro.engine.errors import ConfigurationError, UnsupportedEngineError
+from repro.engine.registry import ENGINE_NAMES
 from repro.experiments.base import ExperimentResult
 from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.config import list_presets
@@ -67,13 +70,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Directory to persist CSV/JSON results into (omit to only print).",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=ENGINE_NAMES,
+        help=(
+            "Execution engine (sequential, array, batched); omit to use each "
+            "experiment's default."
+        ),
+    )
     return parser
 
 
-def _run_one(experiment: str, effort: str, output: str | None) -> ExperimentResult:
+def _run_one(
+    experiment: str, effort: str, output: str | None, engine: str | None = None
+) -> ExperimentResult:
     runner = EXPERIMENT_RUNNERS[experiment]
     started = time.time()
-    result = runner(effort=effort)
+    if engine is None:
+        result = runner(effort=effort)
+    else:
+        result = runner(effort=effort, engine=engine)
     elapsed = time.time() - started
     print(result.table())
     print(f"[{experiment}] completed in {elapsed:.1f}s ({result.metadata.get('preset')} preset)")
@@ -95,9 +112,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment}: {', '.join(efforts)}")
         return 0
 
-    experiments = sorted(EXPERIMENT_RUNNERS) if args.experiment == "all" else [args.experiment]
+    run_all = args.experiment == "all"
+    experiments = sorted(EXPERIMENT_RUNNERS) if run_all else [args.experiment]
     for experiment in experiments:
-        _run_one(experiment, args.effort, args.output)
+        try:
+            _run_one(experiment, args.effort, args.output, args.engine)
+        except UnsupportedEngineError as exc:
+            if run_all and args.engine is not None:
+                # `all` with an explicit engine skips the experiments that
+                # only support another engine instead of aborting the sweep.
+                print(f"[{experiment}] skipped: {exc}")
+                print()
+                continue
+            print(f"repro-experiments: error: {exc}", file=sys.stderr)
+            return 2
+        except ConfigurationError as exc:
+            print(f"repro-experiments: error: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 

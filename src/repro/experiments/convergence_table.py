@@ -47,7 +47,10 @@ def trace_to_snapshots(trace: EstimateTrace) -> list[SnapshotStats]:
 
 
 def run_convergence_table(
-    preset: ExperimentPreset | None = None, *, effort: str = "quick"
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "batched",
 ) -> ExperimentResult:
     """Measure convergence time across population sizes and initial estimates."""
     preset = preset or get_preset("convergence", effort)
@@ -65,6 +68,7 @@ def run_convergence_table(
                 seed=preset.seed + n + int(estimate * 1000),
                 params=params,
                 initial_estimate=None if estimate <= 1.0 else estimate,
+                engine=engine,
             )
             snapshots = trace_to_snapshots(trace)
             # The upper factor of 2.5 is tight enough to reject a lingering
@@ -93,7 +97,7 @@ def run_convergence_table(
         experiment="convergence",
         description="Convergence time vs population size and initial estimate (Theorem 2.1)",
         rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
     )
 
 

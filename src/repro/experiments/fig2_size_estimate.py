@@ -25,8 +25,18 @@ from repro.experiments.figures import run_estimate_trace
 __all__ = ["run_fig2"]
 
 
-def run_fig2(preset: ExperimentPreset | None = None, *, effort: str = "quick") -> ExperimentResult:
-    """Regenerate Fig. 2: estimate of ``log n`` over parallel time."""
+def run_fig2(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "batched",
+) -> ExperimentResult:
+    """Regenerate Fig. 2: estimate of ``log n`` over parallel time.
+
+    ``engine`` selects the execution engine (``"sequential"`` / ``"array"``
+    / ``"batched"``); the batched default is the only engine practical at
+    the figure's population scale.
+    """
     preset = preset or get_preset("fig2", effort)
     params = empirical_parameters()
     series: dict[str, dict[str, list[float]]] = {}
@@ -39,6 +49,7 @@ def run_fig2(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
             trials=preset.trials,
             seed=preset.seed,
             params=params,
+            engine=engine,
         )
         series[f"n_{n}"] = trace.series()
         # Summary rows: plateau statistics over the second half of the run.
@@ -63,7 +74,7 @@ def run_fig2(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
         description="Size estimate over parallel time (initially empty system)",
         rows=rows,
         series=series,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
     )
 
 

@@ -24,7 +24,12 @@ from repro.experiments.figures import run_estimate_trace
 __all__ = ["run_fig3"]
 
 
-def run_fig3(preset: ExperimentPreset | None = None, *, effort: str = "quick") -> ExperimentResult:
+def run_fig3(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "batched",
+) -> ExperimentResult:
     """Regenerate Fig. 3: relative deviation from ``log n`` for varying ``n``."""
     preset = preset or get_preset("fig3", effort)
     params = empirical_parameters()
@@ -37,6 +42,7 @@ def run_fig3(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
             trials=preset.trials,
             seed=preset.seed + n,
             params=params,
+            engine=engine,
         )
         log_n = math.log2(n)
         half = len(trace.parallel_time) // 2
@@ -60,7 +66,7 @@ def run_fig3(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
         experiment="fig3",
         description="Relative deviation of the estimate from log n across population sizes",
         rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
     )
 
 

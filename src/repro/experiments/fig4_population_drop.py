@@ -52,7 +52,12 @@ def adaptation_time(
     return None
 
 
-def run_fig4(preset: ExperimentPreset | None = None, *, effort: str = "quick") -> ExperimentResult:
+def run_fig4(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "batched",
+) -> ExperimentResult:
     """Regenerate Fig. 4: estimate over time with a decimation event."""
     preset = preset or get_preset("fig4", effort)
     params = empirical_parameters()
@@ -69,6 +74,7 @@ def run_fig4(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
             seed=preset.seed + n,
             params=params,
             resize_schedule=[(drop_time, keep)],
+            engine=engine,
         )
         series[f"n_{n}"] = trace.series()
         log_n = math.log2(n)
@@ -102,7 +108,7 @@ def run_fig4(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
         description=f"Size estimate with decimation to {keep} agents at t={drop_time}",
         rows=rows,
         series=series,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
     )
 
 

@@ -37,7 +37,12 @@ def forgetting_time(
     return None
 
 
-def run_fig5(preset: ExperimentPreset | None = None, *, effort: str = "quick") -> ExperimentResult:
+def run_fig5(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "batched",
+) -> ExperimentResult:
     """Regenerate Fig. 5: recovery from an initial estimate of 60."""
     preset = preset or get_preset("fig5", effort)
     params = empirical_parameters()
@@ -53,6 +58,7 @@ def run_fig5(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
             seed=preset.seed + n,
             params=params,
             initial_estimate=initial_estimate,
+            engine=engine,
         )
         series[f"n_{n}"] = trace.series()
         log_n = math.log2(n)
@@ -76,7 +82,7 @@ def run_fig5(preset: ExperimentPreset | None = None, *, effort: str = "quick") -
         description=f"Recovery from an initial estimate of {initial_estimate:g}",
         rows=rows,
         series=series,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
     )
 
 

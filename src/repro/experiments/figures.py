@@ -3,11 +3,16 @@
 All four figures plot the same quantity — the minimum, median and maximum
 agent estimate of ``log2 n`` over parallel time, aggregated over independent
 runs — and differ only in the workload (population size, decimation event,
-initial estimate).  :func:`run_estimate_trace` runs one such workload on the
-batched engine and aggregates across trials exactly like the paper does over
-its 96 runs: the reported minimum is the minimum over all runs' minima, the
-maximum the maximum over all maxima, and the median the median of the runs'
-medians.
+initial estimate).  :func:`run_estimate_trace` runs one such workload on a
+selectable engine (``"sequential"`` / ``"array"`` / ``"batched"``, see
+:mod:`repro.engine.registry`) and aggregates across trials exactly like the
+paper does over its 96 runs: the reported minimum is the minimum over all
+runs' minima, the maximum the maximum over all maxima, and the median the
+median of the runs' medians.
+
+The batched engine is the default (it is the only one that reaches figure
+scale, n up to 10^6); the exact engines are available for small-n
+cross-validation and for workloads where the interleaving matters.
 """
 
 from __future__ import annotations
@@ -15,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import ProtocolParameters, empirical_parameters
 from repro.core.vectorized import VectorizedDynamicCounting
-from repro.engine.batch_engine import BatchedSimulator
+from repro.engine.api import Engine
+from repro.engine.registry import make_engine
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.runner import aggregate_series
 
@@ -50,6 +57,50 @@ class EstimateTrace:
         }
 
 
+def _build_trace_engine(
+    engine: str,
+    n: int,
+    rng: RandomSource,
+    params: ProtocolParameters,
+    resize_schedule: Sequence[tuple[int, int]],
+    initial_estimate: float | None,
+    sub_batches: int,
+) -> Engine:
+    """Build one engine for the estimate-trace workload.
+
+    All three engines run the same protocol family — the scalar
+    :class:`DynamicSizeCounting` on the sequential engine, the
+    struct-of-arrays :class:`VectorizedDynamicCounting` on the exact array
+    and approximate batched engines — so only the workload translation
+    (initial estimate to population/arrays) lives here; the engine
+    dispatch itself is :func:`repro.engine.registry.make_engine`.
+    """
+    if engine == "sequential":
+        protocol = DynamicSizeCounting(params)
+        if initial_estimate is not None:
+            population: int | object = protocol.make_estimate_population(
+                n, initial_estimate, rng
+            )
+        else:
+            population = n
+        return make_engine(
+            engine, protocol, population, rng=rng, resize_schedule=resize_schedule
+        )
+    vectorized = VectorizedDynamicCounting(params)
+    initial_arrays = None
+    if initial_estimate is not None:
+        initial_arrays = vectorized.initial_arrays_with_estimate(n, initial_estimate)
+    return make_engine(
+        engine,
+        vectorized,
+        n,
+        rng=rng,
+        resize_schedule=resize_schedule,
+        initial_arrays=initial_arrays,
+        sub_batches=sub_batches,
+    )
+
+
 def run_estimate_trace(
     n: int,
     parallel_time: int,
@@ -61,6 +112,7 @@ def run_estimate_trace(
     initial_estimate: float | None = None,
     snapshot_every: int = 1,
     sub_batches: int = 8,
+    engine: str = "batched",
 ) -> EstimateTrace:
     """Run ``trials`` independent simulations of one workload and aggregate.
 
@@ -82,11 +134,16 @@ def run_estimate_trace(
     snapshot_every:
         Snapshot granularity in parallel time units.
     sub_batches:
-        Fidelity knob of the batched engine.
+        Fidelity knob of the batched engine (ignored by the exact engines).
+    engine:
+        Engine name: ``"sequential"``, ``"array"`` or ``"batched"``
+        (default).  All engines report the same snapshot series; the exact
+        engines are practical only for small ``n``.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
-    protocol = VectorizedDynamicCounting(params or empirical_parameters())
+    params = params or empirical_parameters()
+    resize_schedule = tuple(resize_schedule)
     streams = spawn_streams(seed, trials)
 
     per_trial_min: list[list[float]] = []
@@ -97,16 +154,8 @@ def run_estimate_trace(
 
     for generator in streams:
         rng = RandomSource(generator)
-        initial_arrays = None
-        if initial_estimate is not None:
-            initial_arrays = protocol.initial_arrays_with_estimate(n, initial_estimate)
-        simulator = BatchedSimulator(
-            protocol,
-            n,
-            rng=rng,
-            resize_schedule=resize_schedule,
-            initial_arrays=initial_arrays,
-            sub_batches=sub_batches,
+        simulator = _build_trace_engine(
+            engine, n, rng, params, resize_schedule, initial_estimate, sub_batches
         )
         result = simulator.run(parallel_time, snapshot_every=snapshot_every)
         series = result.series()

@@ -26,7 +26,10 @@ __all__ = ["run_holding_table"]
 
 
 def run_holding_table(
-    preset: ExperimentPreset | None = None, *, effort: str = "quick"
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "batched",
 ) -> ExperimentResult:
     """Measure how long the converged estimate band holds within the horizon."""
     preset = preset or get_preset("holding", effort)
@@ -41,6 +44,7 @@ def run_holding_table(
             trials=preset.trials,
             seed=preset.seed + n,
             params=params,
+            engine=engine,
         )
         report = loose_stabilization_report(
             trace_to_snapshots(trace),
@@ -73,7 +77,7 @@ def run_holding_table(
         experiment="holding",
         description="Observed holding time of valid estimates (Theorem 2.1 lower-bound check)",
         rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "batched"},
+        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
     )
 
 

@@ -17,6 +17,7 @@ import math
 from repro.analysis.memory import summarize_memory
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import empirical_parameters
+from repro.engine.errors import UnsupportedEngineError
 from repro.engine.recorder import MemoryRecorder
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import Simulator
@@ -36,7 +37,9 @@ def measure_protocol_memory(
     for generator in spawn_streams(seed, trials):
         rng = RandomSource(generator)
         recorder = MemoryRecorder()
-        simulator = Simulator(protocol, n, rng=rng, recorders=[recorder])
+        simulator = Simulator(
+            protocol, n, rng=rng, recorders=[recorder], snapshot_stats=False
+        )
         simulator.run(parallel_time)
         summary = summarize_memory(recorder.rows, n)
         peaks.append(summary.peak_bits)
@@ -45,9 +48,22 @@ def measure_protocol_memory(
 
 
 def run_memory_table(
-    preset: ExperimentPreset | None = None, *, effort: str = "quick"
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "sequential",
 ) -> ExperimentResult:
-    """Regenerate the space-complexity comparison (ours vs Doty–Eftekhari)."""
+    """Regenerate the space-complexity comparison (ours vs Doty–Eftekhari).
+
+    Only the exact sequential engine is supported: the per-agent memory
+    accounting reads :meth:`repro.engine.protocol.Protocol.memory_bits` of
+    every state object, which the struct-of-arrays engines do not carry.
+    """
+    if engine != "sequential":
+        raise UnsupportedEngineError(
+            f"the memory experiment requires engine='sequential' (per-state "
+            f"memory_bits accounting), got {engine!r}"
+        )
     preset = preset or get_preset("memory", effort)
     params = empirical_parameters()
     rows: list[dict[str, float]] = []

@@ -20,6 +20,7 @@ import math
 from repro.analysis.synchronization import analyze_synchrony
 from repro.core.params import empirical_parameters
 from repro.core.phase_clock import UniformPhaseClock
+from repro.engine.errors import UnsupportedEngineError
 from repro.engine.recorder import EventRecorder
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import Simulator
@@ -30,9 +31,22 @@ __all__ = ["run_phase_clock_experiment"]
 
 
 def run_phase_clock_experiment(
-    preset: ExperimentPreset | None = None, *, effort: str = "quick"
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "sequential",
 ) -> ExperimentResult:
-    """Measure the burst/overlap structure of the clock (Theorem 2.2)."""
+    """Measure the burst/overlap structure of the clock (Theorem 2.2).
+
+    Only the exact sequential engine is supported: the burst/overlap
+    reconstruction needs every tick event with its exact interaction index,
+    which the batched/array engines do not emit.
+    """
+    if engine != "sequential":
+        raise UnsupportedEngineError(
+            f"the phase_clock experiment requires engine='sequential' "
+            f"(per-event tick traces), got {engine!r}"
+        )
     preset = preset or get_preset("phase_clock", effort)
     params = empirical_parameters()
     rows: list[dict[str, float]] = []
@@ -47,7 +61,9 @@ def run_phase_clock_experiment(
             rng = RandomSource(generator)
             clock = UniformPhaseClock()
             recorder = EventRecorder(kinds={"tick"})
-            simulator = Simulator(clock, n, rng=rng, recorders=[recorder])
+            simulator = Simulator(
+                clock, n, rng=rng, recorders=[recorder], snapshot_stats=False
+            )
             simulator.run(preset.parallel_time)
             # Skip the start-up transient: only analyse ticks from the second
             # half of the run, when the population is converged.

@@ -25,6 +25,12 @@ from repro.protocols.static_counting import (
     MaxGrvCounting,
 )
 from repro.protocols.token_counting import TokenCounting, TokenCountingState
+from repro.protocols.vectorized import (
+    VectorizedApproximateMajority,
+    VectorizedInfectionEpidemic,
+    VectorizedJuntaElection,
+    VectorizedMaxEpidemic,
+)
 
 __all__ = [
     "CHVP",
@@ -50,4 +56,8 @@ __all__ = [
     "PhasedMajorityState",
     "TokenCounting",
     "TokenCountingState",
+    "VectorizedApproximateMajority",
+    "VectorizedInfectionEpidemic",
+    "VectorizedJuntaElection",
+    "VectorizedMaxEpidemic",
 ]

@@ -89,6 +89,25 @@ class TestRun:
         result = sim.run(100, stop_when=lambda s, snap: snap.parallel_time >= 4)
         assert result.parallel_time == 4
 
+    def test_stop_when_sets_stopped_early(self):
+        sim = BatchedSimulator(VectorizedMaxEpidemic(), 10, seed=1)
+        result = sim.run(100, stop_when=lambda s, snap: snap.parallel_time >= 4)
+        assert result.stopped_early is True
+
+    def test_full_run_is_not_stopped_early(self):
+        sim = BatchedSimulator(VectorizedMaxEpidemic(), 10, seed=1)
+        result = sim.run(5)
+        assert result.stopped_early is False
+        # A stop condition that never fires also counts as a full run.
+        sim = BatchedSimulator(VectorizedMaxEpidemic(), 10, seed=1)
+        result = sim.run(5, stop_when=lambda s, snap: False)
+        assert result.stopped_early is False
+
+    def test_interactions_counted(self):
+        sim = BatchedSimulator(VectorizedMaxEpidemic(), 10, seed=1)
+        result = sim.run(5)
+        assert result.interactions == 50
+
     def test_negative_time_rejected(self):
         sim = BatchedSimulator(VectorizedMaxEpidemic(), 10, seed=1)
         with pytest.raises(ConfigurationError):
@@ -157,3 +176,46 @@ class TestResize:
         )
         sim.resize_to(5)
         assert set(sim.outputs().tolist()).issubset(set(range(30)))
+
+    def test_grow_rejects_missing_state_variable(self):
+        """Growing fails loudly when initial_arrays lacks a live variable.
+
+        This happens when a simulation is started from hand-built arrays
+        with extra columns the protocol's ``initial_arrays`` does not
+        produce: fresh agents would silently get no value for them.
+        """
+        initial = {"value": np.zeros(6), "extra": np.ones(6)}
+        sim = BatchedSimulator(VectorizedMaxEpidemic(), 6, seed=1, initial_arrays=initial)
+        with pytest.raises(ConfigurationError) as excinfo:
+            sim.resize_to(12)
+        assert "extra" in str(excinfo.value)
+        # The failed grow must leave the state untouched (no partial resize).
+        assert len(sim.arrays["value"]) == 6
+        assert len(sim.arrays["extra"]) == 6
+
+    def test_shrink_to_two_still_runs(self):
+        sim = BatchedSimulator(VectorizedDynamicCounting(), 50, seed=4)
+        sim.run(2)
+        sim.resize_to(2)
+        assert sim.size == 2
+        result = sim.run(3)
+        assert result.final_size == 2
+        assert result.parallel_time == 5
+
+    def test_resize_scheduled_at_time_zero(self):
+        """A resize at time 0 fires at the first snapshot boundary."""
+        sim = BatchedSimulator(
+            VectorizedMaxEpidemic(), 40, seed=2, resize_schedule=[(0, 8)]
+        )
+        assert sim.size == 40
+        result = sim.run(2)
+        assert result.snapshots[0].population_size == 8
+        assert result.final_size == 8
+
+    def test_schedule_times_in_the_past_fire_immediately(self):
+        sim = BatchedSimulator(
+            VectorizedMaxEpidemic(), 40, seed=2, resize_schedule=[(1, 20), (2, 6)]
+        )
+        result = sim.run(4, snapshot_every=4)
+        # Both events land on the single snapshot at t=4, applied in order.
+        assert result.final_size == 6

@@ -1,21 +1,41 @@
-"""Cross-validation of the batched engine against the exact sequential engine.
+"""Cross-engine equivalence matrix.
 
-The batched engine approximates the sequential scheduler (responder states
-are refreshed only between sub-batches).  These tests check that the two
-engines agree on the *statistics that the figures report*: the converged
-estimate level and the round length of the clock, for the same population
-size and protocol parameters.
+Three engines implement the shared :class:`repro.engine.api.Engine`
+contract, and this module pins down how closely they agree:
+
+* **sequential vs array** — *trajectory-exact*: the array engine runs the
+  identical scheduler over struct-of-arrays state, and the ``interact_one``
+  kernels mirror their scalar protocols including the order of random
+  draws, so the two engines agree bit-for-bit under a shared seed.
+* **sequential vs batched** — *statistical*: the batched engine refreshes
+  responder states only between sub-batches, so only the statistics the
+  figures report are compared (converged estimate level, clock round
+  cadence, epidemic spread time, consensus outcomes).
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+import pytest
+
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.vectorized import VectorizedDynamicCounting
+from repro.engine.array_engine import ArraySimulator
 from repro.engine.batch_engine import BatchedSimulator
+from repro.engine.population import Population
 from repro.engine.recorder import EstimateRecorder, EventRecorder
 from repro.engine.simulator import Simulator
+from repro.protocols.epidemic import InfectionEpidemic, MaxEpidemic
+from repro.protocols.junta import JuntaElection
+from repro.protocols.majority import ApproximateMajority
+from repro.protocols.vectorized import (
+    VectorizedApproximateMajority,
+    VectorizedInfectionEpidemic,
+    VectorizedJuntaElection,
+    VectorizedMaxEpidemic,
+)
 
 
 def _sequential_steady_low(n: int, parallel_time: int, seed: int) -> float:
@@ -26,7 +46,9 @@ def _sequential_steady_low(n: int, parallel_time: int, seed: int) -> float:
     stable statistic than any single snapshot.
     """
     recorder = EstimateRecorder()
-    simulator = Simulator(DynamicSizeCounting(), n, seed=seed, recorders=[recorder])
+    simulator = Simulator(
+        DynamicSizeCounting(), n, seed=seed, recorders=[recorder], snapshot_stats=False
+    )
     simulator.run(parallel_time)
     tail = [row.median for row in recorder.rows if row.parallel_time > parallel_time // 2]
     return min(tail)
@@ -66,7 +88,9 @@ class TestRoundLengthAgreement:
         n, horizon, warmup = 500, 1000, 150
 
         events = EventRecorder(kinds={"reset"})
-        simulator = Simulator(DynamicSizeCounting(), n, seed=111, recorders=[events])
+        simulator = Simulator(
+            DynamicSizeCounting(), n, seed=111, recorders=[events], snapshot_stats=False
+        )
         simulator.run(horizon)
         sequential_rate = len(
             [e for e in events.events if e.interaction >= warmup * n]
@@ -87,3 +111,213 @@ class TestRoundLengthAgreement:
         # cadence, not that the engines agree interaction for interaction.
         ratio = batched_rate / sequential_rate
         assert 0.5 <= ratio <= 2.0
+
+
+class TestArrayEngineExactEquivalence:
+    """The array engine reproduces the sequential engine bit-for-bit."""
+
+    def test_dynamic_counting_identical_trajectories(self):
+        n, horizon, seed = 100, 150, 7
+        sequential = Simulator(DynamicSizeCounting(), n, seed=seed)
+        seq_result = sequential.run(horizon)
+        array = ArraySimulator(VectorizedDynamicCounting(), n, seed=seed)
+        arr_result = array.run(horizon)
+
+        assert seq_result.interactions == arr_result.interactions == n * horizon
+        assert [s.minimum for s in seq_result.snapshots] == [
+            s.minimum for s in arr_result.snapshots
+        ]
+        assert [s.median for s in seq_result.snapshots] == [
+            s.median for s in arr_result.snapshots
+        ]
+        assert [s.maximum for s in seq_result.snapshots] == [
+            s.maximum for s in arr_result.snapshots
+        ]
+        assert np.array_equal(
+            np.array(sequential.outputs(), dtype=float), array.outputs()
+        )
+
+    def test_dynamic_counting_full_state_agreement(self):
+        n, horizon, seed = 60, 80, 42
+        sequential = Simulator(DynamicSizeCounting(), n, seed=seed)
+        sequential.run(horizon)
+        array = ArraySimulator(VectorizedDynamicCounting(), n, seed=seed)
+        array.run(horizon)
+        states = sequential.population.states()
+        for key, attr in (
+            ("max", "max_value"),
+            ("last_max", "last_max"),
+            ("time", "time"),
+            ("interactions", "interactions"),
+        ):
+            scalar = np.array([getattr(s, attr) for s in states], dtype=float)
+            assert np.array_equal(scalar, array.arrays[key].astype(float)), key
+
+    def test_junta_identical_trajectories(self):
+        """Junta consumes per-interaction coins; draw order must match too."""
+        n, horizon, seed = 80, 40, 3
+        sequential = Simulator(JuntaElection(), n, seed=seed)
+        sequential.run(horizon)
+        array = ArraySimulator(VectorizedJuntaElection(), n, seed=seed)
+        array.run(horizon)
+        assert np.array_equal(
+            np.array([float(x) for x in sequential.outputs()]), array.outputs()
+        )
+        levels = np.array([s.level for s in sequential.population.states()])
+        assert np.array_equal(levels, array.arrays["level"])
+        seen = np.array([s.max_seen_level for s in sequential.population.states()])
+        assert np.array_equal(seen, array.arrays["max_seen"])
+
+    def test_max_epidemic_identical_trajectories(self):
+        n, horizon, seed, peak = 90, 25, 11, 7.0
+        protocol = MaxEpidemic(one_way=True)
+        population = Population([peak] + [0] * (n - 1))
+        sequential = Simulator(protocol, population, seed=seed)
+        seq_result = sequential.run(horizon)
+
+        vectorized = VectorizedMaxEpidemic(one_way=True)
+        array = ArraySimulator(
+            vectorized, n, seed=seed, initial_arrays=vectorized.seeded_arrays(n, peak)
+        )
+        arr_result = array.run(horizon)
+        assert np.array_equal(
+            np.array(sequential.outputs(), dtype=float), array.outputs()
+        )
+        assert [s.maximum for s in seq_result.snapshots] == [
+            s.maximum for s in arr_result.snapshots
+        ]
+
+    def test_majority_identical_trajectories(self):
+        n = 100
+        codes = {"A": 1, "B": -1, "U": 0}
+        scalar_states = ["A"] * 35 + ["B"] * 25 + ["U"] * 40
+        sequential = Simulator(ApproximateMajority(), Population(scalar_states), seed=5)
+        sequential.run(60)
+
+        vectorized = VectorizedApproximateMajority()
+        array = ArraySimulator(
+            vectorized, n, seed=5, initial_arrays=vectorized.arrays_from_counts(35, 25, 40)
+        )
+        array.run(60)
+        mapped = np.array([codes[s] for s in sequential.population.states()])
+        assert np.array_equal(mapped.astype(float), array.outputs())
+
+    def test_infection_epidemic_identical_trajectories(self):
+        n, seed = 70, 9
+        sequential = Simulator(
+            InfectionEpidemic(), Population([1] + [0] * (n - 1)), seed=seed
+        )
+        sequential.run(30)
+        vectorized = VectorizedInfectionEpidemic()
+        array = ArraySimulator(
+            vectorized, n, seed=seed, initial_arrays=vectorized.seeded_arrays(n)
+        )
+        array.run(30)
+        assert np.array_equal(
+            np.array(sequential.outputs(), dtype=float), array.outputs()
+        )
+
+
+def _sequential_spread_time(n: int, seed: int) -> int:
+    simulator = Simulator(InfectionEpidemic(), Population([1] + [0] * (n - 1)), seed=seed)
+    result = simulator.run(
+        10 * int(math.log2(n)) + 50,
+        stop_when=lambda sim: sum(sim.population.states()) == n,
+    )
+    assert result.stopped_early, "epidemic did not finish within the horizon"
+    return result.parallel_time
+
+
+def _batched_spread_time(n: int, seed: int) -> int:
+    vectorized = VectorizedInfectionEpidemic()
+    simulator = BatchedSimulator(
+        vectorized, n, seed=seed, initial_arrays=vectorized.seeded_arrays(n)
+    )
+    result = simulator.run(
+        10 * int(math.log2(n)) + 50,
+        stop_when=lambda sim, snapshot: snapshot.minimum >= 1.0,
+    )
+    assert result.stopped_early, "epidemic did not finish within the horizon"
+    return result.parallel_time
+
+
+class TestBatchedStatisticalEquivalence:
+    """The batched engine matches the figures' statistics at small n."""
+
+    def test_epidemic_spread_times_comparable(self):
+        n = 400
+        sequential = np.mean([_sequential_spread_time(n, seed) for seed in (1, 2, 3)])
+        batched = np.mean([_batched_spread_time(n, seed) for seed in (4, 5, 6)])
+        # Both engines need Theta(log n) parallel time; the batched engine's
+        # synchronous rounds spread marginally faster, hence the loose band.
+        assert sequential > 0 and batched > 0
+        ratio = batched / sequential
+        assert 1 / 3 <= ratio <= 3
+
+    def test_junta_statistics_comparable(self):
+        n, horizon = 400, 30
+        sequential = Simulator(JuntaElection(), n, seed=21)
+        sequential.run(horizon)
+        seq_levels = np.array([s.level for s in sequential.population.states()])
+
+        batched = BatchedSimulator(VectorizedJuntaElection(), n, seed=22)
+        batched.run(horizon)
+        batch_levels = batched.arrays["level"]
+
+        # The maximum coin level concentrates around log2(n) +- O(1).
+        assert abs(int(seq_levels.max()) - int(batch_levels.max())) <= 3
+        # Junta sizes are polylogarithmic on both engines: small but nonzero.
+        seq_junta = sum(1 for out in sequential.outputs() if out)
+        batch_junta = int(batched.outputs().sum())
+        assert 0 < seq_junta < n / 4
+        assert 0 < batch_junta < n / 4
+
+    def test_majority_consensus_agrees(self):
+        n, a, b = 300, 195, 105
+        sequential = Simulator(
+            ApproximateMajority(), Population(["A"] * a + ["B"] * b), seed=31
+        )
+        sequential.run(60)
+        seq_a = sum(1 for s in sequential.population.states() if s == "A")
+
+        vectorized = VectorizedApproximateMajority()
+        batched = BatchedSimulator(
+            vectorized, n, seed=32, initial_arrays=vectorized.arrays_from_counts(a, b)
+        )
+        batched.run(60)
+        batch_a = int((batched.arrays["opinion"] == 1).sum())
+
+        # With a 65/35 initial split both engines reach (near-)consensus on A.
+        assert seq_a >= 0.9 * n
+        assert batch_a >= 0.9 * n
+
+
+class TestArrayVsBatchedDynamicCounting:
+    def test_steady_state_agreement(self):
+        """The exact array engine sits at the same plateau as the batched one.
+
+        The horizon covers several clock rounds past convergence; the
+        tolerance matches the sequential-vs-batched steady-state test (the
+        array engine is trajectory-identical to the sequential engine, so
+        its run-to-run variation is the same).
+        """
+        n, horizon = 300, 1000
+        array = ArraySimulator(VectorizedDynamicCounting(), n, seed=77)
+        result = array.run(horizon)
+        array_low = min(
+            s.median for s in result.snapshots if s.parallel_time > horizon // 2
+        )
+        batched_low = _batched_steady_low(n, horizon, seed=88)
+        assert abs(array_low - batched_low) <= 3.0
+        reference = math.log2(16 * n)
+        assert abs(array_low - reference) <= 3.5
+        assert abs(batched_low - reference) <= 3.5
+
+
+@pytest.mark.parametrize("engine_cls", [ArraySimulator, BatchedSimulator])
+def test_resize_schedule_supported_by_both_array_engines(engine_cls):
+    simulator = engine_cls(VectorizedDynamicCounting(), 200, seed=13, resize_schedule=[(5, 50)])
+    result = simulator.run(10)
+    assert result.final_size == 50
+    sizes = [s.population_size for s in result.snapshots]
+    assert sizes[0] == 200 and sizes[-1] == 50

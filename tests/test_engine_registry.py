@@ -1,0 +1,293 @@
+"""Tests for the engine registry, engine selection, and the unified API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.phase_clock import UniformPhaseClock
+from repro.core.params import ProtocolParameters
+from repro.core.vectorized import VectorizedDynamicCounting
+from repro.engine.adversary import RemoveAllButAt
+from repro.engine.api import RunResult
+from repro.engine.array_engine import ArraySimulator
+from repro.engine.batch_engine import BatchedSimulator, VectorizedProtocol
+from repro.engine.errors import ConfigurationError
+from repro.engine.recorder import EstimateRecorder
+from repro.engine.registry import (
+    ENGINE_NAMES,
+    has_vectorized,
+    make_engine,
+    register_vectorized,
+    registered_protocols,
+    vectorized_for,
+)
+from repro.engine.simulator import Simulator
+from repro.protocols.doty_eftekhari import DotyEftekhariCounting
+from repro.protocols.epidemic import InfectionEpidemic, MaxEpidemic
+from repro.protocols.junta import JuntaElection
+from repro.protocols.majority import ApproximateMajority
+from repro.protocols.vectorized import (
+    VectorizedApproximateMajority,
+    VectorizedInfectionEpidemic,
+    VectorizedJuntaElection,
+    VectorizedMaxEpidemic,
+)
+
+
+class TestVectorizedLookup:
+    def test_dynamic_counting_dispatch_carries_params(self):
+        params = ProtocolParameters(tau1=7, tau2=5, tau3=3, tau_prime=30, grv_samples=8)
+        vectorized = vectorized_for(DynamicSizeCounting(params))
+        assert isinstance(vectorized, VectorizedDynamicCounting)
+        assert vectorized.params is params
+
+    def test_phase_clock_dispatches_to_counting_kernel(self):
+        vectorized = vectorized_for(UniformPhaseClock())
+        assert isinstance(vectorized, VectorizedDynamicCounting)
+
+    def test_epidemic_dispatch_carries_flags(self):
+        vectorized = vectorized_for(MaxEpidemic(initial_value=3, one_way=False))
+        assert isinstance(vectorized, VectorizedMaxEpidemic)
+        assert vectorized.initial_value == 3
+        assert vectorized.one_way is False
+
+        infection = vectorized_for(InfectionEpidemic(one_way=True))
+        assert isinstance(infection, VectorizedInfectionEpidemic)
+        assert infection.one_way is True
+
+    def test_junta_and_majority_dispatch(self):
+        junta = vectorized_for(JuntaElection(max_level=12))
+        assert isinstance(junta, VectorizedJuntaElection)
+        assert junta.max_level == 12
+
+        majority = vectorized_for(ApproximateMajority(initial_opinion="A"))
+        assert isinstance(majority, VectorizedApproximateMajority)
+        assert majority.initial_opinion == "A"
+
+    def test_vectorized_protocol_passes_through(self):
+        protocol = VectorizedDynamicCounting()
+        assert vectorized_for(protocol) is protocol
+        assert has_vectorized(protocol)
+
+    def test_unknown_protocol_raises_with_listing(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            vectorized_for(DotyEftekhariCounting())
+        assert "DotyEftekhariCounting" in str(excinfo.value)
+        assert "DynamicSizeCounting" in str(excinfo.value)
+        assert not has_vectorized(DotyEftekhariCounting())
+
+    def test_registered_protocols_lists_defaults(self):
+        names = registered_protocols()
+        for expected in (
+            "DynamicSizeCounting",
+            "UniformPhaseClock",
+            "MaxEpidemic",
+            "InfectionEpidemic",
+            "JuntaElection",
+            "ApproximateMajority",
+        ):
+            assert expected in names
+
+    def test_custom_registration_and_subclass_lookup(self):
+        class CustomCounting(DynamicSizeCounting):
+            pass
+
+        # Subclasses resolve through the MRO to the base registration...
+        vectorized = vectorized_for(CustomCounting())
+        assert isinstance(vectorized, VectorizedDynamicCounting)
+
+        # ... unless a more specific registration exists.
+        class CustomVectorized(VectorizedDynamicCounting):
+            pass
+
+        register_vectorized(CustomCounting, lambda p: CustomVectorized(p.params))
+        try:
+            assert isinstance(vectorized_for(CustomCounting()), CustomVectorized)
+        finally:
+            from repro.engine import registry
+
+            registry._REGISTRY.pop(CustomCounting, None)
+
+
+class TestMakeEngine:
+    def test_engine_names_build_expected_classes(self):
+        protocol = DynamicSizeCounting()
+        assert isinstance(make_engine("sequential", protocol, 10, seed=1), Simulator)
+        assert isinstance(make_engine("array", protocol, 10, seed=1), ArraySimulator)
+        assert isinstance(make_engine("batched", protocol, 10, seed=1), BatchedSimulator)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_engine("warp", DynamicSizeCounting(), 10, seed=1)
+        for name in ENGINE_NAMES:
+            assert name in str(excinfo.value)
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_every_engine_runs_and_reports_metadata(self, engine):
+        simulator = make_engine(engine, DynamicSizeCounting(), 50, seed=3)
+        result = simulator.run(5)
+        assert isinstance(result, RunResult)
+        assert result.metadata["engine"] == engine
+        assert result.parallel_time == 5
+        assert result.final_size == 50
+        assert len(result.snapshots) == 5
+        assert result.stopped_early is False
+        series = result.series()
+        assert set(series) == {
+            "parallel_time",
+            "population_size",
+            "minimum",
+            "median",
+            "maximum",
+        }
+        assert series["parallel_time"] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_resize_schedule_on_every_engine(self, engine):
+        simulator = make_engine(
+            engine, DynamicSizeCounting(), 100, seed=5, resize_schedule=[(3, 20)]
+        )
+        result = simulator.run(6)
+        assert result.final_size == 20
+
+    def test_sequential_rejects_vectorized_protocol(self):
+        with pytest.raises(ConfigurationError):
+            make_engine("sequential", VectorizedDynamicCounting(), 10, seed=1)
+
+    def test_sequential_rejects_initial_arrays(self):
+        with pytest.raises(ConfigurationError):
+            make_engine(
+                "sequential",
+                DynamicSizeCounting(),
+                10,
+                seed=1,
+                initial_arrays={"max": np.ones(10)},
+            )
+
+    def test_sequential_rejects_adversary_plus_schedule(self):
+        with pytest.raises(ConfigurationError):
+            make_engine(
+                "sequential",
+                DynamicSizeCounting(),
+                10,
+                seed=1,
+                adversary=RemoveAllButAt(time=1, keep=5),
+                resize_schedule=[(1, 5)],
+            )
+
+    def test_array_engines_reject_adversary_and_recorders(self):
+        with pytest.raises(ConfigurationError):
+            make_engine(
+                "batched",
+                DynamicSizeCounting(),
+                10,
+                seed=1,
+                adversary=RemoveAllButAt(time=1, keep=5),
+            )
+        with pytest.raises(ConfigurationError):
+            make_engine(
+                "array", DynamicSizeCounting(), 10, seed=1, recorders=[EstimateRecorder()]
+            )
+
+    def test_array_engines_reject_population_object(self):
+        from repro.engine.population import Population
+
+        with pytest.raises(ConfigurationError):
+            make_engine("batched", DynamicSizeCounting(), Population([1, 2, 3]), seed=1)
+
+    def test_sequential_accepts_recorders(self):
+        recorder = EstimateRecorder()
+        simulator = make_engine(
+            "sequential", DynamicSizeCounting(), 20, seed=2, recorders=[recorder]
+        )
+        simulator.run(3)
+        assert len(recorder.rows) == 3
+
+
+class TestUnifiedEngineApi:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_snapshot_hooks_fire_on_every_engine(self, engine):
+        simulator = make_engine(engine, DynamicSizeCounting(), 30, seed=4)
+        seen = []
+        simulator.add_snapshot_hook(lambda eng, snap: seen.append(snap.parallel_time))
+        simulator.run(4)
+        assert seen == [1, 2, 3, 4]
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_stop_when_sets_stopped_early(self, engine):
+        simulator = make_engine(engine, DynamicSizeCounting(), 30, seed=4)
+        result = simulator.run(50, stop_when=lambda eng: eng.parallel_time >= 3)
+        assert result.stopped_early is True
+        assert result.parallel_time == 3
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_two_argument_stop_condition(self, engine):
+        simulator = make_engine(engine, DynamicSizeCounting(), 30, seed=4)
+        result = simulator.run(
+            50, stop_when=lambda eng, snapshot: snapshot.parallel_time >= 2
+        )
+        assert result.stopped_early is True
+        assert result.parallel_time == 2
+
+    def test_stop_condition_with_optional_second_parameter(self):
+        """Predicates like ``stop(sim, threshold=8)`` keep the one-arg call.
+
+        Before the unified API the sequential engine always called
+        ``stop_when(sim)``; an optional extra parameter must not flip the
+        call to the two-argument convention and bind the snapshot to it.
+        """
+
+        def stop(sim, threshold=3):
+            return sim.parallel_time >= threshold
+
+        result = Simulator(DynamicSizeCounting(), 20, seed=4).run(50, stop_when=stop)
+        assert result.stopped_early is True
+        assert result.parallel_time == 3
+
+    def test_batched_stop_condition_with_defaulted_snapshot_parameter(self):
+        """Batched predicates like ``stop(sim, snap=None)`` keep the two-arg call.
+
+        The old BatchedSimulator.run always passed (engine, snapshot), so an
+        ambiguous signature on an array engine must still receive the
+        snapshot rather than its default.
+        """
+        simulator = BatchedSimulator(VectorizedDynamicCounting(), 20, seed=4)
+        result = simulator.run(
+            50, stop_when=lambda sim, snap=None: snap.parallel_time >= 3
+        )
+        assert result.stopped_early is True
+        assert result.parallel_time == 3
+
+    def test_sequential_snapshots_match_estimate_recorder(self):
+        recorder = EstimateRecorder()
+        simulator = Simulator(DynamicSizeCounting(), 40, seed=6, recorders=[recorder])
+        result = simulator.run(10)
+        assert [s.median for s in result.snapshots] == [r.median for r in recorder.rows]
+        assert [s.minimum for s in result.snapshots] == [r.minimum for r in recorder.rows]
+
+    def test_non_numeric_outputs_yield_nan_statistics(self):
+        simulator = Simulator(ApproximateMajority(initial_opinion="A"), 10, seed=1)
+        result = simulator.run(2)
+        assert len(result.snapshots) == 2
+        assert all(np.isnan(s.median) for s in result.snapshots)
+        assert all(s.population_size == 10 for s in result.snapshots)
+
+    def test_interact_one_is_optional(self):
+        class BatchOnly(VectorizedProtocol):
+            name = "batch-only"
+
+            def initial_arrays(self, n, rng):
+                return {"x": np.zeros(n)}
+
+            def interact_batch(self, arrays, initiators, responders, rng):
+                return None
+
+            def output_array(self, arrays):
+                return arrays["x"]
+
+        simulator = ArraySimulator(BatchOnly(), 10, seed=1)
+        with pytest.raises(NotImplementedError) as excinfo:
+            simulator.run(1)
+        assert "interact_one" in str(excinfo.value)

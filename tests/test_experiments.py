@@ -11,6 +11,7 @@ import math
 
 import pytest
 
+from repro.engine.errors import ConfigurationError
 from repro.experiments.base import ExperimentPreset, ExperimentResult
 from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.cli import EXPERIMENT_RUNNERS, main
@@ -85,6 +86,27 @@ class TestEstimateTrace:
     def test_rejects_zero_trials(self):
         with pytest.raises(ValueError):
             run_estimate_trace(100, 10, trials=0, seed=3)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            run_estimate_trace(100, 10, trials=1, seed=3, engine="warp")
+
+    def test_sequential_and_array_engines_agree_exactly(self):
+        """The two exact engines produce identical traces for shared seeds."""
+        sequential = run_estimate_trace(80, 40, trials=2, seed=5, engine="sequential")
+        array = run_estimate_trace(80, 40, trials=2, seed=5, engine="array")
+        assert sequential.series() == array.series()
+
+    @pytest.mark.parametrize("engine", ("sequential", "array"))
+    def test_exact_engines_support_workload_knobs(self, engine):
+        trace = run_estimate_trace(
+            100, 30, trials=1, seed=4, engine=engine, resize_schedule=[(10, 40)]
+        )
+        assert trace.population_size[-1] == 40
+        trace = run_estimate_trace(
+            80, 10, trials=1, seed=4, engine=engine, initial_estimate=60.0
+        )
+        assert trace.maximum[0] == 60.0
 
 
 class TestFigureRunners:
@@ -192,3 +214,83 @@ class TestResultPersistenceAndCli:
 
     def test_cli_runner_registry_complete(self):
         assert set(EXPERIMENT_RUNNERS) == set(PRESETS)
+
+
+class TestEngineSelectors:
+    def test_every_runner_accepts_engine_keyword(self):
+        """Every experiment runner exposes the ``engine=`` selector."""
+        import inspect
+
+        for name, runner in EXPERIMENT_RUNNERS.items():
+            assert "engine" in inspect.signature(runner).parameters, name
+
+    def test_fig2_engine_metadata_and_agreement(self):
+        preset = ExperimentPreset(
+            name="tiny", population_sizes=(60,), parallel_time=40, trials=2, seed=9
+        )
+        sequential = run_fig2(preset, engine="sequential")
+        array = run_fig2(preset, engine="array")
+        assert sequential.metadata["engine"] == "sequential"
+        assert array.metadata["engine"] == "array"
+        # The exact engines are trajectory-identical under shared seeds.
+        assert sequential.series == array.series
+        assert sequential.rows == array.rows
+
+    def test_sequential_only_experiments_reject_other_engines(self):
+        for runner in (
+            run_memory_table,
+            run_phase_clock_experiment,
+            run_baseline_comparison,
+        ):
+            with pytest.raises(ConfigurationError):
+                runner(tiny(), engine="batched")
+
+    def test_cli_all_skips_unsupported_engine_combinations(self, capsys, monkeypatch):
+        """`all --engine batched` runs the supporting experiments and skips the rest."""
+        tiny_preset = ExperimentPreset(
+            name="quick", population_sizes=(50,), parallel_time=15, trials=1, seed=1
+        )
+        for experiment in PRESETS:
+            monkeypatch.setitem(PRESETS, experiment, {"quick": tiny_preset})
+        assert main(["all", "--effort", "quick", "--engine", "batched"]) == 0
+        captured = capsys.readouterr()
+        assert "[baseline] skipped:" in captured.out
+        assert "[memory] skipped:" in captured.out
+        assert "[phase_clock] skipped:" in captured.out
+        assert "[fig2] completed" in captured.out
+
+    def test_cli_all_without_engine_flag_propagates_errors(self, capsys, monkeypatch):
+        """Without --engine, a ConfigurationError in `all` mode is fatal, not a skip."""
+
+        def broken(*args, **kwargs):
+            raise ConfigurationError("boom")
+
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "baseline", broken)
+        assert main(["all", "--effort", "quick"]) == 2
+        captured = capsys.readouterr()
+        assert "boom" in captured.err
+        assert "skipped" not in captured.out
+
+    def test_cli_single_experiment_engine_mismatch_is_an_error(self, capsys, monkeypatch):
+        tiny_preset = ExperimentPreset(
+            name="quick", population_sizes=(50,), parallel_time=15, trials=1, seed=1
+        )
+        monkeypatch.setitem(PRESETS, "memory", {"quick": tiny_preset})
+        assert main(["memory", "--effort", "quick", "--engine", "batched"]) == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+
+    def test_cli_engine_flag(self, capsys):
+        preset_patch = {
+            "quick": ExperimentPreset(
+                name="quick", population_sizes=(50,), parallel_time=20, trials=1, seed=1
+            )
+        }
+        original = PRESETS["fig3"]
+        PRESETS["fig3"] = preset_patch
+        try:
+            assert main(["fig3", "--effort", "quick", "--engine", "array"]) == 0
+        finally:
+            PRESETS["fig3"] = original
+        captured = capsys.readouterr()
+        assert "fig3" in captured.out

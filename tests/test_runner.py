@@ -10,6 +10,15 @@ from repro.engine.simulator import Simulator
 from repro.protocols.static_counting import MaxGrvCounting
 
 
+def _picklable_trial(trial_index, rng):
+    """Module-level trial function so that worker processes can unpickle it."""
+    recorder = EstimateRecorder()
+    simulator = Simulator(MaxGrvCounting(), 40, rng=rng, recorders=[recorder])
+    result = simulator.run(15)
+    series = recorder.series()
+    return result, {"parallel_time": series["parallel_time"], "maximum": series["maximum"]}
+
+
 class TestAggregateSeries:
     def test_basic_aggregation(self):
         agg = aggregate_series("x", [0, 1, 2], [[1, 2, 3], [3, 2, 1], [2, 2, 2]])
@@ -74,3 +83,36 @@ class TestTrialRunner:
         first = TrialRunner(self._trial, trials=2, seed=9).run()
         second = TrialRunner(self._trial, trials=2, seed=9).run()
         assert first[0].data["maximum"] == second[0].data["maximum"]
+
+
+class TestMultiprocessing:
+    def test_rejects_non_positive_processes(self):
+        with pytest.raises(ValueError):
+            TrialRunner(_picklable_trial, trials=2, seed=1, processes=0)
+
+    def test_processes_one_is_synchronous(self):
+        serial = TrialRunner(_picklable_trial, trials=2, seed=7).run()
+        explicit = TrialRunner(_picklable_trial, trials=2, seed=7, processes=1).run()
+        assert [o.data["maximum"] for o in serial] == [
+            o.data["maximum"] for o in explicit
+        ]
+
+    def test_parallel_matches_serial_exactly(self):
+        """Fan-out over worker processes must not change any outcome.
+
+        Each trial owns a spawned random stream, so scheduling is
+        irrelevant: the parallel mode has to reproduce the serial results
+        bit for bit and preserve trial order.
+        """
+        serial = TrialRunner(_picklable_trial, trials=4, seed=11).run()
+        parallel = TrialRunner(_picklable_trial, trials=4, seed=11, processes=2).run()
+        assert [o.trial for o in parallel] == [0, 1, 2, 3]
+        for left, right in zip(serial, parallel):
+            assert left.data["maximum"] == right.data["maximum"]
+            assert left.result.interactions == right.result.interactions
+
+    def test_parallel_run_and_aggregate(self):
+        runner = TrialRunner(_picklable_trial, trials=3, seed=13, processes=2)
+        outcomes, aggregated = runner.run_and_aggregate("maximum")
+        assert len(outcomes) == 3
+        assert len(aggregated.maximum) == len(aggregated.index) > 0
