@@ -23,6 +23,7 @@ __version__ = "1.0.0"
 _LAZY_EXPORTS = {
     "Simulator": "repro.engine.simulator",
     "BatchedSimulator": "repro.engine.batch_engine",
+    "EnsembleSimulator": "repro.engine.ensemble_engine",
     "Population": "repro.engine.population",
     "RandomSource": "repro.engine.rng",
     "TrialRunner": "repro.engine.runner",

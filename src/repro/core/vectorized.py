@@ -28,10 +28,16 @@ import numpy as np
 
 from repro.core.grv import grv_maximum
 from repro.core.params import ProtocolParameters, empirical_parameters
-from repro.engine.batch_engine import VectorizedProtocol
+from repro.engine.batch_engine import VectorizedProtocol, flat_state_view
 from repro.engine.rng import RandomSource
 
 __all__ = ["VectorizedDynamicCounting"]
+
+#: Conservative bound on any value the inverse-CDF GRV sampler can return
+#: (float64 uniforms cap its support around 60; doubled for headroom).  Used
+#: to decide whether float32 state planes can represent every countdown
+#: value exactly.
+_GRV_VALUE_CAP = 128.0
 
 
 class VectorizedDynamicCounting(VectorizedProtocol):
@@ -51,6 +57,18 @@ class VectorizedDynamicCounting(VectorizedProtocol):
 
     def __init__(self, params: ProtocolParameters | None = None) -> None:
         self.params = params if params is not None else empirical_parameters()
+        # The narrow float32 planes are only used while every state value —
+        # including products of a tau constant with any plane value the
+        # engine's narrowing guard admits (|v| <= 2^16) — stays inside
+        # float32's exact-integer range (|v| < 2^24); beyond it the CHVP
+        # countdown's -1 per interaction would be silently rounded away.
+        # The paper's empirical constants pass easily; the theory presets
+        # (tau1 = 1140k, overestimation = 20(k+1)) do not and fall back to
+        # the initial_arrays dtypes (float64).
+        max_tau = max(self.params.tau1, self.params.tau2, self.params.tau3)
+        worst_time = max_tau * self.params.overestimation * _GRV_VALUE_CAP
+        if worst_time > 2.0**23 or max_tau > _GRV_VALUE_CAP:
+            self.ensemble_state_dtypes = None
 
     # ------------------------------------------------------------------ setup
 
@@ -91,25 +109,28 @@ class VectorizedDynamicCounting(VectorizedProtocol):
 
     # ------------------------------------------------------------ interaction
 
-    def interact_batch(
+    def _transition(
         self,
-        arrays: dict[str, np.ndarray],
-        initiators: np.ndarray,
-        responders: np.ndarray,
+        u_max: np.ndarray,
+        u_last: np.ndarray,
+        u_time: np.ndarray,
+        u_inter: np.ndarray,
+        v_max: np.ndarray,
+        v_last: np.ndarray,
+        v_time: np.ndarray,
         rng: RandomSource,
-    ) -> None:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Algorithm 2 on gathered initiator/responder state of any shape.
+
+        Shared by :meth:`interact_batch` (1-D batches) and
+        :meth:`interact_ensemble` (2-D ``(trials, batch)`` stacks) — every
+        operation is element-wise apart from the masked GRV draws, which
+        flatten through boolean indexing.  Returns the new initiator state
+        plus the reset mask (for the tick counters).
+        """
         params = self.params
         tau1, tau2, tau3 = params.tau1, params.tau2, params.tau3
         over = params.overestimation
-
-        # Snapshot of both participants at the start of the batch.
-        u_max = arrays["max"][initiators].copy()
-        u_last = arrays["last_max"][initiators].copy()
-        u_time = arrays["time"][initiators].copy()
-        u_inter = arrays["interactions"][initiators].copy()
-        v_max = arrays["max"][responders]
-        v_last = arrays["last_max"][responders]
-        v_time = arrays["time"][responders]
 
         u_scale = np.maximum(u_max, u_last)
         v_scale = np.maximum(v_max, v_last)
@@ -124,7 +145,7 @@ class VectorizedDynamicCounting(VectorizedProtocol):
             | (u_reset_phase & v_exchange)
             | (~u_exchange & (u_max != v_max))
         )
-        fresh = np.zeros(len(initiators), dtype=np.float64)
+        fresh = np.zeros(u_max.shape, dtype=np.float64)
         fresh[reset_mask] = over * self._sample_grv_max(rng, int(reset_mask.sum()))
         new_time = np.where(reset_mask, tau1 * np.maximum(u_max, fresh), u_time)
         new_last = np.where(reset_mask, u_max, u_last)
@@ -133,7 +154,7 @@ class VectorizedDynamicCounting(VectorizedProtocol):
 
         # Lines 7-10: backup GRV generation.
         backup_due = new_inter > params.tau_prime * np.maximum(new_max, new_last)
-        backup_raw = np.zeros(len(initiators), dtype=np.float64)
+        backup_raw = np.zeros(u_max.shape, dtype=np.float64)
         backup_raw[backup_due] = self._sample_grv_max(rng, int(backup_due.sum()))
         new_inter = np.where(backup_due, 0, new_inter)
         adopt_backup = backup_due & (backup_raw > new_max)
@@ -156,6 +177,27 @@ class VectorizedDynamicCounting(VectorizedProtocol):
         # Line 15: CHVP countdown plus the interaction counter.
         new_time = np.maximum(new_time, v_time) - 1
         new_inter = new_inter + 1
+        return new_max, new_last, new_time, new_inter, reset_mask
+
+    def interact_batch(
+        self,
+        arrays: dict[str, np.ndarray],
+        initiators: np.ndarray,
+        responders: np.ndarray,
+        rng: RandomSource,
+    ) -> None:
+        # Snapshot of both participants at the start of the batch (fancy
+        # indexing already copies, so the gathers need no extra .copy()).
+        new_max, new_last, new_time, new_inter, reset_mask = self._transition(
+            arrays["max"][initiators],
+            arrays["last_max"][initiators],
+            arrays["time"][initiators],
+            arrays["interactions"][initiators],
+            arrays["max"][responders],
+            arrays["last_max"][responders],
+            arrays["time"][responders],
+            rng,
+        )
 
         # Write back; duplicate initiators within one batch resolve to the
         # last interaction (an accepted artefact of the batched engine).
@@ -166,6 +208,168 @@ class VectorizedDynamicCounting(VectorizedProtocol):
         # Count effective resets: duplicate initiators within one batch
         # resolve to a single surviving state, so they are one reset.
         np.add.at(arrays["resets"], np.unique(initiators[reset_mask]), 1)
+
+    #: Ensemble state is held in narrow planes: with integer-valued protocol
+    #: constants (the paper's presets) every ``max`` / ``lastMax`` / ``time``
+    #: value is exactly representable in float32 (magnitudes stay far below
+    #: 2^24), so the stacked hot loop halves its memory traffic without
+    #: changing a single trajectory decision.  ``resets`` keeps the dtype of
+    #: :meth:`initial_arrays`.
+    ensemble_state_dtypes = {
+        "max": np.dtype(np.float32),
+        "last_max": np.dtype(np.float32),
+        "time": np.dtype(np.float32),
+        "interactions": np.dtype(np.int32),
+    }
+
+    def interact_ensemble(
+        self,
+        arrays: dict[str, np.ndarray],
+        initiators: np.ndarray,
+        responders: np.ndarray,
+        rng: RandomSource,
+    ) -> None:
+        """Fast path: one transition over all trials' batches at once.
+
+        ``arrays`` holds ``(trials, n)`` stacks and the index matrices are
+        ``(trials, batch)``; row ``t`` follows exactly the
+        :meth:`interact_batch` semantics within trial ``t``.  The kernel is
+        tuned for the stacked hot loop rather than sharing
+        :meth:`_transition`:
+
+        * flat-coordinate gathers/scatters (``trial * n + slot``) instead
+          of broadcast 2-D fancy indexing;
+        * the rare branches — resets, backup GRVs, maximum adoption — are
+          applied on compressed lane indices and the phase threshold
+          ``tau2 * scale`` is patched at those lanes instead of being
+          recomputed full-width, so in the converged regime they cost next
+          to nothing;
+        * fresh GRV maxima come from the one-uniform-per-sample inverse
+          CDF (:meth:`repro.engine.rng.RandomSource.geometric_max_array`)
+          rather than ``k`` geometric draws per resetting agent.
+
+        Same distribution as :meth:`interact_batch` everywhere, but a
+        different slice of the random stream (see
+        ``tests/test_ensemble_engine.py`` for the statistical
+        cross-validation).
+        """
+        params = self.params
+        tau1, tau2, tau3 = params.tau1, params.tau2, params.tau3
+        over = params.overestimation
+        grv_k = params.grv_samples
+
+        trials, n = arrays["max"].shape
+        offsets = (np.arange(trials, dtype=initiators.dtype) * n)[:, None]
+        flat_u = np.add(initiators, offsets).ravel()
+        flat_v = np.add(responders, offsets).ravel()
+        max_flat = flat_state_view(arrays["max"])
+        last_flat = flat_state_view(arrays["last_max"])
+        time_flat = flat_state_view(arrays["time"])
+        inter_flat = flat_state_view(arrays["interactions"])
+        dtype = max_flat.dtype
+
+        # Snapshot of both participants at the start of the sub-batch.
+        u_max = np.take(max_flat, flat_u)
+        u_last = np.take(last_flat, flat_u)
+        u_time = np.take(time_flat, flat_u)
+        u_inter = np.take(inter_flat, flat_u)
+        v_max = np.take(max_flat, flat_v)
+        v_last = np.take(last_flat, flat_v)
+        v_time = np.take(time_flat, flat_v)
+
+        v_scale = np.maximum(v_max, v_last)
+        v_exchange = v_time >= tau2 * v_scale
+        np.multiply(v_scale, tau3, out=v_scale)
+        v_reset_phase = v_time < v_scale
+
+        # Lines 2-6: wrap-around / reset->exchange / hold->exchange resets
+        # (rare once converged -> compressed lanes).  ``u_t2`` (the exchange
+        # threshold tau2 * max(max, lastMax)) is kept patched through the
+        # rare stages below and reused by every later phase test.
+        u_t2 = np.maximum(u_max, u_last)
+        in_reset_phase = u_time < tau3 * u_t2
+        np.multiply(u_t2, tau2, out=u_t2)
+        reset = u_time <= 0
+        in_reset_phase &= v_exchange
+        reset |= in_reset_phase
+        holding = u_time < u_t2
+        holding &= u_max != v_max
+        reset |= holding
+        reset_lanes = np.flatnonzero(reset)
+        if reset_lanes.size:
+            fresh = (over * rng.geometric_max_array(grv_k, reset_lanes.size)).astype(
+                dtype, copy=False
+            )
+            old_max = u_max[reset_lanes]
+            peak = np.maximum(old_max, fresh)
+            u_time[reset_lanes] = tau1 * peak
+            u_last[reset_lanes] = old_max
+            u_max[reset_lanes] = fresh
+            u_inter[reset_lanes] = 0
+            u_t2[reset_lanes] = tau2 * peak
+
+        # Lines 7-10: backup GRV generation (rare).  The threshold
+        # tau' * scale is tau' / tau2 times the maintained u_t2.
+        backup_lanes = np.flatnonzero(u_inter > (params.tau_prime / tau2) * u_t2)
+        if backup_lanes.size:
+            backup = rng.geometric_max_array(grv_k, backup_lanes.size)
+            u_inter[backup_lanes] = 0
+            adopt_backup = backup > u_max[backup_lanes]
+            boosted_lanes = backup_lanes[adopt_backup]
+            if boosted_lanes.size:
+                boosted = (over * backup[adopt_backup]).astype(dtype, copy=False)
+                u_time[boosted_lanes] = tau1 * boosted
+                u_max[boosted_lanes] = boosted
+                u_t2[boosted_lanes] = tau2 * np.maximum(boosted, u_last[boosted_lanes])
+
+        # Lines 11-12: adopt a larger maximum within the exchange phase.
+        exchange = u_time >= u_t2
+        adopt = exchange & v_exchange
+        adopt &= u_max < v_max
+        adopt_lanes = np.flatnonzero(adopt)
+        if adopt_lanes.size:
+            adopted = v_max[adopt_lanes]
+            new_last = v_last[adopt_lanes]
+            u_time[adopt_lanes] = tau1 * adopted
+            u_max[adopt_lanes] = adopted
+            u_last[adopt_lanes] = new_last
+            u_t2[adopt_lanes] = tau2 * np.maximum(adopted, new_last)
+            # Only the adopted lanes changed time/threshold since `exchange`
+            # was computed; patch them instead of a full-width recompute.
+            exchange[adopt_lanes] = u_time[adopt_lanes] >= u_t2[adopt_lanes]
+
+        # Lines 13-14: exchange the trailing maximum (the common branch).
+        share = u_max == v_max
+        exchange &= v_reset_phase
+        np.logical_not(exchange, out=exchange)
+        share &= exchange
+        np.maximum(u_last, v_last, out=u_last, where=share)
+
+        # Line 15: CHVP countdown plus the interaction counter.
+        np.maximum(u_time, v_time, out=u_time)
+        u_time -= 1.0
+        u_inter += 1
+
+        # Write back; duplicate lanes resolve last-writer-wins, as on the
+        # batched engine.
+        max_flat[flat_u] = u_max
+        last_flat[flat_u] = u_last
+        time_flat[flat_u] = u_time
+        inter_flat[flat_u] = u_inter
+
+        # Count effective resets once per (trial, agent) slot, matching the
+        # batched engine's unique-initiator semantics.  Sparse reset sets
+        # dedupe through np.unique; dense ones (the warm-up storm) through
+        # a flag plane.
+        if reset_lanes.size:
+            slots = flat_u[reset_lanes]
+            resets_flat = flat_state_view(arrays["resets"])
+            if slots.size * 8 < resets_flat.size:
+                np.add.at(resets_flat, np.unique(slots), 1)
+            else:
+                flags = np.zeros(resets_flat.size, dtype=bool)
+                flags[slots] = True
+                resets_flat += flags
 
     # ------------------------------------------------------- exact transition
 

@@ -2,12 +2,12 @@
 
 The engine package is independent of the paper's specific protocol: it
 provides the random scheduler, the dynamic population, size-change
-adversaries, recorders, multi-trial orchestration, and three execution
+adversaries, recorders, multi-trial orchestration, and four execution
 engines behind one :class:`repro.engine.api.Engine` contract — exact
 sequential (:class:`Simulator`), exact struct-of-arrays
-(:class:`ArraySimulator`), and batched/vectorised
-(:class:`BatchedSimulator`) — selectable by name through
-:func:`repro.engine.registry.make_engine`.
+(:class:`ArraySimulator`), batched/vectorised (:class:`BatchedSimulator`),
+and whole-ensemble stacked (:class:`EnsembleSimulator`) — selectable by
+name through :func:`repro.engine.registry.make_engine`.
 """
 
 from repro.engine.adversary import (
@@ -28,6 +28,7 @@ from repro.engine.batch_engine import (
     BatchSnapshot,
     VectorizedProtocol,
 )
+from repro.engine.ensemble_engine import EnsembleRunResult, EnsembleSimulator
 from repro.engine.errors import (
     ConfigurationError,
     EmptyPopulationError,
@@ -57,7 +58,13 @@ from repro.engine.registry import (
     vectorized_for,
 )
 from repro.engine.rng import RandomSource, make_rng, spawn_streams
-from repro.engine.runner import AggregatedSeries, TrialOutcome, TrialRunner, aggregate_series
+from repro.engine.runner import (
+    AggregatedSeries,
+    EnsembleSpec,
+    TrialOutcome,
+    TrialRunner,
+    aggregate_series,
+)
 from repro.engine.simulator import SimulationResult, Simulator
 
 __all__ = [
@@ -76,6 +83,9 @@ __all__ = [
     "ConfigurationError",
     "EmptyPopulationError",
     "EngineError",
+    "EnsembleRunResult",
+    "EnsembleSimulator",
+    "EnsembleSpec",
     "EstimateRecorder",
     "EventRecorder",
     "InteractionContext",

@@ -38,6 +38,7 @@ __all__ = [
     "Engine",
     "ArrayStateEngine",
     "quantiles",
+    "matrix_quantiles",
 ]
 
 
@@ -47,9 +48,61 @@ def quantiles(values: Sequence[float] | np.ndarray) -> tuple[float, float, float
     The single definition behind every reported (minimum, median, maximum)
     triple — engine snapshots and recorder rows alike — so the statistics
     agree across engines down to NaN propagation.
+
+    This runs on every snapshot of every engine, so it avoids the full sort
+    behind ``np.median``: one ``np.partition`` call with the extreme and
+    middle ranks as pivots yields all three statistics in linear expected
+    time.  The results are identical to ``(arr.min(), np.median(arr),
+    arr.max())``, including the all-NaN answer when any element is NaN.
     """
-    arr = np.asarray(values, dtype=float)
-    return float(arr.min()), float(np.median(arr)), float(arr.max())
+    arr = np.asarray(values, dtype=float).ravel()
+    size = arr.size
+    if size == 0:
+        raise ValueError("quantiles() requires a non-empty sequence")
+    if np.isnan(arr).any():
+        # min/max/median all propagate NaN under NumPy semantics.
+        nan = float("nan")
+        return nan, nan, nan
+    mid = size // 2
+    if size % 2:
+        part = np.partition(arr, (0, mid, size - 1))
+        median = float(part[mid])
+    else:
+        part = np.partition(arr, (0, mid - 1, mid, size - 1))
+        median = 0.5 * (float(part[mid - 1]) + float(part[mid]))
+    return float(part[0]), median, float(part[size - 1])
+
+
+def matrix_quantiles(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise (min, median, max) of a 2-D ``(trials, n)`` matrix.
+
+    The ensemble engine's counterpart of :func:`quantiles`: one partition
+    pass over the stacked outputs yields the per-trial statistics of every
+    row at once.  Rows containing NaN report NaN for all three statistics,
+    matching ``np.min`` / ``np.median`` / ``np.max`` along the row axis.
+    The input dtype is preserved through the partition (a float32 stack is
+    partitioned as float32), so narrow ensemble states never pay a
+    full-width upcast per snapshot.
+    """
+    m = np.asarray(matrix)
+    if m.ndim != 2 or m.shape[1] == 0:
+        raise ValueError(f"matrix_quantiles() needs a non-empty 2-D matrix, got shape {m.shape}")
+    n = m.shape[1]
+    mid = n // 2
+    if n % 2:
+        part = np.partition(m, (0, mid, n - 1), axis=1)
+        medians = part[:, mid].copy()
+    else:
+        part = np.partition(m, (0, mid - 1, mid, n - 1), axis=1)
+        medians = 0.5 * (part[:, mid - 1] + part[:, mid])
+    minima = part[:, 0].copy()
+    maxima = part[:, n - 1].copy()
+    has_nan = np.isnan(m).any(axis=1)
+    if has_nan.any():
+        minima[has_nan] = np.nan
+        medians[has_nan] = np.nan
+        maxima[has_nan] = np.nan
+    return minima, medians, maxima
 
 
 @dataclass(frozen=True)
@@ -322,10 +375,7 @@ class ArrayStateEngine(Engine):
             raise ConfigurationError(f"population size must be at least 2, got {n}")
         self.protocol = protocol
         self.rng = rng if rng is not None else RandomSource.from_seed(seed)
-        if initial_arrays is None:
-            self.arrays = protocol.initial_arrays(n, self.rng)
-        else:
-            self.arrays = {key: np.array(val, copy=True) for key, val in initial_arrays.items()}
+        self.arrays = self._build_initial_arrays(n, initial_arrays)
         self._validate_arrays(n)
         self._resize_events = sorted(
             ((int(t), int(size)) for t, size in resize_schedule), key=lambda e: e[0]
@@ -336,6 +386,14 @@ class ArrayStateEngine(Engine):
             if size < 2:
                 raise ConfigurationError(f"resize target must be at least 2, got {size}")
         self._resize_cursor = 0
+
+    def _build_initial_arrays(
+        self, n: int, initial_arrays: dict[str, np.ndarray] | None
+    ) -> dict[str, np.ndarray]:
+        """Build the state arrays; overridden by the ensemble engine to stack trials."""
+        if initial_arrays is None:
+            return self.protocol.initial_arrays(n, self.rng)
+        return {key: np.array(val, copy=True) for key, val in initial_arrays.items()}
 
     def _validate_arrays(self, n: int) -> None:
         lengths = {key: len(arr) for key, arr in self.arrays.items()}

@@ -45,7 +45,25 @@ __all__ = [
     "BatchSnapshot",
     "BatchedRunResult",
     "BatchedSimulator",
+    "flat_state_view",
 ]
+
+
+def flat_state_view(arr: np.ndarray) -> np.ndarray:
+    """Flat *view* of a stacked ``(trials, n)`` state array.
+
+    The ensemble fast paths index the stacked state through flat
+    coordinates (``trial * n + slot``), which is substantially faster than
+    broadcast 2-D fancy indexing — but only safe on a view: a silent copy
+    would discard every write.  The ensemble engine always keeps its state
+    C-contiguous; this guard turns any violation into a loud error.
+    """
+    if not arr.flags.c_contiguous:
+        raise ConfigurationError(
+            "ensemble state arrays must be C-contiguous for flat indexing; "
+            "got a non-contiguous array (pass np.ascontiguousarray data)"
+        )
+    return arr.reshape(-1)
 
 
 class VectorizedProtocol(abc.ABC):
@@ -65,6 +83,14 @@ class VectorizedProtocol(abc.ABC):
 
     #: Human-readable name used in experiment metadata.
     name: str = "vectorized-protocol"
+
+    #: Optional per-variable dtype overrides applied by the ensemble engine
+    #: when stacking state (e.g. ``{"time": np.float32}``).  Protocols whose
+    #: state values are exactly representable in narrower types can halve
+    #: the memory traffic of the stacked hot loop; ``None`` keeps the
+    #: dtypes of :meth:`initial_arrays`.  Only the ensemble engine applies
+    #: these — the 1-D array/batched engines are unaffected.
+    ensemble_state_dtypes: dict[str, np.dtype] | None = None
 
     @abc.abstractmethod
     def initial_arrays(self, n: int, rng: RandomSource) -> dict[str, np.ndarray]:
@@ -106,6 +132,31 @@ class VectorizedProtocol(abc.ABC):
             f"{type(self).__name__} does not implement interact_one(); it can "
             f"run on the batched engine but not on the exact array engine"
         )
+
+    def interact_ensemble(
+        self,
+        arrays: dict[str, np.ndarray],
+        initiators: np.ndarray,
+        responders: np.ndarray,
+        rng: RandomSource,
+    ) -> None:
+        """Apply one batch of interactions to every trial of a stacked ensemble.
+
+        ``arrays`` holds 2-D state of shape ``(trials, n)`` and
+        ``initiators`` / ``responders`` are ``(trials, batch)`` index
+        matrices: row ``t`` describes the batch of trial ``t``, with the
+        same within-batch semantics as :meth:`interact_batch`.
+
+        The default implementation applies :meth:`interact_batch` row by
+        row over views of the stacked arrays, so every existing vectorised
+        protocol runs on the :class:`repro.engine.ensemble_engine.
+        EnsembleSimulator` unchanged.  Protocols override this with a fully
+        2-D transition to remove the per-trial Python loop (see
+        :class:`repro.core.vectorized.VectorizedDynamicCounting`).
+        """
+        for row in range(initiators.shape[0]):
+            row_arrays = {key: arr[row] for key, arr in arrays.items()}
+            self.interact_batch(row_arrays, initiators[row], responders[row], rng)
 
     @abc.abstractmethod
     def output_array(self, arrays: dict[str, np.ndarray]) -> np.ndarray:

@@ -1,0 +1,375 @@
+"""Whole-ensemble engine: every trial of an experiment in one stacked pass.
+
+Every data point in the paper aggregates 96 independent runs.  The batched
+engine vectorises *within* one population, but a figure experiment still
+loops those trials one at a time in Python — at quick/default preset sizes
+the per-call NumPy overhead of many small batches dominates the wall clock.
+
+:class:`EnsembleSimulator` removes that loop.  It holds the state of ``T``
+independent trials as stacked 2-D arrays of shape ``(trials, n)`` ("struct
+of 2-D arrays") and advances *all* trials per parallel step with a single
+batched transition: one :meth:`repro.engine.rng.RandomSource.
+ordered_pair_matrix` call draws the ``(trials, batch)`` interaction pairs of
+every trial, and the protocol applies its transition to the whole stack via
+:meth:`repro.engine.batch_engine.VectorizedProtocol.interact_ensemble`
+(protocols without a 2-D fast path fall back to a per-row
+``interact_batch`` loop and still work unchanged).
+
+Within each row the semantics are exactly those of the batched engine —
+sub-batch responder snapshots, last-writer-wins initiator updates — so an
+ensemble run is statistically equivalent to ``trials`` independent
+:class:`repro.engine.batch_engine.BatchedSimulator` runs; rows never
+interact and diverge through their independent slices of the shared random
+stream.  Snapshots record per-trial statistics (min/median/max per row, one
+partition pass over the stacked outputs), so each trial still yields its own
+:class:`repro.engine.api.RunResult`-compatible series via
+:attr:`EnsembleRunResult.trial_results`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.engine.api import ArrayStateEngine, EngineSnapshot, RunResult, matrix_quantiles, quantiles
+from repro.engine.batch_engine import VectorizedProtocol
+from repro.engine.errors import ConfigurationError
+from repro.engine.rng import RandomSource
+
+__all__ = ["EnsembleRunResult", "EnsembleSimulator"]
+
+
+@dataclass
+class EnsembleRunResult(RunResult):
+    """Outcome of one stacked ensemble run.
+
+    The inherited :class:`repro.engine.api.RunResult` fields describe the
+    ensemble as a whole: ``snapshots`` pools the per-trial statistics
+    (minimum of the trial minima, median of the trial medians, maximum of
+    the trial maxima — the paper's aggregation over its 96 runs),
+    ``final_size`` is the per-trial population size, and ``interactions``
+    counts the work across all trials.
+
+    Attributes
+    ----------
+    trials:
+        Number of stacked trials.
+    trial_results:
+        One :class:`RunResult` per trial, each carrying that trial's own
+        snapshot series — the same shape a looped
+        :class:`repro.engine.batch_engine.BatchedSimulator` run produces.
+    """
+
+    trials: int = 0
+    trial_results: list[RunResult] = field(default_factory=list)
+
+
+class EnsembleSimulator(ArrayStateEngine):
+    """Vectorised engine running all trials of an experiment at once.
+
+    Parameters
+    ----------
+    protocol:
+        A :class:`repro.engine.batch_engine.VectorizedProtocol`.  Protocols
+        that implement ``interact_ensemble`` advance the whole stack with
+        2-D array operations; the rest run through the per-row fallback.
+    n:
+        Population size of every trial.
+    trials:
+        Number of independent trials stacked into the engine.
+    rng / seed:
+        Random source (or a seed to build one).  All trials share one
+        stream; independence across rows comes from each row consuming its
+        own slice of every ``(trials, batch)`` draw.
+    resize_schedule:
+        Optional ``(parallel_time, target_size)`` adversary events applied
+        at snapshot granularity to *every* trial; shrinking keeps an
+        independent uniformly random subset per row, growing appends fresh
+        agents in the protocol's initial state per row.
+    initial_arrays:
+        Optional pre-built state: 1-D arrays of length ``n`` are tiled
+        across all trials (every trial starts from the same configuration,
+        e.g. Fig. 5's fixed initial estimate); 2-D ``(trials, n)`` arrays
+        are used as-is (copied) for per-trial configurations.
+    sub_batches:
+        Number of sub-batches one parallel time step is split into, exactly
+        as on the batched engine (responder snapshots refresh per
+        sub-batch).
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        protocol: VectorizedProtocol,
+        n: int,
+        *,
+        trials: int = 1,
+        rng: RandomSource | None = None,
+        seed: int | None = None,
+        resize_schedule: Iterable[tuple[int, int]] = (),
+        initial_arrays: dict[str, np.ndarray] | None = None,
+        sub_batches: int = 8,
+    ) -> None:
+        if trials < 1:
+            raise ConfigurationError(f"trials must be at least 1, got {trials}")
+        if sub_batches < 1:
+            raise ConfigurationError(f"sub_batches must be at least 1, got {sub_batches}")
+        self.trials = int(trials)
+        self.sub_batches = int(sub_batches)
+        self._snapshot_times: list[int] = []
+        self._snapshot_sizes: list[int] = []
+        self._trial_minimum: list[np.ndarray] = []
+        self._trial_median: list[np.ndarray] = []
+        self._trial_maximum: list[np.ndarray] = []
+        super().__init__(
+            protocol,
+            n,
+            rng=rng,
+            seed=seed,
+            resize_schedule=resize_schedule,
+            initial_arrays=initial_arrays,
+        )
+
+    # ------------------------------------------------------------------- state
+
+    def _build_initial_arrays(
+        self, n: int, initial_arrays: dict[str, np.ndarray] | None
+    ) -> dict[str, np.ndarray]:
+        if initial_arrays is None:
+            return self._stacked_fresh_arrays(n)
+        stacked: dict[str, np.ndarray] = {}
+        for key, value in initial_arrays.items():
+            arr = np.asarray(value)
+            if arr.ndim == 1:
+                stacked[key] = np.tile(arr, (self.trials, 1))
+            elif arr.ndim == 2 and arr.shape[0] == self.trials:
+                # Force C order: the protocol fast paths index flat views.
+                stacked[key] = np.array(arr, copy=True, order="C")
+            else:
+                raise ConfigurationError(
+                    f"initial array {key!r} must be 1-D of length n or 2-D of "
+                    f"shape (trials={self.trials}, n), got shape {arr.shape}"
+                )
+        return self._apply_state_dtypes(stacked)
+
+    def _stacked_fresh_arrays(self, n: int) -> dict[str, np.ndarray]:
+        """Stack one fresh ``initial_arrays`` draw per trial into (trials, n)."""
+        rows = [self.protocol.initial_arrays(n, self.rng) for _ in range(self.trials)]
+        return self._apply_state_dtypes(
+            {key: np.stack([row[key] for row in rows]) for key in rows[0]}
+        )
+
+    #: Narrowing guard for :meth:`_apply_state_dtypes`: initial values above
+    #: this magnitude could outgrow a narrow float plane's exact-integer
+    #: range once scaled by protocol constants, so the overrides are skipped.
+    _NARROW_VALUE_LIMIT = 2.0**16
+
+    def _apply_state_dtypes(self, stacked: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Apply the protocol's ensemble dtype overrides (e.g. float32 planes).
+
+        The overrides are an optimisation, never a semantics change: if any
+        plane's initial values would not survive the narrowing cast exactly
+        (or are large enough that protocol-scaled successors might not),
+        every override is skipped and the protocol's own dtypes stay.
+        """
+        overrides = getattr(self.protocol, "ensemble_state_dtypes", None)
+        if not overrides:
+            return stacked
+        narrowed = dict(stacked)
+        for key, target in overrides.items():
+            if key not in stacked:
+                continue
+            arr = stacked[key]
+            cast = arr.astype(target, copy=False)
+            if not np.array_equal(cast.astype(arr.dtype, copy=False), arr):
+                return stacked
+            if arr.size and np.issubdtype(np.dtype(target), np.floating):
+                if float(np.abs(arr).max()) > self._NARROW_VALUE_LIMIT:
+                    return stacked
+            narrowed[key] = cast
+        return narrowed
+
+    def _validate_arrays(self, n: int) -> None:
+        shapes = {key: arr.shape for key, arr in self.arrays.items()}
+        if not shapes:
+            raise ConfigurationError("protocol returned no state arrays")
+        if len(set(shapes.values())) != 1:
+            raise ConfigurationError(f"state arrays have inconsistent shapes: {shapes}")
+        actual = next(iter(shapes.values()))
+        if actual != (self.trials, n):
+            raise ConfigurationError(
+                f"state arrays have shape {actual}, expected {(self.trials, n)}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Population size of each trial (rows always stay the same length)."""
+        return next(iter(self.arrays.values())).shape[1]
+
+    # -------------------------------------------------------------- adversary
+
+    def resize_to(self, target: int) -> None:
+        """Resize every trial's population to ``target`` agents.
+
+        Shrinking keeps an independent uniformly random subset per row (the
+        paper's decimation adversary, applied to each trial separately);
+        growing appends fresh agents in the protocol's initial state, drawn
+        per row.
+        """
+        if target < 2:
+            raise ConfigurationError(f"resize target must be at least 2, got {target}")
+        current = self.size
+        if target == current:
+            return
+        if target < current:
+            # Per-row random subsets in one vectorised draw: rank a uniform
+            # matrix along each row and keep the first `target` columns.
+            keep = np.argsort(
+                self.rng.generator.random((self.trials, current)), axis=1
+            )[:, :target]
+            keep.sort(axis=1)
+            for key in self.arrays:
+                self.arrays[key] = np.take_along_axis(self.arrays[key], keep, axis=1)
+        else:
+            extra = self._stacked_fresh_arrays(target - current)
+            missing = [key for key in self.arrays if key not in extra]
+            if missing:
+                raise ConfigurationError(
+                    f"initial_arrays is missing state variable(s) "
+                    f"{', '.join(repr(k) for k in missing)} when growing"
+                )
+            for key in self.arrays:
+                self.arrays[key] = np.concatenate([self.arrays[key], extra[key]], axis=1)
+
+    # -------------------------------------------------------------------- run
+
+    def _advance_one_parallel_step(self) -> None:
+        self.step_parallel_round()
+
+    #: Per-trial-block state budget for the cache-blocked step loop.  Large
+    #: stacked states overflow L2 and turn every gather into a last-level
+    #: cache miss; advancing a block of trials through all sub-batches of a
+    #: step before moving on keeps each block's planes cache-resident.  1 MiB
+    #: leaves L2 headroom for the batch temporaries.
+    _BLOCK_STATE_BYTES = 1 << 20
+
+    def _trial_block(self, n: int) -> int:
+        """Number of trials to advance together, sized to the cache budget."""
+        bytes_per_agent = sum(arr.itemsize for arr in self.arrays.values())
+        return max(1, min(self.trials, self._BLOCK_STATE_BYTES // max(1, n * bytes_per_agent)))
+
+    def step_parallel_round(self) -> None:
+        """Execute one parallel time step (``n`` interactions) in every trial.
+
+        The whole step's interaction pairs are drawn in one
+        ``(trials, n)`` RNG call, then trial blocks are advanced through the
+        step's ``sub_batches`` column slices one block at a time — the
+        responder-snapshot refresh cadence matches the batched engine, the
+        generator call count stays constant in both ``trials`` and
+        ``sub_batches``, and each block's state planes stay cache-resident
+        across its sub-batches.
+        """
+        n = self._require_interactable()
+        index_dtype = np.int32 if self.trials * n < 2**31 else np.int64
+        initiators, responders = self.rng.ordered_pair_matrix(
+            n, self.trials, n, dtype=index_dtype
+        )
+        chunk = max(1, n // self.sub_batches)
+        block = self._trial_block(n)
+        for g0 in range(0, self.trials, block):
+            g1 = min(g0 + block, self.trials)
+            block_arrays = {key: arr[g0:g1] for key, arr in self.arrays.items()}
+            start = 0
+            while start < n:
+                stop = min(start + chunk, n)
+                self.protocol.interact_ensemble(
+                    block_arrays,
+                    initiators[g0:g1, start:stop],
+                    responders[g0:g1, start:stop],
+                    self.rng,
+                )
+                start = stop
+        self.interactions_executed += n * self.trials
+        self.parallel_time += 1
+
+    # -------------------------------------------------------------- snapshots
+
+    def _on_run_start(self) -> None:
+        self._snapshot_times.clear()
+        self._snapshot_sizes.clear()
+        self._trial_minimum.clear()
+        self._trial_median.clear()
+        self._trial_maximum.clear()
+
+    def _take_snapshot(self) -> EngineSnapshot:
+        self._apply_resizes()
+        # Keep the protocol's output dtype (e.g. float32 planes) through the
+        # partition; the stored per-trial statistics are tiny either way.
+        outputs = np.asarray(self.protocol.output_array(self.arrays))
+        minima, medians, maxima = matrix_quantiles(outputs)
+        self._snapshot_times.append(self.parallel_time)
+        self._snapshot_sizes.append(self.size)
+        self._trial_minimum.append(minima)
+        self._trial_median.append(medians)
+        self._trial_maximum.append(maxima)
+        return EngineSnapshot(
+            parallel_time=self.parallel_time,
+            population_size=self.size,
+            minimum=float(minima.min()),
+            median=quantiles(medians)[1],
+            maximum=float(maxima.max()),
+        )
+
+    def outputs(self) -> np.ndarray:
+        """Current per-agent outputs as a ``(trials, n)`` matrix."""
+        return np.asarray(self.protocol.output_array(self.arrays), dtype=float)
+
+    # ----------------------------------------------------------------- result
+
+    def _build_result(
+        self, snapshots: list[EngineSnapshot], stopped_early: bool
+    ) -> EnsembleRunResult:
+        per_trial_interactions = self.interactions_executed // self.trials
+        trial_results: list[RunResult] = []
+        for trial in range(self.trials):
+            trial_snapshots = [
+                EngineSnapshot(
+                    parallel_time=self._snapshot_times[i],
+                    population_size=self._snapshot_sizes[i],
+                    minimum=float(self._trial_minimum[i][trial]),
+                    median=float(self._trial_median[i][trial]),
+                    maximum=float(self._trial_maximum[i][trial]),
+                )
+                for i in range(len(self._snapshot_times))
+            ]
+            trial_results.append(
+                RunResult(
+                    parallel_time=self.parallel_time,
+                    interactions=per_trial_interactions,
+                    final_size=self.size,
+                    stopped_early=stopped_early,
+                    snapshots=trial_snapshots,
+                    metadata={
+                        "protocol": self.protocol.describe(),
+                        "engine": self.name,
+                        "trial": trial,
+                    },
+                )
+            )
+        return EnsembleRunResult(
+            parallel_time=self.parallel_time,
+            interactions=self.interactions_executed,
+            final_size=self.size,
+            stopped_early=stopped_early,
+            snapshots=snapshots,
+            metadata={
+                "protocol": self.protocol.describe(),
+                "engine": self.name,
+                "trials": self.trials,
+            },
+            trials=self.trials,
+            trial_results=trial_results,
+        )

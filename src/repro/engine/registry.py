@@ -8,10 +8,10 @@ experiment code:
   vectorised counterparts, so that the array/batched engines can be asked
   to run a scalar protocol and look up the struct-of-arrays implementation
   themselves; and
-* :func:`make_engine`, which builds any of the three engines —
-  ``"sequential"`` / ``"array"`` / ``"batched"`` — from a protocol and a
-  population size, converting a ``resize_schedule`` into the right
-  adversary representation for each engine.
+* :func:`make_engine`, which builds any of the four engines —
+  ``"sequential"`` / ``"array"`` / ``"batched"`` / ``"ensemble"`` — from a
+  protocol and a population size, converting a ``resize_schedule`` into the
+  right adversary representation for each engine.
 
 The default registrations (dynamic size counting, the uniform phase clock,
 epidemics, junta election, approximate majority) are loaded lazily on first
@@ -35,6 +35,7 @@ from repro.engine.adversary import ResizeSchedule, SizeAdversary
 from repro.engine.api import Engine
 from repro.engine.array_engine import ArraySimulator
 from repro.engine.batch_engine import BatchedSimulator, VectorizedProtocol
+from repro.engine.ensemble_engine import EnsembleSimulator
 from repro.engine.errors import ConfigurationError
 from repro.engine.population import Population
 from repro.engine.recorder import Recorder
@@ -51,7 +52,7 @@ __all__ = [
 ]
 
 #: Names accepted by :func:`make_engine` (and the experiments' ``engine=``).
-ENGINE_NAMES = ("sequential", "array", "batched")
+ENGINE_NAMES = ("sequential", "array", "batched", "ensemble")
 
 #: Scalar protocol class -> factory building its vectorised counterpart.
 _REGISTRY: dict[type, Callable[[Any], VectorizedProtocol]] = {}
@@ -158,6 +159,7 @@ def make_engine(
     snapshot_stats: bool = True,
     initial_arrays: dict[str, np.ndarray] | None = None,
     sub_batches: int = 8,
+    trials: int | None = None,
 ) -> Engine:
     """Build an engine by name for the given protocol and population.
 
@@ -165,8 +167,9 @@ def make_engine(
     ----------
     engine:
         One of :data:`ENGINE_NAMES`: ``"sequential"`` (exact, object
-        state), ``"array"`` (exact, struct-of-arrays state) or
-        ``"batched"`` (approximate, vectorised).
+        state), ``"array"`` (exact, struct-of-arrays state), ``"batched"``
+        (approximate, vectorised) or ``"ensemble"`` (approximate,
+        vectorised across all trials of an experiment at once).
     protocol:
         A scalar :class:`repro.engine.protocol.Protocol` (looked up in the
         registry for the array/batched engines) or a
@@ -186,8 +189,17 @@ def make_engine(
         ``recorders`` are rejected for the array/batched engines.
     initial_arrays / sub_batches:
         Array-engine extras; rejected for the sequential engine.
+    trials:
+        Number of stacked trials for the ensemble engine (defaults to 1);
+        rejected for every other engine — they run one trial per instance
+        and are looped by :class:`repro.engine.runner.TrialRunner`.
     """
     resize_schedule = tuple(resize_schedule)
+    if engine != "ensemble" and trials is not None:
+        raise ConfigurationError(
+            f"trials is only supported by the ensemble engine; the "
+            f"{engine!r} engine runs one trial per instance"
+        )
     if engine == "sequential":
         if isinstance(protocol, VectorizedProtocol):
             raise ConfigurationError(
@@ -212,7 +224,7 @@ def make_engine(
             recorders=recorders,
             snapshot_stats=snapshot_stats,
         )
-    if engine in ("array", "batched"):
+    if engine in ("array", "batched", "ensemble"):
         if adversary is not None:
             raise ConfigurationError(
                 f"the {engine} engine takes resize_schedule pairs, not a "
@@ -238,6 +250,17 @@ def make_engine(
                 seed=seed,
                 resize_schedule=resize_schedule,
                 initial_arrays=initial_arrays,
+            )
+        if engine == "ensemble":
+            return EnsembleSimulator(
+                vectorized,
+                population,
+                trials=1 if trials is None else trials,
+                rng=rng,
+                seed=seed,
+                resize_schedule=resize_schedule,
+                initial_arrays=initial_arrays,
+                sub_batches=sub_batches,
             )
         return BatchedSimulator(
             vectorized,

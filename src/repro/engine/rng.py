@@ -145,6 +145,53 @@ class RandomSource:
         responders = np.where(responders >= initiators, responders + 1, responders)
         return initiators, responders
 
+    def ordered_pair_matrix(
+        self, n: int, rows: int, count: int, dtype: np.dtype | type = np.int64
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``rows`` independent batches of ordered pairs in one call.
+
+        Returns two ``(rows, count)`` arrays ``(initiators, responders)``
+        with element-wise distinct entries, each drawn uniformly at random —
+        the ensemble engine's scheduler, which draws the pair batches of all
+        stacked trials with a single pass through the generator instead of
+        one :meth:`ordered_pairs` call per trial.  ``dtype`` narrows the
+        index type (the ensemble engine passes int32 whenever the flat
+        coordinate space fits, halving the draw bandwidth).
+        """
+        if n < 2:
+            raise ValueError(f"need at least two agents, got {n}")
+        if rows < 1:
+            raise ValueError(f"rows must be positive, got {rows}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        initiators = self.generator.integers(0, n, size=(rows, count), dtype=dtype)
+        responders = self.generator.integers(0, n - 1, size=(rows, count), dtype=dtype)
+        # Branchless collision skip (cheaper than np.where at this call rate).
+        responders += responders >= initiators
+        return initiators, responders
+
+    def geometric_max_array(self, k: int, count: int) -> np.ndarray:
+        """Sample ``count`` independent maxima of ``k`` Geom(1/2) draws each.
+
+        Uses the closed-form inverse CDF ``F(m) = (1 - 2^-m)^k`` — one
+        uniform draw per sample instead of ``k`` geometric draws — which is
+        what makes per-interaction GRV regeneration affordable inside the
+        stacked ensemble engine.  ``1 - u^(1/k)`` is evaluated as
+        ``-expm1(log(u) / k)`` so the tail stays finite for ``u`` near 1.
+        Distribution-identical to ``geometric(0.5, (count, k)).max(axis=1)``
+        but consumes a different slice of the stream.
+        """
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        u = self.generator.random(count)
+        with np.errstate(divide="ignore"):
+            samples = np.ceil(-np.log2(-np.expm1(np.log(u) / k)))
+        return np.maximum(samples, 1.0)
+
     def shuffled(self, items: Sequence[int]) -> list[int]:
         """Return a shuffled copy of ``items``."""
         arr = np.array(items, dtype=np.int64)

@@ -12,30 +12,47 @@ stream), so the runner can execute them either synchronously in-process
 regenerates in minutes on a laptop) or fanned out over a
 :mod:`multiprocessing` pool via the opt-in ``processes`` parameter.  Both
 modes produce identical outcomes for the same root seed.
+
+For workloads that fit the struct-of-arrays engines there is a third mode:
+pass an :class:`EnsembleSpec` and the runner executes *all* trials in one
+stacked pass on the :class:`repro.engine.ensemble_engine.EnsembleSimulator`
+— no per-trial Python loop at all — while still returning the same
+``list[TrialOutcome]`` shape as the looped modes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import statistics
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.api import RunResult, matrix_quantiles
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import SimulationResult
 
-__all__ = ["TrialOutcome", "AggregatedSeries", "TrialRunner", "aggregate_series"]
+__all__ = [
+    "TrialOutcome",
+    "AggregatedSeries",
+    "EnsembleSpec",
+    "TrialRunner",
+    "aggregate_series",
+]
 
 
 @dataclass
 class TrialOutcome:
-    """Result of a single trial: the simulation summary plus extracted data."""
+    """Result of a single trial: the simulation summary plus extracted data.
+
+    ``result`` is the engine's run summary — a
+    :class:`repro.engine.simulator.SimulationResult` for looped trials, a
+    per-trial :class:`repro.engine.api.RunResult` for ensemble trials.
+    """
 
     trial: int
     seed_stream: int
-    result: SimulationResult
+    result: RunResult
     data: dict[str, Any] = field(default_factory=dict)
 
 
@@ -72,25 +89,66 @@ def aggregate_series(
 
     Trials may have different lengths (e.g. early-stopped runs); the
     aggregate is truncated to the shortest trial so that every reported
-    point covers all trials.
+    point covers all trials.  The columns are reduced in one
+    :func:`repro.engine.api.matrix_quantiles` partition pass over the
+    stacked ``(trials, length)`` matrix rather than a Python loop per time
+    index; the output is unchanged — plain float lists, with the
+    even-count median averaging the two middle values exactly like
+    ``statistics.median``.
     """
     if not per_trial_values:
         return AggregatedSeries(name=name, index=[], minimum=[], median=[], maximum=[])
     length = min(len(v) for v in per_trial_values)
     length = min(length, len(index))
-    mins, meds, maxs = [], [], []
-    for t in range(length):
-        column = [float(values[t]) for values in per_trial_values]
-        mins.append(min(column))
-        meds.append(float(statistics.median(column)))
-        maxs.append(max(column))
+    stacked = np.array(
+        [np.asarray(values, dtype=float)[:length] for values in per_trial_values]
+    )
+    minima, medians, maxima = matrix_quantiles(stacked.T)
     return AggregatedSeries(
         name=name,
         index=[float(x) for x in index[:length]],
-        minimum=mins,
-        median=meds,
-        maximum=maxs,
+        minimum=minima.tolist(),
+        median=medians.tolist(),
+        maximum=maxima.tolist(),
     )
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    """Workload description for the stacked single-pass trial mode.
+
+    Passing one of these to :class:`TrialRunner` replaces the per-trial
+    loop with a single :class:`repro.engine.ensemble_engine.
+    EnsembleSimulator` run holding all trials as ``(trials, n)`` stacked
+    arrays.
+
+    Attributes
+    ----------
+    protocol:
+        A scalar protocol with a registered vectorised counterpart, or a
+        :class:`repro.engine.batch_engine.VectorizedProtocol` directly.
+    n:
+        Population size of every trial.
+    parallel_time:
+        Horizon each trial runs for.
+    snapshot_every / resize_schedule / initial_arrays / sub_batches:
+        Forwarded to the ensemble engine (see
+        :func:`repro.engine.registry.make_engine`).
+    data_fn:
+        Optional extractor ``(RunResult) -> dict`` building each outcome's
+        ``data``; defaults to the result's :meth:`~repro.engine.api.
+        RunResult.series` columns, which is what
+        :meth:`TrialRunner.run_and_aggregate` consumes.
+    """
+
+    protocol: Any
+    n: int
+    parallel_time: int
+    snapshot_every: int = 1
+    resize_schedule: tuple[tuple[int, int], ...] = ()
+    initial_arrays: Mapping[str, np.ndarray] | None = None
+    sub_batches: int = 8
+    data_fn: Callable[[RunResult], dict[str, Any]] | None = None
 
 
 def _execute_trial(
@@ -111,10 +169,12 @@ class TrialRunner:
         Callable ``(trial_index, rng) -> (SimulationResult, data)`` that
         builds and runs one simulation.  ``data`` is a free-form dictionary
         of extracted series (e.g. the estimate min/median/max over time).
+        Omit it (pass ``None``) when running in ensemble mode.
     trials:
         Number of independent repetitions.
     seed:
-        Root seed; per-trial streams are spawned from it.
+        Root seed; looped modes spawn per-trial streams from it, the
+        ensemble mode feeds it to the stacked engine's single stream.
     processes:
         Opt-in multiprocessing: with a value greater than 1, trials are
         fanned out over that many worker processes.  ``trial_fn`` (and the
@@ -122,27 +182,52 @@ class TrialRunner:
         module-level function.  ``None`` or 1 keeps the historical
         synchronous single-process behaviour; results are identical either
         way because every trial owns its spawned random stream.
+    ensemble:
+        Opt-in stacked execution: an :class:`EnsembleSpec` describing the
+        workload.  All trials then run in one
+        :class:`repro.engine.ensemble_engine.EnsembleSimulator` pass — the
+        fastest mode for vectorisable protocols, and the outcomes keep the
+        exact ``list[TrialOutcome]`` shape of the looped modes.  Mutually
+        exclusive with ``trial_fn`` and ``processes``.
     """
 
     def __init__(
         self,
-        trial_fn: Callable[[int, RandomSource], tuple[SimulationResult, dict[str, Any]]],
+        trial_fn: Callable[[int, RandomSource], tuple[SimulationResult, dict[str, Any]]]
+        | None = None,
         *,
         trials: int,
         seed: int | None = None,
         processes: int | None = None,
+        ensemble: EnsembleSpec | None = None,
     ) -> None:
         if trials < 1:
             raise ValueError(f"trials must be at least 1, got {trials}")
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be at least 1, got {processes}")
+        if ensemble is None and trial_fn is None:
+            raise ValueError("provide either trial_fn or an EnsembleSpec")
+        if ensemble is not None:
+            if trial_fn is not None:
+                raise ValueError(
+                    "trial_fn and ensemble are mutually exclusive; the ensemble "
+                    "spec already describes the whole workload"
+                )
+            if processes is not None:
+                raise ValueError(
+                    "processes does not apply to ensemble mode; all trials run "
+                    "in one stacked engine pass"
+                )
         self._trial_fn = trial_fn
         self.trials = trials
         self.seed = seed
         self.processes = processes
+        self.ensemble = ensemble
 
     def run(self) -> list[TrialOutcome]:
         """Execute all trials and return their outcomes in trial order."""
+        if self.ensemble is not None:
+            return self._run_ensemble(self.ensemble)
         streams = spawn_streams(self.seed, self.trials)
         jobs = [
             (self._trial_fn, trial, generator) for trial, generator in enumerate(streams)
@@ -156,6 +241,37 @@ class TrialRunner:
             TrialOutcome(trial=trial, seed_stream=trial, result=result, data=data)
             for trial, result, data in triples
         ]
+
+    def _run_ensemble(self, spec: EnsembleSpec) -> list[TrialOutcome]:
+        """Run all trials as one stacked ensemble pass."""
+        from repro.engine.registry import make_engine
+
+        engine = make_engine(
+            "ensemble",
+            spec.protocol,
+            spec.n,
+            trials=self.trials,
+            seed=self.seed,
+            resize_schedule=spec.resize_schedule,
+            initial_arrays=dict(spec.initial_arrays)
+            if spec.initial_arrays is not None
+            else None,
+            sub_batches=spec.sub_batches,
+        )
+        result = engine.run(spec.parallel_time, snapshot_every=spec.snapshot_every)
+        outcomes = []
+        for trial, trial_result in enumerate(result.trial_results):
+            data = (
+                spec.data_fn(trial_result)
+                if spec.data_fn is not None
+                else trial_result.series()
+            )
+            outcomes.append(
+                TrialOutcome(
+                    trial=trial, seed_stream=trial, result=trial_result, data=data
+                )
+            )
+        return outcomes
 
     def run_and_aggregate(
         self,

@@ -75,8 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=ENGINE_NAMES,
         help=(
-            "Execution engine (sequential, array, batched); omit to use each "
-            "experiment's default."
+            "Execution engine (sequential, array, batched, ensemble); omit to "
+            "use each experiment's default.  The ensemble engine runs all "
+            "trials of a data point in one stacked vectorized pass."
         ),
     )
     return parser

@@ -34,8 +34,9 @@ def run_fig2(
     """Regenerate Fig. 2: estimate of ``log n`` over parallel time.
 
     ``engine`` selects the execution engine (``"sequential"`` / ``"array"``
-    / ``"batched"``); the batched default is the only engine practical at
-    the figure's population scale.
+    / ``"batched"`` / ``"ensemble"``); the approximate vectorised engines
+    are the only ones practical at the figure's population scale, and
+    ``"ensemble"`` additionally runs all trials in one stacked pass.
     """
     preset = preset or get_preset("fig2", effort)
     params = empirical_parameters()

@@ -4,15 +4,17 @@ All four figures plot the same quantity — the minimum, median and maximum
 agent estimate of ``log2 n`` over parallel time, aggregated over independent
 runs — and differ only in the workload (population size, decimation event,
 initial estimate).  :func:`run_estimate_trace` runs one such workload on a
-selectable engine (``"sequential"`` / ``"array"`` / ``"batched"``, see
-:mod:`repro.engine.registry`) and aggregates across trials exactly like the
-paper does over its 96 runs: the reported minimum is the minimum over all
-runs' minima, the maximum the maximum over all maxima, and the median the
-median of the runs' medians.
+selectable engine (``"sequential"`` / ``"array"`` / ``"batched"`` /
+``"ensemble"``, see :mod:`repro.engine.registry`) and aggregates across
+trials exactly like the paper does over its 96 runs: the reported minimum is
+the minimum over all runs' minima, the maximum the maximum over all maxima,
+and the median the median of the runs' medians.
 
-The batched engine is the default (it is the only one that reaches figure
-scale, n up to 10^6); the exact engines are available for small-n
-cross-validation and for workloads where the interleaving matters.
+The batched engine is the default; the ensemble engine additionally stacks
+all trials of a data point into one ``(trials, n)`` engine and removes the
+per-trial Python loop entirely — the fastest way to regenerate a figure.
+The exact engines are available for small-n cross-validation and for
+workloads where the interleaving matters.
 """
 
 from __future__ import annotations
@@ -65,15 +67,16 @@ def _build_trace_engine(
     resize_schedule: Sequence[tuple[int, int]],
     initial_estimate: float | None,
     sub_batches: int,
+    trials: int | None = None,
 ) -> Engine:
     """Build one engine for the estimate-trace workload.
 
-    All three engines run the same protocol family — the scalar
+    All engines run the same protocol family — the scalar
     :class:`DynamicSizeCounting` on the sequential engine, the
     struct-of-arrays :class:`VectorizedDynamicCounting` on the exact array
-    and approximate batched engines — so only the workload translation
-    (initial estimate to population/arrays) lives here; the engine
-    dispatch itself is :func:`repro.engine.registry.make_engine`.
+    and approximate batched/ensemble engines — so only the workload
+    translation (initial estimate to population/arrays) lives here; the
+    engine dispatch itself is :func:`repro.engine.registry.make_engine`.
     """
     if engine == "sequential":
         protocol = DynamicSizeCounting(params)
@@ -98,6 +101,7 @@ def _build_trace_engine(
         resize_schedule=resize_schedule,
         initial_arrays=initial_arrays,
         sub_batches=sub_batches,
+        trials=trials if engine == "ensemble" else None,
     )
 
 
@@ -136,15 +140,16 @@ def run_estimate_trace(
     sub_batches:
         Fidelity knob of the batched engine (ignored by the exact engines).
     engine:
-        Engine name: ``"sequential"``, ``"array"`` or ``"batched"``
-        (default).  All engines report the same snapshot series; the exact
-        engines are practical only for small ``n``.
+        Engine name: ``"sequential"``, ``"array"``, ``"batched"``
+        (default) or ``"ensemble"``.  All engines report the same snapshot
+        series; the exact engines are practical only for small ``n``, and
+        the ensemble engine runs all ``trials`` in one stacked pass instead
+        of the per-trial loop.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     params = params or empirical_parameters()
     resize_schedule = tuple(resize_schedule)
-    streams = spawn_streams(seed, trials)
 
     per_trial_min: list[list[float]] = []
     per_trial_med: list[list[float]] = []
@@ -152,13 +157,30 @@ def run_estimate_trace(
     index: list[float] = []
     sizes: list[float] = []
 
-    for generator in streams:
-        rng = RandomSource(generator)
+    if engine == "ensemble":
         simulator = _build_trace_engine(
-            engine, n, rng, params, resize_schedule, initial_estimate, sub_batches
+            engine,
+            n,
+            RandomSource.from_seed(seed),
+            params,
+            resize_schedule,
+            initial_estimate,
+            sub_batches,
+            trials=trials,
         )
         result = simulator.run(parallel_time, snapshot_every=snapshot_every)
-        series = result.series()
+        trial_series = [trial_result.series() for trial_result in result.trial_results]
+    else:
+        trial_series = []
+        for generator in spawn_streams(seed, trials):
+            rng = RandomSource(generator)
+            simulator = _build_trace_engine(
+                engine, n, rng, params, resize_schedule, initial_estimate, sub_batches
+            )
+            result = simulator.run(parallel_time, snapshot_every=snapshot_every)
+            trial_series.append(result.series())
+
+    for series in trial_series:
         per_trial_min.append(series["minimum"])
         per_trial_med.append(series["median"])
         per_trial_max.append(series["maximum"])

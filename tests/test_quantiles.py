@@ -1,0 +1,81 @@
+"""Tests pinning the partition-based snapshot statistics to NumPy semantics.
+
+`quantiles` runs on every snapshot of every engine and `matrix_quantiles` on
+every snapshot of the ensemble engine, so both are pinned against the naive
+``(min, np.median, max)`` definitions — including NaN propagation and the
+even-length median average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.api import matrix_quantiles, quantiles
+
+
+class TestQuantiles:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 7, 10, 101, 1000])
+    def test_matches_numpy_median_min_max(self, length):
+        rng = np.random.default_rng(length)
+        values = rng.normal(size=length)
+        minimum, median, maximum = quantiles(values)
+        assert minimum == values.min()
+        assert median == np.median(values)
+        assert maximum == values.max()
+
+    def test_even_length_median_averages_middle_pair(self):
+        assert quantiles([4.0, 1.0, 3.0, 2.0]) == (1.0, 2.5, 4.0)
+
+    def test_accepts_integer_sequences(self):
+        assert quantiles([5, 1, 3]) == (1.0, 3.0, 5.0)
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 8])
+    def test_nan_propagates_to_all_statistics(self, length):
+        values = np.arange(length, dtype=float)
+        values[length // 2] = np.nan
+        assert all(np.isnan(v) for v in quantiles(values))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantiles([])
+
+    def test_ties_and_duplicates(self):
+        values = np.array([2.0, 2.0, 2.0, 1.0, 3.0])
+        assert quantiles(values) == (1.0, 2.0, 3.0)
+
+
+class TestMatrixQuantiles:
+    @pytest.mark.parametrize("columns", [1, 2, 3, 8, 9, 250])
+    def test_matches_numpy_row_reductions(self, columns):
+        rng = np.random.default_rng(columns)
+        matrix = rng.normal(size=(7, columns))
+        minima, medians, maxima = matrix_quantiles(matrix)
+        assert np.allclose(minima, matrix.min(axis=1))
+        assert np.allclose(medians, np.median(matrix, axis=1))
+        assert np.allclose(maxima, matrix.max(axis=1))
+
+    def test_nan_rows_report_nan_without_touching_others(self):
+        matrix = np.array([[1.0, 2.0, 3.0], [np.nan, 1.0, 2.0]])
+        minima, medians, maxima = matrix_quantiles(matrix)
+        assert (minima[0], medians[0], maxima[0]) == (1.0, 2.0, 3.0)
+        assert np.isnan(minima[1]) and np.isnan(medians[1]) and np.isnan(maxima[1])
+
+    def test_preserves_float32(self):
+        matrix = np.ones((3, 4), dtype=np.float32)
+        minima, medians, maxima = matrix_quantiles(matrix)
+        assert minima.dtype == np.float32
+        assert medians.dtype == np.float32
+
+    def test_integer_input_supported(self):
+        matrix = np.array([[3, 1, 2], [5, 5, 5]])
+        minima, medians, maxima = matrix_quantiles(matrix)
+        assert list(minima) == [1, 5]
+        assert list(medians) == [2, 5]
+        assert list(maxima) == [3, 5]
+
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(ValueError):
+            matrix_quantiles(np.ones(5))
+        with pytest.raises(ValueError):
+            matrix_quantiles(np.empty((3, 0)))

@@ -119,6 +119,45 @@ class TestRandomSource:
         with pytest.raises(ValueError):
             rng.ordered_pairs(5, -1)
 
+    def test_ordered_pair_matrix_rows_distinct_and_bounded(self, rng):
+        initiators, responders = rng.ordered_pair_matrix(9, 4, 500)
+        assert initiators.shape == responders.shape == (4, 500)
+        assert not np.any(initiators == responders)
+        assert initiators.min() >= 0 and initiators.max() < 9
+        assert responders.min() >= 0 and responders.max() < 9
+
+    def test_ordered_pair_matrix_dtype_and_errors(self, rng):
+        initiators, responders = rng.ordered_pair_matrix(5, 2, 10, dtype=np.int32)
+        assert initiators.dtype == np.int32 and responders.dtype == np.int32
+        with pytest.raises(ValueError):
+            rng.ordered_pair_matrix(1, 2, 10)
+        with pytest.raises(ValueError):
+            rng.ordered_pair_matrix(5, 0, 10)
+        with pytest.raises(ValueError):
+            rng.ordered_pair_matrix(5, 2, -1)
+
+    def test_geometric_max_array_distribution(self, rng):
+        samples = rng.geometric_max_array(16, 200_000)
+        assert samples.min() >= 1
+        assert np.all(samples == np.floor(samples))
+        # Mean of max of 16 Geom(1/2) draws is ~log2(16) + 1.33 ~ 5.33.
+        assert 5.1 < samples.mean() < 5.7
+        # Tail matches P(X >= m) = 1 - (1 - 2^-(m-1))^16 within sampling noise.
+        p_tail = float((samples >= 12).mean())
+        expected = 1 - (1 - 2.0 ** -11) ** 16
+        assert p_tail == pytest.approx(expected, rel=0.35)
+
+    def test_geometric_max_array_single_draw_matches_geometric(self, rng):
+        samples = rng.geometric_max_array(1, 200_000)
+        assert samples.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_geometric_max_array_errors_and_empty(self, rng):
+        assert rng.geometric_max_array(4, 0).size == 0
+        with pytest.raises(ValueError):
+            rng.geometric_max_array(0, 5)
+        with pytest.raises(ValueError):
+            rng.geometric_max_array(4, -1)
+
     def test_shuffled_is_permutation(self, rng):
         items = list(range(20))
         shuffled = rng.shuffled(items)

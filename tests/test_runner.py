@@ -45,6 +45,26 @@ class TestAggregateSeries:
         data = agg.as_dict()
         assert set(data) == {"index", "minimum", "median", "maximum"}
 
+    def test_matches_statistics_median_reference(self):
+        """The vectorised aggregation reproduces the per-column reference."""
+        import statistics
+
+        rng = __import__("numpy").random.default_rng(3)
+        per_trial = [list(rng.normal(size=9)) for _ in range(5)]
+        index = list(range(9))
+        agg = aggregate_series("x", index, per_trial)
+        for t in range(9):
+            column = [trial[t] for trial in per_trial]
+            assert agg.minimum[t] == min(column)
+            assert agg.median[t] == statistics.median(column)
+            assert agg.maximum[t] == max(column)
+        assert all(isinstance(v, float) for v in agg.median)
+
+    def test_ragged_trials_with_short_index(self):
+        agg = aggregate_series("x", [0, 1], [[1, 2, 3], [4, 5, 6], [7, 8]])
+        assert len(agg.median) == 2
+        assert agg.median == [4.0, 5.0]
+
 
 class TestTrialRunner:
     @staticmethod
