@@ -1,0 +1,29 @@
+"""Benchmarks for the adversarial scenario catalog.
+
+Each benchmark regenerates one registered scenario from
+:mod:`repro.scenarios.catalog` at the chosen effort level through the
+declarative ``run_scenario`` entry point, with the engine auto-selected by
+:func:`repro.engine.registry.choose_engine` — timing the whole stack the CLI
+exercises (spec expansion, schedule building, stacked ensemble execution,
+metric extraction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import run_scenario
+
+
+@pytest.mark.parametrize(
+    "name", ("oscillate", "boom_bust", "churn", "repeated_decimation")
+)
+def test_bench_catalog_scenario(benchmark, effort, name):
+    result = benchmark.pedantic(
+        lambda: run_scenario(name, effort=effort), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["preset"] = result.metadata.get("preset")
+    benchmark.extra_info["engine"] = result.metadata.get("engine")
+    benchmark.extra_info["rows"] = result.rows
+    assert result.rows

@@ -6,7 +6,8 @@ The package is organised into layers; see the subpackages for the full surface:
 * :mod:`repro.protocols` — toolbox protocols and baselines.
 * :mod:`repro.core` — the paper's dynamic size counting protocol and phase clock.
 * :mod:`repro.analysis` — metrics, theory bounds and result post-processing.
-* :mod:`repro.experiments` — per-figure experiment harness.
+* :mod:`repro.scenarios` — declarative scenario API (specs, registry, sweeps).
+* :mod:`repro.experiments` — the paper's figures/tables as registered scenarios.
 
 The most commonly used classes are re-exported lazily at the top level so
 that ``import repro`` stays cheap while ``repro.DynamicSizeCounting`` still
@@ -33,6 +34,14 @@ _LAZY_EXPORTS = {
     "ProtocolParameters": "repro.core.params",
     "empirical_parameters": "repro.core.params",
     "theory_parameters": "repro.core.params",
+    "ScenarioSpec": "repro.scenarios",
+    "ScenarioPoint": "repro.scenarios",
+    "SweepSpec": "repro.scenarios",
+    "scenario": "repro.scenarios",
+    "get_scenario": "repro.scenarios",
+    "scenario_names": "repro.scenarios",
+    "run_scenario": "repro.scenarios",
+    "run_sweep": "repro.scenarios",
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

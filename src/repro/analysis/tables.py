@@ -13,7 +13,15 @@ import json
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "write_csv", "write_json", "series_to_rows"]
+__all__ = [
+    "format_table",
+    "write_csv",
+    "read_csv",
+    "write_json",
+    "read_json",
+    "series_to_rows",
+    "rows_to_series",
+]
 
 
 def format_table(
@@ -81,9 +89,58 @@ def write_csv(path: str | Path, rows: Sequence[Mapping[str, Any]], columns: Sequ
     return target
 
 
+def rows_to_series(rows: Sequence[Mapping[str, Any]]) -> dict[str, list[Any]]:
+    """Transpose row dictionaries back into a column-oriented series."""
+    if not rows:
+        return {}
+    return {key: [row[key] for row in rows] for key in rows[0]}
+
+
+def _parse_cell(text: str) -> Any:
+    """Invert the stringification of :func:`write_csv` for one cell.
+
+    Booleans, integers and floats (including ``nan``/``inf``) round-trip;
+    everything else stays a string.  Only canonical numeric spellings are
+    coerced — strings Python would *accept* but not *produce* (underscored
+    literals like ``"1_000"``, padded ``" 42"``) stay strings, so loading
+    does not change the type of string-valued cells that merely look
+    numeric.  CSV carries no schema, so string cells spelled exactly like a
+    Python literal (``"True"``, ``"nan"``) are inherently ambiguous and
+    load as the typed value.
+    """
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    if text != text.strip() or "_" in text:
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_csv(path: str | Path) -> list[dict[str, Any]]:
+    """Read a CSV written by :func:`write_csv` back into typed row dicts."""
+    with Path(path).open(newline="") as handle:
+        return [
+            {key: _parse_cell(value) for key, value in row.items()}
+            for row in csv.DictReader(handle)
+        ]
+
+
 def write_json(path: str | Path, payload: Any) -> Path:
     """Write ``payload`` to ``path`` as pretty-printed JSON; returns the path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
     return target
+
+
+def read_json(path: str | Path) -> Any:
+    """Read a JSON document written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())

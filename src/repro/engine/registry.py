@@ -44,15 +44,21 @@ from repro.engine.simulator import Simulator
 
 __all__ = [
     "ENGINE_NAMES",
+    "SMALL_POPULATION_THRESHOLD",
     "register_vectorized",
     "has_vectorized",
     "vectorized_for",
     "registered_protocols",
+    "choose_engine",
     "make_engine",
 ]
 
 #: Names accepted by :func:`make_engine` (and the experiments' ``engine=``).
 ENGINE_NAMES = ("sequential", "array", "batched", "ensemble")
+
+#: Below this population size the exact array engine is already cheap, so
+#: :func:`choose_engine` prefers exactness over the approximate batched path.
+SMALL_POPULATION_THRESHOLD = 128
 
 #: Scalar protocol class -> factory building its vectorised counterpart.
 _REGISTRY: dict[type, Callable[[Any], VectorizedProtocol]] = {}
@@ -144,6 +150,36 @@ def registered_protocols() -> list[str]:
     """Sorted names of the scalar protocol classes with registrations."""
     _ensure_default_registrations()
     return sorted(cls.__name__ for cls in _REGISTRY)
+
+
+def choose_engine(protocol: Any, trials: int, n: int) -> str:
+    """Pick the best engine name for a workload.
+
+    The policy mirrors the measured trade-offs of the engine benchmarks:
+
+    * a protocol without a vectorised counterpart can only run on the
+      ``"sequential"`` engine;
+    * small populations (``n <=`` :data:`SMALL_POPULATION_THRESHOLD`) run on
+      the exact ``"array"`` engine — at that scale exactness is free;
+    * multi-trial workloads of vectorisable protocols run fastest on the
+      ``"ensemble"`` engine (all trials in one stacked pass);
+    * a single large trial runs on the ``"batched"`` engine.
+
+    Experiments that pin an engine for reproducibility of published outputs
+    bypass this helper; everything else (new scenarios, ``--engine auto``)
+    routes through it.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be at least 1, got {trials}")
+    if n < 2:
+        raise ConfigurationError(f"population size must be at least 2, got {n}")
+    if not has_vectorized(protocol):
+        return "sequential"
+    if n <= SMALL_POPULATION_THRESHOLD:
+        return "array"
+    if trials > 1:
+        return "ensemble"
+    return "batched"
 
 
 def make_engine(

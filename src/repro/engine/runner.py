@@ -38,6 +38,7 @@ __all__ = [
     "EnsembleSpec",
     "TrialRunner",
     "aggregate_series",
+    "run_engine_trials",
 ]
 
 
@@ -111,6 +112,43 @@ def aggregate_series(
         median=medians.tolist(),
         maximum=maxima.tolist(),
     )
+
+
+def run_engine_trials(
+    engine_factory: Callable[[str, RandomSource, int | None], Any],
+    *,
+    engine: str,
+    trials: int,
+    seed: int | None,
+    parallel_time: int,
+    snapshot_every: int = 1,
+) -> list[dict[str, list[float]]]:
+    """Run ``trials`` repetitions of one workload and return per-trial series.
+
+    This is the one place that knows how a multi-trial workload maps onto an
+    engine: the looped engines get one freshly built engine per trial, each
+    with its own random stream spawned from the root ``seed`` (identical to
+    what :class:`TrialRunner` does), while the ``"ensemble"`` engine gets the
+    root seed directly and runs all trials in one stacked pass.
+
+    ``engine_factory(engine_name, rng, trials)`` builds the engine; it
+    receives ``trials`` only in ensemble mode (``None`` otherwise, where the
+    engine runs exactly one trial).  Each returned entry is one trial's
+    snapshot series (:meth:`repro.engine.api.RunResult.series` columns), in
+    trial order — the same shape regardless of the execution mode.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    if engine == "ensemble":
+        simulator = engine_factory(engine, RandomSource.from_seed(seed), trials)
+        result = simulator.run(parallel_time, snapshot_every=snapshot_every)
+        return [trial_result.series() for trial_result in result.trial_results]
+    all_series = []
+    for generator in spawn_streams(seed, trials):
+        simulator = engine_factory(engine, RandomSource(generator), None)
+        result = simulator.run(parallel_time, snapshot_every=snapshot_every)
+        all_series.append(result.series())
+    return all_series
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.analysis.tables import format_table, write_csv, write_json
+from repro.analysis.tables import (
+    format_table,
+    read_csv,
+    read_json,
+    rows_to_series,
+    write_csv,
+    write_json,
+)
 
 __all__ = ["ExperimentPreset", "ExperimentResult"]
 
@@ -114,3 +121,27 @@ class ExperimentResult:
             },
         )
         return base
+
+    @classmethod
+    def load(cls, result_dir: str | Path) -> "ExperimentResult":
+        """Load a result previously persisted with :meth:`save`.
+
+        ``result_dir`` is the per-experiment directory :meth:`save` returned
+        (the one containing ``manifest.json``).  Numeric/boolean cell types
+        are restored from the CSVs, so ``load(save(...))`` round-trips: the
+        loaded result saves to an identical manifest.
+        """
+        base = Path(result_dir)
+        manifest = read_json(base / "manifest.json")
+        rows_path = base / "rows.csv"
+        rows = read_csv(rows_path) if rows_path.exists() else []
+        series: dict[str, dict[str, list[float]]] = {}
+        for name in manifest.get("series", []):
+            series[name] = rows_to_series(read_csv(base / f"series_{name}.csv"))
+        return cls(
+            experiment=manifest["experiment"],
+            description=manifest["description"],
+            rows=rows,
+            series=series,
+            metadata=manifest.get("metadata", {}),
+        )

@@ -3,7 +3,7 @@
 Section 2.2 of the paper compares its protocol with the Doty–Eftekhari
 dynamic counting protocol (space vs convergence-time trade-off) and argues
 that static counting protocols break outright in the dynamic setting.  This
-experiment makes all three claims measurable on the same workload — a
+scenario makes all three claims measurable on the same workload — a
 decimation event in the middle of the run:
 
 * **ours** adapts to the new population size within a couple of rounds,
@@ -14,6 +14,11 @@ decimation event in the middle of the run:
 The summary row per protocol reports the estimate before the drop, the
 estimate at the end of the run, whether it adapted, and the peak per-agent
 memory in bits.
+
+Declared as the registered scenario ``"baseline"``.  Only the exact
+sequential engine is supported: the baseline protocols have no vectorised
+counterparts and the comparison records per-state memory footprints — so
+the spec provides a bespoke executor.
 """
 
 from __future__ import annotations
@@ -22,18 +27,19 @@ import math
 from typing import Any
 
 from repro.core.dynamic_counting import DynamicSizeCounting
-from repro.core.params import empirical_parameters
 from repro.engine.adversary import RemoveAllButAt
-from repro.engine.errors import UnsupportedEngineError
 from repro.engine.recorder import EstimateRecorder, MemoryRecorder
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import Simulator
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
+from repro.experiments.config import decimation_knobs
 from repro.protocols.doty_eftekhari import DotyEftekhariCounting
 from repro.protocols.static_counting import MaxGrvCounting
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["run_baseline_comparison"]
+__all__ = ["run_baseline_comparison", "BASELINE"]
 
 
 def _run_protocol(
@@ -85,27 +91,8 @@ def _run_protocol(
     }
 
 
-def run_baseline_comparison(
-    preset: ExperimentPreset | None = None,
-    *,
-    effort: str = "quick",
-    engine: str = "sequential",
-) -> ExperimentResult:
-    """Compare our protocol, Doty–Eftekhari, and static counting under decimation.
-
-    Only the exact sequential engine is supported: the baseline protocols
-    have no vectorised counterparts and the comparison records per-state
-    memory footprints.
-    """
-    if engine != "sequential":
-        raise UnsupportedEngineError(
-            f"the baseline experiment requires engine='sequential' (baseline "
-            f"protocols are not vectorised), got {engine!r}"
-        )
-    preset = preset or get_preset("baseline", effort)
-    params = empirical_parameters()
-    drop_time = int(preset.extra.get("drop_time", 1350))
-    keep = int(preset.extra.get("keep", 500))
+def _execute(spec, preset, params, engine) -> ExperimentResult:
+    drop_time, keep = decimation_knobs(preset)
     rows: list[dict[str, Any]] = []
 
     protocols = {
@@ -145,13 +132,46 @@ def run_baseline_comparison(
             )
 
     return ExperimentResult(
-        experiment="baseline",
-        description=(
-            f"Adaptation and memory comparison under decimation to {keep} agents at t={drop_time}"
-        ),
+        experiment=spec.id,
+        description=spec.description_for(preset),
         rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "sequential"},
+        metadata={
+            "preset": preset.name,
+            "params": params.describe(),
+            "engine": "sequential",
+            "scenario": spec.name,
+        },
     )
+
+
+def _describe(preset) -> str:
+    drop_time, keep = decimation_knobs(preset)
+    return (
+        f"Adaptation and memory comparison under decimation to {keep} agents at t={drop_time}"
+    )
+
+
+BASELINE = register(
+    ScenarioSpec(
+        name="baseline",
+        description="Adaptation and memory comparison: ours vs Doty-Eftekhari vs static counting",
+        executor=_execute,
+        engines=("sequential",),
+        engine="sequential",
+        describe=_describe,
+        tags=("paper", "baseline", "adversarial"),
+    )
+)
+
+
+def run_baseline_comparison(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "sequential",
+) -> ExperimentResult:
+    """Compare our protocol, Doty–Eftekhari, and static counting under decimation."""
+    return run_scenario(BASELINE, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

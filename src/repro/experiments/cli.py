@@ -1,12 +1,22 @@
 """Command-line entry point: ``repro-experiments``.
 
-Runs one experiment (or all of them) at a chosen effort level, prints the
-regenerated table, and optionally persists the rows/series under an output
-directory.  Example::
+The CLI is a thin shell over the scenario registry
+(:mod:`repro.scenarios`): every registered scenario — the paper's nine
+figures/tables and the adversarial catalog — can be listed, run, and swept
+over parameter grids::
 
-    repro-experiments fig4 --effort quick --output results/
-    repro-experiments fig2 --effort quick --engine array
-    repro-experiments all --effort default
+    repro-experiments list
+    repro-experiments run fig4 --effort quick --output results/
+    repro-experiments run all --effort quick
+    repro-experiments run oscillate --engine auto
+    repro-experiments sweep fig4 --set keep=50,200 --set drop_time=300
+
+The historical single-experiment invocations keep working as aliases
+(``repro-experiments fig4 --effort quick`` is ``run fig4 ...``).
+
+Engine/effort combinations are validated for *every* selected scenario
+before any simulation starts, so a bad flag fails in milliseconds with a
+one-line error instead of a traceback halfway through a sweep.
 """
 
 from __future__ import annotations
@@ -14,9 +24,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable
 
-from repro.engine.errors import ConfigurationError, UnsupportedEngineError
+from repro.engine.errors import ConfigurationError, EngineError
 from repro.engine.registry import ENGINE_NAMES
 from repro.experiments.base import ExperimentResult
 from repro.experiments.baseline_comparison import run_baseline_comparison
@@ -29,10 +40,14 @@ from repro.experiments.fig5_initial_estimate import run_fig5
 from repro.experiments.holding_table import run_holding_table
 from repro.experiments.memory_table import run_memory_table
 from repro.experiments.phase_clock_experiment import run_phase_clock_experiment
+from repro.scenarios.registry import get_scenario, has_scenario, iter_scenarios, scenario_names
+from repro.scenarios.runner import resolve_preset, run_scenario, run_sweep
+from repro.scenarios.spec import SweepSpec
 
-__all__ = ["main", "EXPERIMENT_RUNNERS"]
+__all__ = ["main", "build_parser", "EXPERIMENT_RUNNERS"]
 
-#: Experiment id -> runner function.
+#: Legacy experiment id -> runner function (kept for programmatic users; the
+#: CLI itself routes everything through the scenario registry).
 EXPERIMENT_RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     "fig2": run_fig2,
     "fig3": run_fig3,
@@ -45,20 +60,10 @@ EXPERIMENT_RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     "baseline": run_baseline_comparison,
 }
 
+_COMMANDS = ("run", "list", "sweep")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description=(
-            "Regenerate the figures and tables of 'Dynamic Size Counting in the "
-            "Population Protocol Model' (Kaaser & Lohmann, PODC 2024)."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENT_RUNNERS) + ["all", "list"],
-        help="Experiment to run ('all' runs every experiment, 'list' shows presets).",
-    )
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--effort",
         default="quick",
@@ -73,64 +78,224 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine",
         default=None,
-        choices=ENGINE_NAMES,
+        choices=ENGINE_NAMES + ("auto",),
         help=(
-            "Execution engine (sequential, array, batched, ensemble); omit to "
-            "use each experiment's default.  The ensemble engine runs all "
-            "trials of a data point in one stacked vectorized pass."
+            "Execution engine (sequential, array, batched, ensemble) or 'auto' "
+            "to pick the best engine per workload; omit to use each scenario's "
+            "default."
         ),
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Run registered scenarios of 'Dynamic Size Counting in the "
+            "Population Protocol Model' (Kaaser & Lohmann, PODC 2024): the "
+            "paper's figures/tables plus adversarial workloads beyond them."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="Run one or more scenarios ('all' runs every registered scenario)."
+    )
+    run_parser.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="scenario",
+        help="Scenario name(s) from `repro-experiments list`, or 'all'.",
+    )
+    _add_common_arguments(run_parser)
+
+    list_parser = subparsers.add_parser(
+        "list", help="List registered scenarios, their presets and engines."
+    )
+    list_parser.add_argument(
+        "--tag", default=None, help="Only show scenarios carrying this tag."
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="Run a scenario over a parameter grid."
+    )
+    sweep_parser.add_argument("scenario", help="Scenario name to sweep.")
+    sweep_parser.add_argument(
+        "--set",
+        dest="axes",
+        action="append",
+        required=True,
+        metavar="KEY=V1[,V2,...]",
+        help=(
+            "Sweep axis: a preset field (n, trials, parallel_time, seed), a "
+            "protocol constant (tau1, k, ...), or a workload knob (keep, "
+            "drop_time, period, ...).  Repeat for a grid."
+        ),
+    )
+    _add_common_arguments(sweep_parser)
+
     return parser
 
 
-def _run_one(
-    experiment: str, effort: str, output: str | None, engine: str | None = None
-) -> ExperimentResult:
-    runner = EXPERIMENT_RUNNERS[experiment]
-    started = time.time()
-    if engine is None:
-        result = runner(effort=effort)
-    else:
-        result = runner(effort=effort, engine=engine)
-    elapsed = time.time() - started
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Map the historical ``repro-experiments <name>`` form onto ``run <name>``."""
+    if argv and not argv[0].startswith("-") and argv[0] not in _COMMANDS:
+        return ["run"] + argv
+    return argv
+
+
+def _parse_axis_value(text: str) -> Any:
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(entries: list[str]) -> dict[str, tuple[Any, ...]]:
+    axes: dict[str, tuple[Any, ...]] = {}
+    for entry in entries:
+        key, separator, values = entry.partition("=")
+        if not separator or not key or not values:
+            raise ConfigurationError(
+                f"invalid --set {entry!r}; expected KEY=V1[,V2,...]"
+            )
+        if key in axes:
+            raise ConfigurationError(
+                f"duplicate --set key {key!r}; list all values in one axis "
+                f"(--set {key}=V1,V2,...)"
+            )
+        axes[key] = tuple(_parse_axis_value(value) for value in values.split(","))
+    return axes
+
+
+def _fail(message: str) -> int:
+    print(f"repro-experiments: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _print_result(
+    name: str, result: ExperimentResult, elapsed: float | None, output: str | None
+) -> None:
     print(result.table())
-    print(f"[{experiment}] completed in {elapsed:.1f}s ({result.metadata.get('preset')} preset)")
-    print()
+    if elapsed is not None:
+        print(f"[{name}] completed in {elapsed:.1f}s ({result.metadata.get('preset')} preset)")
+        print()
     if output is not None:
         saved = result.save(output)
-        print(f"[{experiment}] results written to {saved}")
+        print(f"[{name}] results written to {saved}")
         print()
-    return result
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    efforts = list_presets()
+    for spec in iter_scenarios():
+        if args.tag is not None and args.tag not in spec.tags:
+            continue
+        available = ", ".join(efforts.get(spec.id, []))
+        engine = spec.engine if spec.engine is not None else "auto"
+        tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"{spec.name}: {spec.description}{tags}")
+        print(f"    efforts: {available or '(custom preset required)'}  engine: {engine}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    run_all = "all" in args.scenarios
+    selected: list[str] = []
+    for name in args.scenarios:
+        names = scenario_names() if name == "all" else [name]
+        for candidate in names:
+            if not has_scenario(candidate):
+                return _fail(
+                    f"unknown scenario {candidate!r}; available: "
+                    f"{', '.join(scenario_names())} (or 'all')"
+                )
+            if candidate not in selected:
+                selected.append(candidate)
+
+    # Validate every effort/engine combination before any simulation starts.
+    skipped: dict[str, str] = {}
+    for name in selected:
+        spec = get_scenario(name)
+        try:
+            resolve_preset(spec, args.effort)
+        except ConfigurationError as exc:
+            return _fail(str(exc))
+        if (
+            args.engine is not None
+            and args.engine != "auto"
+            and not spec.supports_engine(args.engine)
+        ):
+            reason = (
+                f"scenario {name!r} supports engine(s) {', '.join(spec.engines)}, "
+                f"got {args.engine!r}"
+            )
+            if run_all:
+                # `all` with an explicit engine skips the scenarios that only
+                # support another engine instead of aborting the sweep.
+                skipped[name] = reason
+            else:
+                return _fail(reason)
+
+    for name in selected:
+        if name in skipped:
+            print(f"[{name}] skipped: {skipped[name]}")
+            print()
+            continue
+        started = time.time()
+        try:
+            result = run_scenario(name, effort=args.effort, engine=args.engine)
+        except EngineError as exc:
+            # Covers misconfiguration and invalid schedules alike: every
+            # engine-level failure surfaces as a one-line error, not a
+            # traceback.
+            return _fail(str(exc))
+        _print_result(name, result, time.time() - started, args.output)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not has_scenario(args.scenario):
+        return _fail(
+            f"unknown scenario {args.scenario!r}; available: "
+            f"{', '.join(scenario_names())}"
+        )
+    spec = get_scenario(args.scenario)
+    try:
+        resolve_preset(spec, args.effort)
+        axes = _parse_axes(args.axes)
+        sweep = SweepSpec.from_mapping(args.scenario, axes)
+        combos = len(sweep.combinations())
+        print(f"[sweep] {args.scenario}: {combos} combination(s)")
+        print()
+        started = time.time()
+        results = run_sweep(sweep, effort=args.effort, engine=args.engine)
+    except EngineError as exc:
+        return _fail(str(exc))
+    for label, result in results:
+        print(f"=== {args.scenario} @ {label} ===")
+        output = (
+            str(Path(args.output) / label.replace(",", "__"))
+            if args.output is not None
+            else None
+        )
+        _print_result(f"{args.scenario} @ {label}", result, None, output)
+        print()
+    print(f"[sweep] {args.scenario} finished in {time.time() - started:.1f}s")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
-
-    if args.experiment == "list":
-        for experiment, efforts in sorted(list_presets().items()):
-            print(f"{experiment}: {', '.join(efforts)}")
-        return 0
-
-    run_all = args.experiment == "all"
-    experiments = sorted(EXPERIMENT_RUNNERS) if run_all else [args.experiment]
-    for experiment in experiments:
-        try:
-            _run_one(experiment, args.effort, args.output, args.engine)
-        except UnsupportedEngineError as exc:
-            if run_all and args.engine is not None:
-                # `all` with an explicit engine skips the experiments that
-                # only support another engine instead of aborting the sweep.
-                print(f"[{experiment}] skipped: {exc}")
-                print()
-                continue
-            print(f"repro-experiments: error: {exc}", file=sys.stderr)
-            return 2
-        except ConfigurationError as exc:
-            print(f"repro-experiments: error: {exc}", file=sys.stderr)
-            return 2
-    return 0
+    args = parser.parse_args(_normalize_argv(list(sys.argv[1:] if argv is None else argv)))
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_sweep(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -17,7 +17,16 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentPreset
 
-__all__ = ["PRESETS", "get_preset", "list_presets"]
+__all__ = ["PRESETS", "get_preset", "list_presets", "decimation_knobs"]
+
+
+def decimation_knobs(preset: ExperimentPreset) -> tuple[int, int]:
+    """The decimation workload knobs ``(drop_time, keep)`` of a preset.
+
+    Defaults to the paper's Fig. 4 event — all but 500 agents removed at
+    parallel time 1350 — shared by every scenario built on that workload.
+    """
+    return int(preset.extra.get("drop_time", 1350)), int(preset.extra.get("keep", 500))
 
 
 def _fig_preset(name: str, sizes: tuple[int, ...], time: int, trials: int, **extra) -> ExperimentPreset:
@@ -115,6 +124,53 @@ PRESETS: dict[str, dict[str, ExperimentPreset]] = {
         "quick": _fig_preset("quick", (300,), 700, 2, drop_time=250, keep=50),
         "default": _fig_preset("default", (1_000,), 2_000, 4, drop_time=700, keep=100),
         "paper": _fig_preset("paper", (5_000,), 4_000, 8, drop_time=1350, keep=500),
+    },
+    # ------------------------------------------------------------------
+    # Adversarial scenario catalog (beyond the paper's figures; see
+    # repro.scenarios.catalog).  No engine is pinned: the runner
+    # auto-selects via repro.engine.registry.choose_engine.
+    # ------------------------------------------------------------------
+    # Population oscillates between n and n/shrink_factor every period.
+    "oscillate": {
+        "quick": _fig_preset("quick", (2_000,), 600, 3, period=150, shrink_factor=10),
+        "default": _fig_preset(
+            "default", (10_000, 100_000), 2_400, 8, period=400, shrink_factor=10
+        ),
+        "paper": _fig_preset(
+            "paper", (100_000, 1_000_000), 5_000, 48, period=700, shrink_factor=10
+        ),
+    },
+    # Exponential growth for several periods, then a crash.
+    "boom_bust": {
+        "quick": _fig_preset(
+            "quick", (500,), 800, 3, period=120, growth_steps=3, crash_divisor=10
+        ),
+        "default": _fig_preset(
+            "default", (2_000,), 2_400, 8, period=300, growth_steps=4, crash_divisor=10
+        ),
+        "paper": _fig_preset(
+            "paper", (10_000,), 5_000, 48, period=600, growth_steps=5, crash_divisor=10
+        ),
+    },
+    # Sustained random churn: resize to a random size every period.
+    "churn": {
+        "quick": _fig_preset("quick", (2_000,), 600, 3, period=120, low_divisor=10),
+        "default": _fig_preset(
+            "default", (10_000,), 2_400, 8, period=250, low_divisor=10
+        ),
+        "paper": _fig_preset(
+            "paper", (100_000,), 5_000, 48, period=400, low_divisor=10
+        ),
+    },
+    # Fig. 4's decimation repeated down to a floor.
+    "repeated_decimation": {
+        "quick": _fig_preset("quick", (4_000,), 900, 3, period=200, floor=50),
+        "default": _fig_preset(
+            "default", (50_000,), 2_400, 8, period=400, floor=100
+        ),
+        "paper": _fig_preset(
+            "paper", (1_000_000,), 5_000, 48, period=600, floor=500
+        ),
     },
 }
 

@@ -8,21 +8,67 @@ to slightly above ``log2 n`` (the maximum of ``k * n`` GRVs with ``k = 16``
 concentrates around ``log2 n + 4``) and then stay there — the protocol's
 long holding time in action.
 
-This module regenerates that series.  The quick preset scales the population
-down (the shape is identical, only the plateau level shifts with
-``log2 n``); the ``paper`` preset reproduces the original scale.
+The workload is declared as a :class:`repro.scenarios.spec.ScenarioSpec`
+(registered as ``"fig2"``); :func:`run_fig2` is a thin compatibility wrapper
+over :func:`repro.scenarios.runner.run_scenario`.  The spec pins the
+``batched`` engine so that default outputs stay bit-identical to the
+published runs; pass ``engine="auto"`` (or another engine name) to override.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.params import empirical_parameters
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
-from repro.experiments.figures import run_estimate_trace
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioPoint, ScenarioSpec
 
-__all__ = ["run_fig2"]
+__all__ = ["run_fig2", "FIG2"]
+
+
+def _points(preset, params):
+    # One point per population size; all points share the preset's root seed
+    # (the historical Fig. 2 behaviour).
+    return tuple(
+        ScenarioPoint(
+            n=n,
+            seed=preset.seed,
+            parallel_time=preset.parallel_time,
+            trials=preset.trials,
+        )
+        for n in preset.population_sizes
+    )
+
+
+def _row(trace, point, preset, params):
+    # Summary row: plateau statistics over the second half of the run.
+    half = len(trace.parallel_time) // 2
+    tail_min = min(trace.minimum[half:]) if half < len(trace.minimum) else float("nan")
+    tail_max = max(trace.maximum[half:]) if half < len(trace.maximum) else float("nan")
+    tail_med = sorted(trace.median[half:])[len(trace.median[half:]) // 2]
+    return {
+        "n": point.n,
+        "log2_n": math.log2(point.n),
+        "steady_minimum": tail_min,
+        "steady_median": tail_med,
+        "steady_maximum": tail_max,
+        "trials": preset.trials,
+        "parallel_time": preset.parallel_time,
+    }
+
+
+FIG2 = register(
+    ScenarioSpec(
+        name="fig2",
+        description="Size estimate over parallel time (initially empty system)",
+        points=_points,
+        metrics=(_row,),
+        keep_series=True,
+        engine="batched",
+        tags=("paper",),
+    )
+)
 
 
 def run_fig2(
@@ -31,52 +77,8 @@ def run_fig2(
     effort: str = "quick",
     engine: str = "batched",
 ) -> ExperimentResult:
-    """Regenerate Fig. 2: estimate of ``log n`` over parallel time.
-
-    ``engine`` selects the execution engine (``"sequential"`` / ``"array"``
-    / ``"batched"`` / ``"ensemble"``); the approximate vectorised engines
-    are the only ones practical at the figure's population scale, and
-    ``"ensemble"`` additionally runs all trials in one stacked pass.
-    """
-    preset = preset or get_preset("fig2", effort)
-    params = empirical_parameters()
-    series: dict[str, dict[str, list[float]]] = {}
-    rows: list[dict[str, float]] = []
-
-    for n in preset.population_sizes:
-        trace = run_estimate_trace(
-            n,
-            preset.parallel_time,
-            trials=preset.trials,
-            seed=preset.seed,
-            params=params,
-            engine=engine,
-        )
-        series[f"n_{n}"] = trace.series()
-        # Summary rows: plateau statistics over the second half of the run.
-        half = len(trace.parallel_time) // 2
-        tail_min = min(trace.minimum[half:]) if half < len(trace.minimum) else float("nan")
-        tail_max = max(trace.maximum[half:]) if half < len(trace.maximum) else float("nan")
-        tail_med = sorted(trace.median[half:])[len(trace.median[half:]) // 2]
-        rows.append(
-            {
-                "n": n,
-                "log2_n": math.log2(n),
-                "steady_minimum": tail_min,
-                "steady_median": tail_med,
-                "steady_maximum": tail_max,
-                "trials": preset.trials,
-                "parallel_time": preset.parallel_time,
-            }
-        )
-
-    return ExperimentResult(
-        experiment="fig2",
-        description="Size estimate over parallel time (initially empty system)",
-        rows=rows,
-        series=series,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
-    )
+    """Regenerate Fig. 2: estimate of ``log n`` over parallel time."""
+    return run_scenario(FIG2, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -5,23 +5,52 @@ of the minimum / median / maximum estimate from the true ``log n`` (a value
 of 1 means exact).  Small populations over-estimate by a larger relative
 factor (the ``+ log2 k`` additive offset of the max of ``k * n`` GRVs weighs
 more when ``log n`` is small), and the deviation approaches 1 as ``n``
-grows — which is exactly the shape this experiment regenerates.
+grows — which is exactly the shape this scenario regenerates.
 
 Statistics are taken over the steady-state window (the second half of each
 run, after convergence), mirroring how the paper reports converged
-estimates.
+estimates.  Declared as the registered scenario ``"fig3"``.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.params import empirical_parameters
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
-from repro.experiments.figures import run_estimate_trace
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["run_fig3"]
+__all__ = ["run_fig3", "FIG3"]
+
+
+def _row(trace, point, preset, params):
+    log_n = math.log2(point.n)
+    half = len(trace.parallel_time) // 2
+    window_min = min(trace.minimum[half:])
+    window_max = max(trace.maximum[half:])
+    medians = sorted(trace.median[half:])
+    window_med = medians[len(medians) // 2]
+    return {
+        "n": point.n,
+        "log10_n": math.log10(point.n),
+        "log2_n": log_n,
+        "relative_minimum": window_min / log_n,
+        "relative_median": window_med / log_n,
+        "relative_maximum": window_max / log_n,
+        "trials": preset.trials,
+    }
+
+
+FIG3 = register(
+    ScenarioSpec(
+        name="fig3",
+        description="Relative deviation of the estimate from log n across population sizes",
+        metrics=(_row,),
+        engine="batched",
+        tags=("paper",),
+    )
+)
 
 
 def run_fig3(
@@ -31,43 +60,7 @@ def run_fig3(
     engine: str = "batched",
 ) -> ExperimentResult:
     """Regenerate Fig. 3: relative deviation from ``log n`` for varying ``n``."""
-    preset = preset or get_preset("fig3", effort)
-    params = empirical_parameters()
-    rows: list[dict[str, float]] = []
-
-    for n in preset.population_sizes:
-        trace = run_estimate_trace(
-            n,
-            preset.parallel_time,
-            trials=preset.trials,
-            seed=preset.seed + n,
-            params=params,
-            engine=engine,
-        )
-        log_n = math.log2(n)
-        half = len(trace.parallel_time) // 2
-        window_min = min(trace.minimum[half:])
-        window_max = max(trace.maximum[half:])
-        medians = sorted(trace.median[half:])
-        window_med = medians[len(medians) // 2]
-        rows.append(
-            {
-                "n": n,
-                "log10_n": math.log10(n),
-                "log2_n": log_n,
-                "relative_minimum": window_min / log_n,
-                "relative_median": window_med / log_n,
-                "relative_maximum": window_max / log_n,
-                "trials": preset.trials,
-            }
-        )
-
-    return ExperimentResult(
-        experiment="fig3",
-        description="Relative deviation of the estimate from log n across population sizes",
-        rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
-    )
+    return run_scenario(FIG3, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -7,7 +7,7 @@ the new ``log n`` within a couple of clock rounds.  The trailing estimate
 a bug: it is what keeps the phase lengths long enough during normal
 operation.
 
-This module regenerates the four panels.  The summary rows report the
+Declared as the registered scenario ``"fig4"``; the summary rows report the
 estimate plateau before the drop, the plateau at the end of the run, and the
 adaptation time (first snapshot after the drop at which the median estimate
 is within the valid band of the *new* population size).
@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import math
 
-from repro.core.params import empirical_parameters
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
-from repro.experiments.figures import run_estimate_trace
+from repro.experiments.config import decimation_knobs
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioPoint, ScenarioSpec
 
-__all__ = ["run_fig4", "adaptation_time"]
+__all__ = ["run_fig4", "adaptation_time", "FIG4"]
 
 
 def adaptation_time(
@@ -52,6 +53,66 @@ def adaptation_time(
     return None
 
 
+def _points(preset, params):
+    drop_time, keep = decimation_knobs(preset)
+    return tuple(
+        ScenarioPoint(
+            n=n,
+            seed=preset.seed + n,
+            parallel_time=preset.parallel_time,
+            trials=preset.trials,
+            resize_schedule=((drop_time, keep),),
+        )
+        for n in preset.population_sizes
+    )
+
+
+def _row(trace, point, preset, params):
+    drop_time, keep = decimation_knobs(preset)
+    log_n = math.log2(point.n)
+    new_log_n = math.log2(keep)
+    pre_drop = [m for t, m in zip(trace.parallel_time, trace.median) if t < drop_time]
+    pre_level = pre_drop[-1] if pre_drop else float("nan")
+    final_level = trace.median[-1] if trace.median else float("nan")
+    # Target level after adaptation: the max of k * keep GRVs sits around
+    # log2(keep) + log2(k).
+    target_level = new_log_n + math.log2(max(1, params.grv_samples))
+    adapt = adaptation_time(
+        trace.parallel_time, trace.median, drop_time, pre_level, target_level
+    )
+    return {
+        "n": point.n,
+        "log2_n": log_n,
+        "keep": keep,
+        "log2_keep": new_log_n,
+        "drop_time": drop_time,
+        "median_before_drop": pre_level,
+        "median_at_end": final_level,
+        "adaptation_time": adapt if adapt is not None else float("nan"),
+        "adapted": adapt is not None,
+        "trials": preset.trials,
+    }
+
+
+def _describe(preset) -> str:
+    drop_time, keep = decimation_knobs(preset)
+    return f"Size estimate with decimation to {keep} agents at t={drop_time}"
+
+
+FIG4 = register(
+    ScenarioSpec(
+        name="fig4",
+        description="Size estimate with a decimation event (adversarial drop)",
+        points=_points,
+        metrics=(_row,),
+        keep_series=True,
+        engine="batched",
+        describe=_describe,
+        tags=("paper", "adversarial"),
+    )
+)
+
+
 def run_fig4(
     preset: ExperimentPreset | None = None,
     *,
@@ -59,57 +120,7 @@ def run_fig4(
     engine: str = "batched",
 ) -> ExperimentResult:
     """Regenerate Fig. 4: estimate over time with a decimation event."""
-    preset = preset or get_preset("fig4", effort)
-    params = empirical_parameters()
-    drop_time = int(preset.extra.get("drop_time", 1350))
-    keep = int(preset.extra.get("keep", 500))
-
-    rows: list[dict[str, float]] = []
-    series: dict[str, dict[str, list[float]]] = {}
-    for n in preset.population_sizes:
-        trace = run_estimate_trace(
-            n,
-            preset.parallel_time,
-            trials=preset.trials,
-            seed=preset.seed + n,
-            params=params,
-            resize_schedule=[(drop_time, keep)],
-            engine=engine,
-        )
-        series[f"n_{n}"] = trace.series()
-        log_n = math.log2(n)
-        new_log_n = math.log2(keep)
-        pre_drop = [m for t, m in zip(trace.parallel_time, trace.median) if t < drop_time]
-        pre_level = pre_drop[-1] if pre_drop else float("nan")
-        final_level = trace.median[-1] if trace.median else float("nan")
-        # Target level after adaptation: the max of k * keep GRVs sits around
-        # log2(keep) + log2(k).
-        target_level = new_log_n + math.log2(max(1, params.grv_samples))
-        adapt = adaptation_time(
-            trace.parallel_time, trace.median, drop_time, pre_level, target_level
-        )
-        rows.append(
-            {
-                "n": n,
-                "log2_n": log_n,
-                "keep": keep,
-                "log2_keep": new_log_n,
-                "drop_time": drop_time,
-                "median_before_drop": pre_level,
-                "median_at_end": final_level,
-                "adaptation_time": adapt if adapt is not None else float("nan"),
-                "adapted": adapt is not None,
-                "trials": preset.trials,
-            }
-        )
-
-    return ExperimentResult(
-        experiment="fig4",
-        description=f"Size estimate with decimation to {keep} agents at t={drop_time}",
-        rows=rows,
-        series=series,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
-    )
+    return run_scenario(FIG4, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -9,20 +9,20 @@ after which the estimates settle at the correct level.
 
 This is also the workload where the paper's protocol is slower than the
 Doty–Eftekhari baseline (their convergence depends on ``log log n-hat``
-rather than ``log n-hat``); the baseline comparison experiment makes that
-trade-off measurable.
+rather than ``log n-hat``); the baseline comparison scenario makes that
+trade-off measurable.  Declared as the registered scenario ``"fig5"``.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.params import empirical_parameters
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
-from repro.experiments.figures import run_estimate_trace
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioPoint, ScenarioSpec
 
-__all__ = ["run_fig5", "forgetting_time"]
+__all__ = ["run_fig5", "forgetting_time", "FIG5"]
 
 
 def forgetting_time(
@@ -37,6 +37,57 @@ def forgetting_time(
     return None
 
 
+def _initial_estimate(preset) -> float:
+    return float(preset.extra.get("initial_estimate", 60.0))
+
+
+def _points(preset, params):
+    estimate = _initial_estimate(preset)
+    return tuple(
+        ScenarioPoint(
+            n=n,
+            seed=preset.seed + n,
+            parallel_time=preset.parallel_time,
+            trials=preset.trials,
+            initial_estimate=estimate,
+        )
+        for n in preset.population_sizes
+    )
+
+
+def _row(trace, point, preset, params):
+    initial_estimate = _initial_estimate(preset)
+    log_n = math.log2(point.n)
+    forget = forgetting_time(trace.parallel_time, trace.maximum, initial_estimate)
+    final_median = trace.median[-1] if trace.median else float("nan")
+    return {
+        "n": point.n,
+        "log2_n": log_n,
+        "initial_estimate": initial_estimate,
+        "forgetting_time": forget if forget is not None else float("nan"),
+        "forgot_initial_estimate": forget is not None,
+        "median_at_end": final_median,
+        "relative_median_at_end": final_median / log_n if log_n > 0 else float("nan"),
+        "trials": preset.trials,
+    }
+
+
+FIG5 = register(
+    ScenarioSpec(
+        name="fig5",
+        description="Recovery from an initial over-estimate",
+        points=_points,
+        metrics=(_row,),
+        keep_series=True,
+        engine="batched",
+        describe=lambda preset: (
+            f"Recovery from an initial estimate of {_initial_estimate(preset):g}"
+        ),
+        tags=("paper",),
+    )
+)
+
+
 def run_fig5(
     preset: ExperimentPreset | None = None,
     *,
@@ -44,46 +95,7 @@ def run_fig5(
     engine: str = "batched",
 ) -> ExperimentResult:
     """Regenerate Fig. 5: recovery from an initial estimate of 60."""
-    preset = preset or get_preset("fig5", effort)
-    params = empirical_parameters()
-    initial_estimate = float(preset.extra.get("initial_estimate", 60.0))
-
-    rows: list[dict[str, float]] = []
-    series: dict[str, dict[str, list[float]]] = {}
-    for n in preset.population_sizes:
-        trace = run_estimate_trace(
-            n,
-            preset.parallel_time,
-            trials=preset.trials,
-            seed=preset.seed + n,
-            params=params,
-            initial_estimate=initial_estimate,
-            engine=engine,
-        )
-        series[f"n_{n}"] = trace.series()
-        log_n = math.log2(n)
-        forget = forgetting_time(trace.parallel_time, trace.maximum, initial_estimate)
-        final_median = trace.median[-1] if trace.median else float("nan")
-        rows.append(
-            {
-                "n": n,
-                "log2_n": log_n,
-                "initial_estimate": initial_estimate,
-                "forgetting_time": forget if forget is not None else float("nan"),
-                "forgot_initial_estimate": forget is not None,
-                "median_at_end": final_median,
-                "relative_median_at_end": final_median / log_n if log_n > 0 else float("nan"),
-                "trials": preset.trials,
-            }
-        )
-
-    return ExperimentResult(
-        experiment="fig5",
-        description=f"Recovery from an initial estimate of {initial_estimate:g}",
-        rows=rows,
-        series=series,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": engine},
-    )
+    return run_scenario(FIG5, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -26,9 +26,9 @@ from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import ProtocolParameters, empirical_parameters
 from repro.core.vectorized import VectorizedDynamicCounting
 from repro.engine.api import Engine
-from repro.engine.registry import make_engine
-from repro.engine.rng import RandomSource, spawn_streams
-from repro.engine.runner import aggregate_series
+from repro.engine.registry import choose_engine, make_engine
+from repro.engine.rng import RandomSource
+from repro.engine.runner import aggregate_series, run_engine_trials
 
 __all__ = ["EstimateTrace", "run_estimate_trace"]
 
@@ -116,7 +116,7 @@ def run_estimate_trace(
     initial_estimate: float | None = None,
     snapshot_every: int = 1,
     sub_batches: int = 8,
-    engine: str = "batched",
+    engine: str | None = "batched",
 ) -> EstimateTrace:
     """Run ``trials`` independent simulations of one workload and aggregate.
 
@@ -141,15 +141,19 @@ def run_estimate_trace(
         Fidelity knob of the batched engine (ignored by the exact engines).
     engine:
         Engine name: ``"sequential"``, ``"array"``, ``"batched"``
-        (default) or ``"ensemble"``.  All engines report the same snapshot
-        series; the exact engines are practical only for small ``n``, and
-        the ensemble engine runs all ``trials`` in one stacked pass instead
-        of the per-trial loop.
+        (default), ``"ensemble"``, or ``None``/``"auto"`` to pick the best
+        engine for the workload via
+        :func:`repro.engine.registry.choose_engine`.  All engines report the
+        same snapshot series; the exact engines are practical only for small
+        ``n``, and the ensemble engine runs all ``trials`` in one stacked
+        pass instead of the per-trial loop.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     params = params or empirical_parameters()
     resize_schedule = tuple(resize_schedule)
+    if engine is None or engine == "auto":
+        engine = choose_engine(DynamicSizeCounting(params), trials, n)
 
     per_trial_min: list[list[float]] = []
     per_trial_med: list[list[float]] = []
@@ -157,28 +161,23 @@ def run_estimate_trace(
     index: list[float] = []
     sizes: list[float] = []
 
-    if engine == "ensemble":
-        simulator = _build_trace_engine(
-            engine,
+    trial_series = run_engine_trials(
+        lambda engine_name, rng, ensemble_trials: _build_trace_engine(
+            engine_name,
             n,
-            RandomSource.from_seed(seed),
+            rng,
             params,
             resize_schedule,
             initial_estimate,
             sub_batches,
-            trials=trials,
-        )
-        result = simulator.run(parallel_time, snapshot_every=snapshot_every)
-        trial_series = [trial_result.series() for trial_result in result.trial_results]
-    else:
-        trial_series = []
-        for generator in spawn_streams(seed, trials):
-            rng = RandomSource(generator)
-            simulator = _build_trace_engine(
-                engine, n, rng, params, resize_schedule, initial_estimate, sub_batches
-            )
-            result = simulator.run(parallel_time, snapshot_every=snapshot_every)
-            trial_series.append(result.series())
+            trials=ensemble_trials,
+        ),
+        engine=engine,
+        trials=trials,
+        seed=seed,
+        parallel_time=parallel_time,
+        snapshot_every=snapshot_every,
+    )
 
     for series in trial_series:
         per_trial_min.append(series["minimum"])

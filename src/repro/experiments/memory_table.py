@@ -2,12 +2,18 @@
 
 The paper's headline improvement is space: ``O(log s + log log n)`` bits per
 agent instead of the baseline's ``O(log^2 s + log n log log n)`` bits (or
-``O(log^2 s + (log log n)^2)`` in the optimised variant).  This experiment
+``O(log^2 s + (log log n)^2)`` in the optimised variant).  This scenario
 runs both protocols on the exact sequential engine, records the peak and
 steady-state per-agent footprint in bits with
 :class:`repro.engine.recorder.MemoryRecorder`, and reports them side by side
 together with the ``log s + log log n`` reference — regenerating the
 space-complexity comparison of Section 2.2 as a measured table.
+
+Declared as the registered scenario ``"memory"``.  Only the exact sequential
+engine is supported: the per-agent memory accounting reads
+:meth:`repro.engine.protocol.Protocol.memory_bits` of every state object,
+which the struct-of-arrays engines do not carry — so the spec provides a
+bespoke executor instead of trace metrics.
 """
 
 from __future__ import annotations
@@ -16,16 +22,16 @@ import math
 
 from repro.analysis.memory import summarize_memory
 from repro.core.dynamic_counting import DynamicSizeCounting
-from repro.core.params import empirical_parameters
-from repro.engine.errors import UnsupportedEngineError
 from repro.engine.recorder import MemoryRecorder
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import Simulator
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
 from repro.protocols.doty_eftekhari import DotyEftekhariCounting
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["run_memory_table", "measure_protocol_memory"]
+__all__ = ["run_memory_table", "measure_protocol_memory", "MEMORY"]
 
 
 def measure_protocol_memory(
@@ -47,25 +53,7 @@ def measure_protocol_memory(
     return sum(peaks) / len(peaks), sum(steadies) / len(steadies)
 
 
-def run_memory_table(
-    preset: ExperimentPreset | None = None,
-    *,
-    effort: str = "quick",
-    engine: str = "sequential",
-) -> ExperimentResult:
-    """Regenerate the space-complexity comparison (ours vs Doty–Eftekhari).
-
-    Only the exact sequential engine is supported: the per-agent memory
-    accounting reads :meth:`repro.engine.protocol.Protocol.memory_bits` of
-    every state object, which the struct-of-arrays engines do not carry.
-    """
-    if engine != "sequential":
-        raise UnsupportedEngineError(
-            f"the memory experiment requires engine='sequential' (per-state "
-            f"memory_bits accounting), got {engine!r}"
-        )
-    preset = preset or get_preset("memory", effort)
-    params = empirical_parameters()
+def _execute(spec, preset, params, engine) -> ExperimentResult:
     rows: list[dict[str, float]] = []
 
     for n in preset.population_sizes:
@@ -95,11 +83,38 @@ def run_memory_table(
         )
 
     return ExperimentResult(
-        experiment="memory",
-        description="Per-agent memory in bits: our protocol vs the Doty-Eftekhari baseline",
+        experiment=spec.id,
+        description=spec.description_for(preset),
         rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "sequential"},
+        metadata={
+            "preset": preset.name,
+            "params": params.describe(),
+            "engine": "sequential",
+            "scenario": spec.name,
+        },
     )
+
+
+MEMORY = register(
+    ScenarioSpec(
+        name="memory",
+        description="Per-agent memory in bits: our protocol vs the Doty-Eftekhari baseline",
+        executor=_execute,
+        engines=("sequential",),
+        engine="sequential",
+        tags=("paper", "baseline"),
+    )
+)
+
+
+def run_memory_table(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "sequential",
+) -> ExperimentResult:
+    """Regenerate the space-complexity comparison (ours vs Doty–Eftekhari)."""
+    return run_scenario(MEMORY, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -3,7 +3,7 @@
 Theorem 2.2 states that, once the population holds estimates of
 ``Theta(log n)``, the reset events partition time into *bursts* (every agent
 ticks exactly once) separated by *overlaps* (no agent ticks), both of length
-``Theta(n log n)`` interactions.  This experiment records every tick on the
+``Theta(n log n)`` interactions.  This scenario records every tick on the
 exact sequential engine, reconstructs bursts and overlaps with
 :mod:`repro.analysis.synchronization`, and reports
 
@@ -11,6 +11,11 @@ exact sequential engine, reconstructs bursts and overlaps with
 * the mean burst length, overlap length and clock period in interactions,
 * and the period divided by ``n log2 n`` — the constant that should be
   roughly stable across ``n`` if the ``Theta(n log n)`` claim holds.
+
+Declared as the registered scenario ``"phase_clock"``.  Only the exact
+sequential engine is supported: the burst/overlap reconstruction needs every
+tick event with its exact interaction index, which the batched/array engines
+do not emit — so the spec provides a bespoke executor.
 """
 
 from __future__ import annotations
@@ -18,37 +23,19 @@ from __future__ import annotations
 import math
 
 from repro.analysis.synchronization import analyze_synchrony
-from repro.core.params import empirical_parameters
 from repro.core.phase_clock import UniformPhaseClock
-from repro.engine.errors import UnsupportedEngineError
 from repro.engine.recorder import EventRecorder
 from repro.engine.rng import RandomSource, spawn_streams
 from repro.engine.simulator import Simulator
 from repro.experiments.base import ExperimentPreset, ExperimentResult
-from repro.experiments.config import get_preset
+from repro.scenarios.registry import register
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["run_phase_clock_experiment"]
+__all__ = ["run_phase_clock_experiment", "PHASE_CLOCK"]
 
 
-def run_phase_clock_experiment(
-    preset: ExperimentPreset | None = None,
-    *,
-    effort: str = "quick",
-    engine: str = "sequential",
-) -> ExperimentResult:
-    """Measure the burst/overlap structure of the clock (Theorem 2.2).
-
-    Only the exact sequential engine is supported: the burst/overlap
-    reconstruction needs every tick event with its exact interaction index,
-    which the batched/array engines do not emit.
-    """
-    if engine != "sequential":
-        raise UnsupportedEngineError(
-            f"the phase_clock experiment requires engine='sequential' "
-            f"(per-event tick traces), got {engine!r}"
-        )
-    preset = preset or get_preset("phase_clock", effort)
-    params = empirical_parameters()
+def _execute(spec, preset, params, engine) -> ExperimentResult:
     rows: list[dict[str, float]] = []
 
     for n in preset.population_sizes:
@@ -90,11 +77,38 @@ def run_phase_clock_experiment(
         )
 
     return ExperimentResult(
-        experiment="phase_clock",
-        description="Burst/overlap structure of the uniform phase clock (Theorem 2.2)",
+        experiment=spec.id,
+        description=spec.description_for(preset),
         rows=rows,
-        metadata={"preset": preset.name, "params": params.describe(), "engine": "sequential"},
+        metadata={
+            "preset": preset.name,
+            "params": params.describe(),
+            "engine": "sequential",
+            "scenario": spec.name,
+        },
     )
+
+
+PHASE_CLOCK = register(
+    ScenarioSpec(
+        name="phase_clock",
+        description="Burst/overlap structure of the uniform phase clock (Theorem 2.2)",
+        executor=_execute,
+        engines=("sequential",),
+        engine="sequential",
+        tags=("paper",),
+    )
+)
+
+
+def run_phase_clock_experiment(
+    preset: ExperimentPreset | None = None,
+    *,
+    effort: str = "quick",
+    engine: str = "sequential",
+) -> ExperimentResult:
+    """Measure the burst/overlap structure of the clock (Theorem 2.2)."""
+    return run_scenario(PHASE_CLOCK, effort=effort, preset=preset, engine=engine)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

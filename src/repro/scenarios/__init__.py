@@ -1,0 +1,43 @@
+"""Declarative scenario API.
+
+Everything needed to author, register, run and sweep a workload on the
+dynamic population model:
+
+* :class:`ScenarioSpec` / :class:`ScenarioPoint` — frozen workload specs
+  (:mod:`repro.scenarios.spec`);
+* :func:`scenario` / :func:`register` / :func:`get_scenario` /
+  :func:`scenario_names` — the registry (:mod:`repro.scenarios.registry`);
+* :func:`run_scenario` / :func:`run_sweep` — execution with automatic
+  engine selection (:mod:`repro.scenarios.runner`);
+* :mod:`repro.scenarios.schedules` — adversary schedule builders;
+* :mod:`repro.scenarios.metrics` — reusable metric extractors;
+* :mod:`repro.scenarios.catalog` — the adversarial scenarios beyond the
+  paper's figures.
+"""
+
+from repro.scenarios.registry import (
+    get_scenario,
+    has_scenario,
+    iter_scenarios,
+    register,
+    scenario,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.runner import run_scenario, run_sweep
+from repro.scenarios.spec import ScenarioPoint, ScenarioSpec, SweepSpec
+
+__all__ = [
+    "ScenarioPoint",
+    "ScenarioSpec",
+    "SweepSpec",
+    "get_scenario",
+    "has_scenario",
+    "iter_scenarios",
+    "register",
+    "run_scenario",
+    "run_sweep",
+    "scenario",
+    "scenario_names",
+    "unregister",
+]

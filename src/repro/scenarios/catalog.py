@@ -1,0 +1,180 @@
+"""Adversarial scenario catalog — workloads beyond the paper's evaluation.
+
+The paper's figures exercise a single adversarial event (Fig. 4's
+decimation).  The dynamic population model supports arbitrary size
+schedules, and these registered scenarios cover the shapes the model allows
+but the paper never plots:
+
+* ``oscillate`` — the population swings between ``n`` and a small fraction
+  of it, over and over; the protocol must adapt in both directions.
+* ``boom_bust`` — exponential growth for several periods, then a crash to a
+  tiny remnant (a flock growing through a season, then decimated).
+* ``churn`` — sustained random churn: every period the adversary resizes to
+  a uniformly random size, drawn from a seeded generator so the schedule is
+  reproducible.
+* ``repeated_decimation`` — Fig. 4's decimation applied again and again,
+  halving the population down to a floor.
+
+All four run the paper's protocol on any engine; with no engine pinned, the
+runner auto-selects via :func:`repro.engine.registry.choose_engine`
+(typically the stacked ensemble engine).  Their presets live in
+:data:`repro.experiments.config.PRESETS` under the scenario name.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.params import ProtocolParameters
+from repro.scenarios import schedules
+from repro.scenarios.metrics import (
+    base_fields,
+    schedule_fields,
+    steady_window_stats,
+    tracking_stats,
+)
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import ScenarioPoint, ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.experiments.base import ExperimentPreset
+
+__all__ = ["oscillate", "boom_bust", "churn", "repeated_decimation"]
+
+_ADVERSARIAL_METRICS = (base_fields, schedule_fields, tracking_stats, steady_window_stats)
+
+
+def _point(
+    preset: ExperimentPreset, n: int, schedule: tuple[tuple[int, int], ...]
+) -> ScenarioPoint:
+    return ScenarioPoint(
+        n=n,
+        seed=preset.seed + n,
+        parallel_time=preset.parallel_time,
+        trials=preset.trials,
+        resize_schedule=schedule,
+    )
+
+
+@scenario
+def oscillate() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        period = int(preset.extra.get("period", max(1, preset.parallel_time // 6)))
+        shrink = int(preset.extra.get("shrink_factor", 10))
+        return tuple(
+            _point(
+                preset,
+                n,
+                schedules.oscillation(
+                    n,
+                    low=max(2, n // shrink),
+                    period=period,
+                    horizon=preset.parallel_time,
+                ),
+            )
+            for n in preset.population_sizes
+        )
+
+    return ScenarioSpec(
+        name="oscillate",
+        description="Population oscillates between n and n/shrink_factor every period",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS,
+        keep_series=True,
+        tags=("adversarial",),
+    )
+
+
+@scenario
+def boom_bust() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        period = int(preset.extra.get("period", max(1, preset.parallel_time // 8)))
+        growth_steps = int(preset.extra.get("growth_steps", 4))
+        growth_factor = float(preset.extra.get("growth_factor", 2.0))
+        crash_divisor = int(preset.extra.get("crash_divisor", 10))
+        return tuple(
+            _point(
+                preset,
+                n,
+                schedules.growth_crash(
+                    n,
+                    growth_factor=growth_factor,
+                    growth_steps=growth_steps,
+                    period=period,
+                    crash_target=max(2, n // crash_divisor),
+                    horizon=preset.parallel_time,
+                ),
+            )
+            for n in preset.population_sizes
+        )
+
+    return ScenarioSpec(
+        name="boom_bust",
+        description="Exponential growth for several periods, then a crash to n/crash_divisor",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS,
+        keep_series=True,
+        tags=("adversarial",),
+    )
+
+
+@scenario
+def churn() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        period = int(preset.extra.get("period", max(1, preset.parallel_time // 10)))
+        low_divisor = int(preset.extra.get("low_divisor", 10))
+        return tuple(
+            _point(
+                preset,
+                n,
+                schedules.random_churn(
+                    n,
+                    low=max(2, n // low_divisor),
+                    high=n,
+                    period=period,
+                    horizon=preset.parallel_time,
+                    seed=preset.seed + n,
+                ),
+            )
+            for n in preset.population_sizes
+        )
+
+    return ScenarioSpec(
+        name="churn",
+        description="Sustained random churn: resize to a random size in [n/low_divisor, n] every period",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS,
+        keep_series=True,
+        tags=("adversarial",),
+    )
+
+
+@scenario
+def repeated_decimation() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        period = int(preset.extra.get("period", max(1, preset.parallel_time // 6)))
+        factor = float(preset.extra.get("factor", 2.0))
+        floor = int(preset.extra.get("floor", 16))
+        return tuple(
+            _point(
+                preset,
+                n,
+                schedules.repeated_decimation(
+                    n,
+                    factor=factor,
+                    period=period,
+                    horizon=preset.parallel_time,
+                    floor=floor,
+                ),
+            )
+            for n in preset.population_sizes
+        )
+
+    return ScenarioSpec(
+        name="repeated_decimation",
+        description="Fig. 4's decimation repeated: divide the population by factor every period, down to a floor",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS,
+        keep_series=True,
+        tags=("adversarial",),
+    )

@@ -1,0 +1,117 @@
+"""Reusable metric extractors for scenario specs.
+
+Each extractor has the signature ``(trace, point, preset, params) ->
+mapping`` and contributes columns to the point's result row; a spec composes
+several of them (:attr:`repro.scenarios.spec.ScenarioSpec.metrics`).  The
+legacy paper scenarios keep their bespoke single-metric row builders (their
+column layout is pinned by the equivalence tests); the extractors here serve
+the adversarial catalog and user-authored scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.params import ProtocolParameters
+from repro.scenarios.spec import ScenarioPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only; keeps scenarios -> experiments lazy
+    from repro.experiments.base import ExperimentPreset
+    from repro.experiments.figures import EstimateTrace
+
+__all__ = [
+    "base_fields",
+    "steady_window_stats",
+    "tracking_stats",
+    "schedule_fields",
+]
+
+
+def base_fields(
+    trace: EstimateTrace,
+    point: ScenarioPoint,
+    preset: ExperimentPreset,
+    params: ProtocolParameters,
+) -> Mapping[str, Any]:
+    """Identity columns every row wants: ``n``, ``log2_n``, trials, horizon."""
+    return {
+        "n": point.n,
+        "log2_n": math.log2(point.n),
+        "trials": point.trials,
+        "parallel_time": point.parallel_time,
+    }
+
+
+def steady_window_stats(
+    trace: EstimateTrace,
+    point: ScenarioPoint,
+    preset: ExperimentPreset,
+    params: ProtocolParameters,
+) -> Mapping[str, Any]:
+    """Plateau statistics over the second half of the run (Fig. 2 style)."""
+    half = len(trace.parallel_time) // 2
+    if half >= len(trace.minimum):
+        return {
+            "steady_minimum": float("nan"),
+            "steady_median": float("nan"),
+            "steady_maximum": float("nan"),
+        }
+    medians = sorted(trace.median[half:])
+    return {
+        "steady_minimum": min(trace.minimum[half:]),
+        "steady_median": medians[len(medians) // 2],
+        "steady_maximum": max(trace.maximum[half:]),
+    }
+
+
+def tracking_stats(
+    trace: EstimateTrace,
+    point: ScenarioPoint,
+    preset: ExperimentPreset,
+    params: ProtocolParameters,
+) -> Mapping[str, Any]:
+    """How well the median estimate tracks the *current* population size.
+
+    Under a dynamic schedule the target moves: at snapshot ``t`` the valid
+    level is ``log2(size_t) + log2(grv_samples)`` (the max of ``k * size``
+    GRVs concentrates there).  Reported are the mean and maximum absolute
+    deviation of the median estimate from that moving target over the second
+    half of the run (after the initial convergence transient), plus the
+    final values — a scalar summary of "did the protocol keep up".
+    """
+    offset = math.log2(max(1, params.grv_samples))
+    half = len(trace.parallel_time) // 2
+    deviations = [
+        abs(median - (math.log2(size) + offset))
+        for median, size in zip(trace.median[half:], trace.population_size[half:])
+        if size >= 2
+    ]
+    final_size = trace.population_size[-1] if trace.population_size else float("nan")
+    final_median = trace.median[-1] if trace.median else float("nan")
+    return {
+        "mean_tracking_error": (
+            sum(deviations) / len(deviations) if deviations else float("nan")
+        ),
+        "max_tracking_error": max(deviations) if deviations else float("nan"),
+        "final_population": final_size,
+        "final_median": final_median,
+        "final_target": (
+            math.log2(final_size) + offset if final_size >= 2 else float("nan")
+        ),
+    }
+
+
+def schedule_fields(
+    trace: EstimateTrace,
+    point: ScenarioPoint,
+    preset: ExperimentPreset,
+    params: ProtocolParameters,
+) -> Mapping[str, Any]:
+    """Summary of the adversary schedule the point ran under."""
+    sizes = [target for _, target in point.resize_schedule]
+    return {
+        "resize_events": len(point.resize_schedule),
+        "smallest_target": min(sizes) if sizes else point.n,
+        "largest_target": max(sizes) if sizes else point.n,
+    }

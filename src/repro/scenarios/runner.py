@@ -1,0 +1,233 @@
+"""Scenario execution: one entry point for every registered workload.
+
+:func:`run_scenario` turns a :class:`repro.scenarios.spec.ScenarioSpec` into
+an :class:`repro.experiments.base.ExperimentResult`: it resolves the effort
+preset, applies any protocol-parameter overrides, expands the spec into
+workload points, picks an engine per point (the spec's pinned engine, an
+explicit request, or :func:`repro.engine.registry.choose_engine` when
+neither is given), runs each point through the shared estimate-trace
+machinery, and summarises it with the spec's metric extractors.
+
+:func:`run_sweep` does the same for every combination of a
+:class:`~repro.scenarios.spec.SweepSpec` parameter grid.
+
+All engine/effort validation happens *before* any simulation starts, so a
+bad combination fails in milliseconds with a one-line error instead of a
+mid-run traceback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from repro.core.params import ProtocolParameters
+from repro.engine.errors import ConfigurationError, UnsupportedEngineError
+from repro.engine.registry import ENGINE_NAMES, choose_engine
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - the experiments layer imports this
+    # module at definition time, so runtime imports of it happen lazily
+    # inside the functions below.
+    from repro.experiments.base import ExperimentPreset, ExperimentResult
+
+__all__ = ["run_scenario", "run_sweep", "resolve_preset", "resolve_params"]
+
+
+def _resolve_spec(spec_or_name: ScenarioSpec | str) -> ScenarioSpec:
+    if isinstance(spec_or_name, ScenarioSpec):
+        return spec_or_name
+    return get_scenario(spec_or_name)
+
+
+def resolve_preset(
+    spec: ScenarioSpec, effort: str, preset: "ExperimentPreset | None" = None
+) -> "ExperimentPreset":
+    """The preset a scenario runs at: explicit, or looked up by effort."""
+    from repro.experiments.config import PRESETS
+
+    if preset is not None:
+        return preset
+    by_effort = PRESETS.get(spec.id)
+    if by_effort is None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} has no presets registered under "
+            f"{spec.id!r}; pass an explicit preset"
+        )
+    if effort not in by_effort:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} has no {effort!r} preset; available "
+            f"efforts: {', '.join(sorted(by_effort))}"
+        )
+    return by_effort[effort]
+
+
+def resolve_params(spec: ScenarioSpec, preset: "ExperimentPreset") -> ProtocolParameters:
+    """Protocol constants for a run, with sweep overrides applied.
+
+    Overriding ``k`` without ``grv_samples`` re-derives the per-call sample
+    count from the new ``k`` (the Algorithm 3 default), mirroring how
+    :class:`~repro.core.params.ProtocolParameters` behaves at construction.
+    """
+    params = spec.params_factory()
+    overrides = preset.extra.get("params_overrides")
+    if overrides:
+        overrides = dict(overrides)
+        if "k" in overrides and "grv_samples" not in overrides:
+            overrides["grv_samples"] = 0  # sentinel: re-derive from k
+        try:
+            params = dataclasses.replace(params, **overrides)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"invalid protocol parameter overrides {overrides!r}: {exc}"
+            ) from exc
+    return params
+
+
+def _validate_engine(spec: ScenarioSpec, engine: str | None) -> None:
+    """Reject bad engine requests before any simulation work starts."""
+    if engine is None or engine == "auto":
+        return
+    if engine not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; available engines: "
+            f"{', '.join(ENGINE_NAMES)} (or 'auto')"
+        )
+    if not spec.supports_engine(engine):
+        raise UnsupportedEngineError(
+            f"scenario {spec.name!r} supports engine(s) "
+            f"{', '.join(spec.engines)}, got {engine!r}"
+        )
+
+
+def _engine_for_point(
+    spec: ScenarioSpec,
+    requested: str | None,
+    point_trials: int,
+    point_n: int,
+    params: ProtocolParameters,
+) -> str:
+    if requested is not None and requested != "auto":
+        return requested
+    if requested is None and spec.engine is not None:
+        return spec.engine
+    chosen = choose_engine(spec.protocol_factory(params), point_trials, point_n)
+    if chosen not in spec.engines:
+        chosen = spec.engines[0]
+    return chosen
+
+
+def run_scenario(
+    spec_or_name: ScenarioSpec | str,
+    *,
+    effort: str = "quick",
+    preset: ExperimentPreset | None = None,
+    engine: str | None = None,
+) -> ExperimentResult:
+    """Run one scenario and return its :class:`ExperimentResult`.
+
+    Parameters
+    ----------
+    spec_or_name:
+        A :class:`ScenarioSpec` or the name of a registered scenario.
+    effort:
+        Preset effort level (``"quick"`` / ``"default"`` / ``"paper"``);
+        ignored when an explicit ``preset`` is passed.
+    engine:
+        Engine name to force for every point, ``"auto"`` to auto-select per
+        point even if the spec pins an engine, or ``None`` (default) to use
+        the spec's pinned engine — falling back to auto-selection via
+        :func:`repro.engine.registry.choose_engine` when none is pinned.
+    """
+    # Imported here: the experiments layer imports repro.scenarios at
+    # definition time, so the reverse dependency must stay lazy.
+    from repro.experiments.base import ExperimentResult
+    from repro.experiments.figures import run_estimate_trace
+
+    spec = _resolve_spec(spec_or_name)
+    _validate_engine(spec, engine)
+    preset = resolve_preset(spec, effort, preset)
+    params = resolve_params(spec, preset)
+
+    if spec.executor is not None:
+        resolved = _engine_for_point(
+            spec, engine, preset.trials, max(preset.population_sizes, default=2), params
+        )
+        return spec.executor(spec, preset, params, resolved)
+
+    points = tuple(spec.points(preset, params))
+    if not points:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} expanded to no workload points for "
+            f"preset {preset.name!r}"
+        )
+
+    rows: list[dict[str, Any]] = []
+    series: dict[str, dict[str, list[float]]] = {}
+    engines_used: list[str] = []
+    for point in points:
+        point_engine = _engine_for_point(spec, engine, point.trials, point.n, params)
+        engines_used.append(point_engine)
+        trace = run_estimate_trace(
+            point.n,
+            point.parallel_time,
+            trials=point.trials,
+            seed=point.seed,
+            params=params,
+            resize_schedule=point.resize_schedule,
+            initial_estimate=point.initial_estimate,
+            engine=point_engine,
+        )
+        row: dict[str, Any] = {}
+        for metric in spec.metrics:
+            row.update(metric(trace, point, preset, params))
+        rows.append(row)
+        if spec.keep_series:
+            series[point.series_label] = trace.series()
+
+    engine_label = engines_used[0] if len(set(engines_used)) == 1 else "auto"
+    return ExperimentResult(
+        experiment=spec.id,
+        description=spec.description_for(preset),
+        rows=rows,
+        series=series,
+        metadata={
+            "preset": preset.name,
+            "params": params.describe(),
+            "engine": engine_label,
+            "scenario": spec.name,
+        },
+    )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    effort: str = "quick",
+    preset: ExperimentPreset | None = None,
+    engine: str | None = None,
+) -> list[tuple[str, ExperimentResult]]:
+    """Run every combination of a sweep grid; returns ``(label, result)`` pairs.
+
+    The whole grid is expanded and validated up front — protocol-parameter
+    axes *and* workload points (schedules, population sizes) — so a bad axis
+    value fails before the first simulation instead of mid-sweep after
+    earlier combinations already ran.
+    """
+    spec = _resolve_spec(sweep.scenario)
+    _validate_engine(spec, engine)
+    base = resolve_preset(spec, effort, preset)
+    expanded = sweep.expand(base)
+    for _, combo_preset in expanded:
+        combo_params = resolve_params(spec, combo_preset)
+        if spec.executor is None:
+            # Point construction validates population sizes, trial counts
+            # and resize schedules for every engine.
+            tuple(spec.points(combo_preset, combo_params))
+    results = []
+    for label, combo_preset in expanded:
+        result = run_scenario(spec, preset=combo_preset, engine=engine)
+        result.metadata["sweep"] = label
+        results.append((label, result))
+    return results

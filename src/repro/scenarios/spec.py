@@ -1,0 +1,331 @@
+"""Declarative scenario specifications.
+
+A *scenario* is a workload on the dynamic population model: a protocol, an
+adversarial size schedule, a horizon, a trial count, and the metrics
+extracted from the resulting estimate traces.  :class:`ScenarioSpec` captures
+all of that as frozen data so that a new workload is ~20 lines of spec
+instead of a bespoke ``run_*`` module with its own trial loop and engine
+plumbing.  Specs are registered in :mod:`repro.scenarios.registry` and
+executed by :func:`repro.scenarios.runner.run_scenario`, which auto-selects
+the best engine via :func:`repro.engine.registry.choose_engine` unless the
+spec pins one.
+
+A spec expands an :class:`repro.experiments.base.ExperimentPreset` into
+:class:`ScenarioPoint` workload points (one per data point of the regenerated
+figure/table: a population size, a seed, an adversary schedule, ...).  Each
+point is run through :func:`repro.experiments.figures.run_estimate_trace`
+and summarised into one result row by the spec's metric extractors.
+Scenarios whose measurements need the exact sequential engine's recorder
+machinery (memory accounting, per-event tick traces) instead provide an
+``executor`` and keep the same registry/CLI/sweep surface.
+
+:class:`SweepSpec` expands a parameter grid — over ``n``, protocol constants
+and adversary knobs — into per-combination presets, turning one scenario
+into a family of runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.params import ProtocolParameters, empirical_parameters
+from repro.engine.adversary import ResizeSchedule
+from repro.engine.errors import ConfigurationError
+from repro.engine.registry import ENGINE_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - the experiments layer imports this
+    # module at definition time, so the runtime dependency must stay one-way.
+    from repro.experiments.base import ExperimentPreset
+
+__all__ = [
+    "ScenarioPoint",
+    "ScenarioSpec",
+    "SweepSpec",
+    "default_points",
+    "default_protocol_factory",
+]
+
+#: ``ExperimentPreset`` fields a sweep axis may target directly.
+_PRESET_FIELDS = ("parallel_time", "trials", "seed")
+
+#: ``ProtocolParameters`` fields a sweep axis may target (routed into
+#: ``preset.extra["params_overrides"]`` and applied by ``run_scenario``).
+_PARAM_FIELDS = tuple(f.name for f in dataclasses.fields(ProtocolParameters))
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One data point of a scenario: a fully specified workload.
+
+    Attributes
+    ----------
+    n:
+        Initial population size.
+    seed:
+        Root seed for this point (per-trial streams are spawned from it).
+    parallel_time:
+        Simulation horizon in parallel time units.
+    trials:
+        Independent repetitions aggregated into this point.
+    resize_schedule:
+        ``(parallel_time, target_size)`` adversary events; validated once
+        here (via :class:`repro.engine.adversary.ResizeSchedule`) so that
+        every engine sees a well-formed schedule.
+    initial_estimate:
+        If set, all agents start with this estimate instead of the empty
+        initial configuration.
+    label:
+        Series key for this point in the result (defaults to ``n_<n>``).
+    info:
+        Extra context forwarded to metric extractors (e.g. the raw initial
+        estimate of a convergence sweep).
+    """
+
+    n: int
+    seed: int
+    parallel_time: int
+    trials: int
+    resize_schedule: tuple[tuple[int, int], ...] = ()
+    initial_estimate: float | None = None
+    label: str | None = None
+    info: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"population size must be at least 2, got {self.n}")
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be at least 1, got {self.trials}")
+        if self.parallel_time < 1:
+            raise ConfigurationError(
+                f"parallel_time must be at least 1, got {self.parallel_time}"
+            )
+        normalized = tuple((int(t), int(s)) for t, s in self.resize_schedule)
+        object.__setattr__(self, "resize_schedule", normalized)
+        # Validate event times/targets once, for every engine (the array
+        # engines consume raw pairs and would otherwise fail mid-run).
+        ResizeSchedule.from_pairs(normalized)
+
+    @property
+    def series_label(self) -> str:
+        return self.label if self.label is not None else f"n_{self.n}"
+
+    def adversary(self) -> ResizeSchedule:
+        """The point's schedule as a sequential-engine adversary."""
+        return ResizeSchedule.from_pairs(self.resize_schedule)
+
+
+def default_protocol_factory(params: ProtocolParameters) -> DynamicSizeCounting:
+    """The paper's protocol — the default subject of every scenario."""
+    return DynamicSizeCounting(params)
+
+
+def default_points(
+    preset: ExperimentPreset, params: ProtocolParameters
+) -> tuple[ScenarioPoint, ...]:
+    """One point per population size, seeded ``preset.seed + n``."""
+    return tuple(
+        ScenarioPoint(
+            n=n,
+            seed=preset.seed + n,
+            parallel_time=preset.parallel_time,
+            trials=preset.trials,
+        )
+        for n in preset.population_sizes
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Frozen declarative description of one scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry / CLI identifier.
+    description:
+        One-line summary shown by ``repro-experiments list``.
+    points:
+        ``(preset, params) -> Sequence[ScenarioPoint]`` expanding a preset
+        into workload points; defaults to :func:`default_points`.
+    metrics:
+        Metric extractors ``(trace, point, preset, params) -> mapping``;
+        their outputs are merged (in order) into the point's result row.
+    protocol_factory:
+        ``(params) -> protocol`` building the scalar protocol instance; used
+        for engine auto-selection and available to executors.
+    params_factory:
+        Builds the protocol constants (defaults to the paper's empirical
+        preset); sweeps may override individual fields via
+        ``preset.extra["params_overrides"]``.
+    keep_series:
+        Whether the per-point aggregated traces are kept on the result.
+    engines:
+        Engine names this scenario supports; requesting any other engine
+        raises :class:`repro.engine.errors.UnsupportedEngineError`.
+    engine:
+        Pinned default engine.  ``None`` (the default) means the runner
+        auto-selects per point via
+        :func:`repro.engine.registry.choose_engine`.  The legacy paper
+        scenarios pin their historical engines so that default outputs stay
+        bit-identical to the published runs.
+    executor:
+        Escape hatch ``(spec, preset, params, engine) -> ExperimentResult``
+        for scenarios that need bespoke measurement machinery (recorders,
+        per-event traces).  Such specs ignore ``points``/``metrics``.
+    experiment_id:
+        Identifier stamped on the :class:`ExperimentResult` (and used for
+        preset lookup); defaults to ``name``.
+    describe:
+        Optional ``(preset) -> str`` producing the result description from
+        preset knobs (e.g. Fig. 4's decimation parameters).
+    tags:
+        Free-form labels (``"paper"``, ``"adversarial"``, ...) used by
+        listings.
+    """
+
+    name: str
+    description: str
+    points: Callable[
+        [ExperimentPreset, ProtocolParameters], Sequence[ScenarioPoint]
+    ] = default_points
+    metrics: tuple[
+        Callable[
+            [Any, ScenarioPoint, ExperimentPreset, ProtocolParameters],
+            Mapping[str, Any],
+        ],
+        ...,
+    ] = ()
+    protocol_factory: Callable[[ProtocolParameters], Any] = default_protocol_factory
+    params_factory: Callable[[], ProtocolParameters] = empirical_parameters
+    keep_series: bool = False
+    engines: tuple[str, ...] = ENGINE_NAMES
+    engine: str | None = None
+    executor: (
+        Callable[
+            ["ScenarioSpec", ExperimentPreset, ProtocolParameters, str],
+            Any,
+        ]
+        | None
+    ) = None
+    experiment_id: str | None = None
+    describe: Callable[[ExperimentPreset], str] | None = None
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        unknown = set(self.engines) - set(ENGINE_NAMES)
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} lists unknown engines: {sorted(unknown)}; "
+                f"available: {', '.join(ENGINE_NAMES)}"
+            )
+        if not self.engines:
+            raise ConfigurationError(f"scenario {self.name!r} must support some engine")
+        if self.engine is not None and self.engine not in self.engines:
+            raise ConfigurationError(
+                f"scenario {self.name!r} pins engine {self.engine!r} but only "
+                f"supports: {', '.join(self.engines)}"
+            )
+        if self.executor is None and not self.metrics:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs at least one metric extractor "
+                f"(or a bespoke executor)"
+            )
+
+    @property
+    def id(self) -> str:
+        """Identifier stamped on results and used for preset lookup."""
+        return self.experiment_id or self.name
+
+    def description_for(self, preset: ExperimentPreset) -> str:
+        return self.describe(preset) if self.describe is not None else self.description
+
+    def supports_engine(self, engine: str) -> bool:
+        return engine in self.engines
+
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
+        """Return a copy with selected fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parameter grid over one scenario.
+
+    Each axis maps a key to the values it sweeps; :meth:`expand` takes the
+    cartesian product and produces one labelled
+    :class:`~repro.experiments.base.ExperimentPreset` per combination.  Axis
+    keys are routed by name:
+
+    * ``"n"`` replaces the preset's population sizes with the single value
+      (a tuple/list value keeps a multi-size point);
+    * ``parallel_time`` / ``trials`` / ``seed`` replace the preset field;
+    * :class:`~repro.core.params.ProtocolParameters` field names (``tau1``,
+      ``k``, ``grv_samples``, ...) are collected into
+      ``extra["params_overrides"]`` and applied to the protocol constants by
+      the scenario runner;
+    * anything else becomes a workload knob in ``preset.extra`` (``keep``,
+      ``drop_time``, ``period``, ...).
+    """
+
+    scenario: str
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+
+    @classmethod
+    def from_mapping(
+        cls, scenario: str, axes: Mapping[str, Sequence[Any]]
+    ) -> "SweepSpec":
+        normalized = []
+        for key, values in axes.items():
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(f"sweep axis {key!r} has no values")
+            normalized.append((key, values))
+        if not normalized:
+            raise ConfigurationError("a sweep needs at least one axis")
+        return cls(scenario=scenario, axes=tuple(normalized))
+
+    def combinations(self) -> list[dict[str, Any]]:
+        """All axis-value combinations, in deterministic grid order."""
+        keys = [key for key, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        return [dict(zip(keys, combo)) for combo in itertools.product(*value_lists)]
+
+    def expand(
+        self, base: ExperimentPreset
+    ) -> list[tuple[str, ExperimentPreset]]:
+        """Expand into ``(label, preset)`` pairs, one per grid combination."""
+        expanded = []
+        for combo in self.combinations():
+            label = ",".join(f"{key}={value}" for key, value in combo.items())
+            expanded.append((label, apply_axis_overrides(base, combo)))
+        return expanded
+
+
+def apply_axis_overrides(
+    preset: ExperimentPreset, combo: Mapping[str, Any]
+) -> ExperimentPreset:
+    """Apply one sweep combination to a preset (see :class:`SweepSpec`)."""
+    overrides: dict[str, Any] = {}
+    extra: dict[str, Any] = {}
+    params_overrides: dict[str, Any] = dict(preset.extra.get("params_overrides", {}))
+    for key, value in combo.items():
+        if key == "n":
+            sizes = tuple(value) if isinstance(value, (tuple, list)) else (int(value),)
+            overrides["population_sizes"] = sizes
+        elif key in _PRESET_FIELDS:
+            overrides[key] = int(value)
+        elif key in _PARAM_FIELDS:
+            params_overrides[key] = value
+        else:
+            extra[key] = value
+    if params_overrides:
+        extra["params_overrides"] = params_overrides
+    if extra:
+        overrides["extra"] = extra
+    return preset.with_overrides(**overrides)

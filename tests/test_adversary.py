@@ -150,3 +150,62 @@ class TestCompositeAdversary:
     def test_describe(self):
         composite = CompositeAdversary([NullAdversary()])
         assert composite.describe()["parts"] == [{"class": "NullAdversary"}]
+
+
+class TestAdversaryEdgeCases:
+    """Edge cases of the schedule machinery the scenario layer leans on."""
+
+    def test_empty_resize_schedule_is_a_noop(self, rng):
+        schedule = ResizeSchedule([])
+        pop = Population(range(10))
+        schedule.apply(pop, 0, rng, fresh_state)
+        schedule.apply(pop, 1_000, rng, fresh_state)
+        assert pop.size == 10
+        assert schedule.events == ()
+        assert schedule.describe()["events"] == []
+
+    def test_empty_schedule_from_pairs(self, rng):
+        schedule = ResizeSchedule.from_pairs([])
+        pop = Population(range(5))
+        schedule.apply(pop, 10, rng, fresh_state)
+        assert pop.size == 5
+
+    def test_out_of_order_events_are_sorted_before_application(self, rng):
+        # Events given in reverse order still apply chronologically: 10 agents
+        # -> (t=1) 8 -> (t=2) 3, not the other way around.
+        schedule = ResizeSchedule([ResizeEvent(2, 3), ResizeEvent(1, 8)])
+        pop = Population(range(10))
+        schedule.apply(pop, 1, rng, fresh_state)
+        assert pop.size == 8
+        schedule.apply(pop, 2, rng, fresh_state)
+        assert pop.size == 3
+
+    def test_duplicate_event_times_rejected_from_pairs(self):
+        with pytest.raises(InvalidScheduleError):
+            ResizeSchedule.from_pairs([(3, 10), (3, 20)])
+
+    def test_composite_applies_parts_in_given_order(self, rng):
+        # Two schedules both firing at t=1: the last part wins, so the
+        # composite's order is observable.
+        first = ResizeSchedule.from_pairs([(1, 5)])
+        second = ResizeSchedule.from_pairs([(1, 8)])
+        pop = Population(range(10))
+        CompositeAdversary([first, second]).apply(pop, 1, rng, fresh_state)
+        assert pop.size == 8
+
+        pop = Population(range(10))
+        first = ResizeSchedule.from_pairs([(1, 5)])
+        second = ResizeSchedule.from_pairs([(1, 8)])
+        CompositeAdversary([second, first]).apply(pop, 1, rng, fresh_state)
+        assert pop.size == 5
+
+    def test_removal_below_two_agents_raises(self, rng):
+        pop = Population(range(4))
+        with pytest.raises(InvalidScheduleError):
+            RemoveAgentsAt(time=0, count=3).apply(pop, 0, rng, fresh_state)
+        # The population is left untouched by the rejected removal.
+        assert pop.size == 4
+
+    def test_resize_target_below_two_rejected_at_construction(self):
+        with pytest.raises(InvalidScheduleError):
+            ResizeSchedule.from_pairs([(1, 1)])

@@ -17,6 +17,8 @@ from repro.engine.errors import ConfigurationError
 from repro.engine.recorder import EstimateRecorder
 from repro.engine.registry import (
     ENGINE_NAMES,
+    SMALL_POPULATION_THRESHOLD,
+    choose_engine,
     has_vectorized,
     make_engine,
     register_vectorized,
@@ -109,6 +111,39 @@ class TestVectorizedLookup:
             from repro.engine import registry
 
             registry._REGISTRY.pop(CustomCounting, None)
+
+
+class TestChooseEngine:
+    def test_non_vectorizable_protocol_needs_sequential(self):
+        assert choose_engine(DotyEftekhariCounting(), trials=96, n=10_000) == "sequential"
+
+    def test_small_population_prefers_exact_array_engine(self):
+        assert (
+            choose_engine(DynamicSizeCounting(), trials=96, n=SMALL_POPULATION_THRESHOLD)
+            == "array"
+        )
+
+    def test_multi_trial_vectorizable_prefers_ensemble(self):
+        assert choose_engine(DynamicSizeCounting(), trials=96, n=10_000) == "ensemble"
+
+    def test_single_large_trial_prefers_batched(self):
+        assert choose_engine(DynamicSizeCounting(), trials=1, n=10_000) == "batched"
+
+    def test_vectorized_protocol_instance_accepted(self):
+        assert choose_engine(VectorizedDynamicCounting(), trials=4, n=10_000) == "ensemble"
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_engine(DynamicSizeCounting(), trials=0, n=100)
+        with pytest.raises(ConfigurationError):
+            choose_engine(DynamicSizeCounting(), trials=1, n=1)
+
+    def test_chosen_engine_actually_runs(self):
+        protocol = DynamicSizeCounting()
+        engine = choose_engine(protocol, trials=1, n=50)
+        result = make_engine(engine, protocol, 50, seed=3).run(4)
+        assert result.metadata["engine"] == engine
+        assert result.parallel_time == 4
 
 
 class TestMakeEngine:

@@ -213,7 +213,26 @@ class TestResultPersistenceAndCli:
         assert "fig2" in captured.out
 
     def test_cli_runner_registry_complete(self):
-        assert set(EXPERIMENT_RUNNERS) == set(PRESETS)
+        from repro.scenarios import scenario_names
+
+        # Every registered scenario has presets, and the legacy runner map
+        # is a subset of the registry (the nine paper experiments).
+        assert set(scenario_names()) == set(PRESETS)
+        assert set(EXPERIMENT_RUNNERS) < set(scenario_names())
+
+    def test_save_load_round_trip(self, tmp_path):
+        result = run_fig2(tiny())
+        saved = result.save(tmp_path)
+        loaded = ExperimentResult.load(saved)
+        assert loaded.rows == result.rows
+        assert loaded.experiment == result.experiment
+        assert loaded.description == result.description
+        assert set(loaded.series) == set(result.series)
+        # Saving the loaded result regenerates an identical manifest.
+        second = loaded.save(tmp_path / "again")
+        assert (second / "manifest.json").read_text() == (
+            saved / "manifest.json"
+        ).read_text()
 
 
 class TestEngineSelectors:
@@ -261,11 +280,12 @@ class TestEngineSelectors:
 
     def test_cli_all_without_engine_flag_propagates_errors(self, capsys, monkeypatch):
         """Without --engine, a ConfigurationError in `all` mode is fatal, not a skip."""
+        import repro.experiments.cli as cli_module
 
         def broken(*args, **kwargs):
             raise ConfigurationError("boom")
 
-        monkeypatch.setitem(EXPERIMENT_RUNNERS, "baseline", broken)
+        monkeypatch.setattr(cli_module, "run_scenario", broken)
         assert main(["all", "--effort", "quick"]) == 2
         captured = capsys.readouterr()
         assert "boom" in captured.err
@@ -294,3 +314,133 @@ class TestEngineSelectors:
             PRESETS["fig3"] = original
         captured = capsys.readouterr()
         assert "fig3" in captured.out
+
+
+class TestScenarioCliCommands:
+    """The redesigned registry-backed CLI: run / list / sweep."""
+
+    @staticmethod
+    def _patch_tiny(monkeypatch):
+        tiny_preset = ExperimentPreset(
+            name="quick", population_sizes=(50,), parallel_time=15, trials=1, seed=1
+        )
+        for experiment in PRESETS:
+            monkeypatch.setitem(PRESETS, experiment, {"quick": tiny_preset})
+
+    def test_run_subcommand_multiple_scenarios(self, capsys, monkeypatch):
+        self._patch_tiny(monkeypatch)
+        assert main(["run", "fig3", "oscillate", "--effort", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig3] completed" in out
+        assert "[oscillate] completed" in out
+
+    def test_legacy_positional_alias(self, capsys, monkeypatch):
+        self._patch_tiny(monkeypatch)
+        assert main(["fig3", "--effort", "quick"]) == 0
+        assert "[fig3] completed" in capsys.readouterr().out
+
+    def test_list_shows_catalog_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("oscillate", "boom_bust", "churn", "repeated_decimation"):
+            assert name in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "adversarial"]) == 0
+        out = capsys.readouterr().out
+        assert "oscillate" in out
+        assert "fig2:" not in out
+
+    def test_run_unknown_scenario_is_one_line_error(self, capsys):
+        assert main(["run", "warp9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert err.count("\n") == 1
+
+    def test_run_engine_auto(self, capsys, monkeypatch):
+        self._patch_tiny(monkeypatch)
+        assert main(["run", "fig3", "--engine", "auto"]) == 0
+        assert "[fig3] completed" in capsys.readouterr().out
+
+    def test_sweep_subcommand_runs_grid(self, capsys, monkeypatch, tmp_path):
+        self._patch_tiny(monkeypatch)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig4",
+                    "--set",
+                    "keep=10,20",
+                    "--set",
+                    "drop_time=5",
+                    "--effort",
+                    "quick",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "keep=10,drop_time=5" in out
+        assert "keep=20,drop_time=5" in out
+        assert (tmp_path / "keep=10__drop_time=5" / "fig4" / "manifest.json").exists()
+        loaded = ExperimentResult.load(tmp_path / "keep=10__drop_time=5" / "fig4")
+        assert loaded.metadata["sweep"] == "keep=10,drop_time=5"
+        assert loaded.rows[0]["keep"] == 10
+
+    def test_sweep_bad_axis_syntax_is_one_line_error(self, capsys):
+        assert main(["sweep", "fig4", "--set", "keep"]) == 2
+        assert "KEY=V1" in capsys.readouterr().err
+
+    def test_sweep_invalid_protocol_params_fail_before_running(self, capsys, monkeypatch):
+        self._patch_tiny(monkeypatch)
+        # tau1=0.1 violates tau1 > tau2; the grid is validated up front.
+        assert main(["sweep", "fig3", "--set", "tau1=0.1", "--effort", "quick"]) == 2
+        err = capsys.readouterr().err
+        assert "tau" in err
+
+    def test_sweep_unsupported_engine_is_an_error(self, capsys):
+        assert main(["sweep", "memory", "--set", "n=50", "--engine", "batched"]) == 2
+        assert "sequential" in capsys.readouterr().err
+
+    def test_run_missing_effort_preset_fails_before_work(self, capsys, monkeypatch):
+        monkeypatch.delitem(PRESETS, "fig2")
+        assert main(["run", "fig2", "--effort", "quick"]) == 2
+        err = capsys.readouterr().err
+        assert "fig2" in err
+
+    def test_invalid_schedule_value_is_one_line_error(self, capsys, monkeypatch):
+        self._patch_tiny(monkeypatch)
+        # keep=1 produces an InvalidScheduleError (target below 2); the CLI
+        # must report it as a one-line error, not a traceback.
+        assert (
+            main(["sweep", "fig4", "--set", "keep=1", "--effort", "quick"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "at least 2" in err
+
+    def test_run_invalid_workload_knob_is_one_line_error(self, capsys, monkeypatch):
+        self._patch_tiny(monkeypatch)
+        import repro.experiments.cli as cli_module
+        from repro.engine.errors import InvalidScheduleError
+
+        def broken(*args, **kwargs):
+            raise InvalidScheduleError("bad schedule")
+
+        monkeypatch.setattr(cli_module, "run_scenario", broken)
+        assert main(["run", "fig4", "--effort", "quick"]) == 2
+        assert "bad schedule" in capsys.readouterr().err
+
+    def test_sweep_duplicate_set_key_is_an_error(self, capsys):
+        assert main(["sweep", "fig4", "--set", "keep=10", "--set", "keep=20"]) == 2
+        assert "duplicate --set key" in capsys.readouterr().err
+
+    def test_load_keeps_noncanonical_numeric_strings_as_strings(self, tmp_path):
+        result = ExperimentResult(
+            experiment="demo",
+            description="d",
+            rows=[{"label": "1_000", "padded": " 42", "count": 7, "ratio": 0.5}],
+        )
+        loaded = ExperimentResult.load(result.save(tmp_path))
+        assert loaded.rows == result.rows

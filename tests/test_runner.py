@@ -136,3 +136,54 @@ class TestMultiprocessing:
         outcomes, aggregated = runner.run_and_aggregate("maximum")
         assert len(outcomes) == 3
         assert len(aggregated.maximum) == len(aggregated.index) > 0
+
+
+class TestRunEngineTrials:
+    """The shared trial loop used by run_estimate_trace and the scenarios."""
+
+    @staticmethod
+    def _factory(engine_name, rng, trials):
+        from repro.core.dynamic_counting import DynamicSizeCounting
+        from repro.engine.registry import make_engine
+
+        return make_engine(
+            engine_name,
+            DynamicSizeCounting(),
+            60,
+            rng=rng,
+            trials=trials if engine_name == "ensemble" else None,
+        )
+
+    def test_looped_mode_matches_manual_spawned_streams(self):
+        from repro.core.dynamic_counting import DynamicSizeCounting
+        from repro.engine.registry import make_engine
+        from repro.engine.rng import RandomSource, spawn_streams
+        from repro.engine.runner import run_engine_trials
+
+        via_helper = run_engine_trials(
+            self._factory, engine="sequential", trials=3, seed=5, parallel_time=8
+        )
+        manual = []
+        for generator in spawn_streams(5, 3):
+            simulator = make_engine(
+                "sequential", DynamicSizeCounting(), 60, rng=RandomSource(generator)
+            )
+            manual.append(simulator.run(8).series())
+        assert via_helper == manual
+
+    def test_ensemble_mode_returns_one_series_per_trial(self):
+        from repro.engine.runner import run_engine_trials
+
+        series = run_engine_trials(
+            self._factory, engine="ensemble", trials=4, seed=5, parallel_time=6
+        )
+        assert len(series) == 4
+        assert all(len(s["parallel_time"]) == 6 for s in series)
+
+    def test_rejects_zero_trials(self):
+        from repro.engine.runner import run_engine_trials
+
+        with pytest.raises(ValueError):
+            run_engine_trials(
+                self._factory, engine="sequential", trials=0, seed=5, parallel_time=4
+            )
