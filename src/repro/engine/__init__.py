@@ -37,6 +37,16 @@ from repro.engine.errors import (
     ProtocolContractError,
     UnknownAgentError,
 )
+from repro.engine.parallel import (
+    DEFAULT_SHARD_SIZE,
+    MAX_AUTO_WORKERS,
+    ShardTiming,
+    TrialShard,
+    execute_shards,
+    merge_shard_results,
+    plan_shards,
+    resolve_workers,
+)
 from repro.engine.population import Population
 from repro.engine.protocol import InteractionContext, OneWayProtocol, Protocol, ProtocolEvent
 from repro.engine.recorder import (
@@ -57,13 +67,14 @@ from repro.engine.registry import (
     registered_protocols,
     vectorized_for,
 )
-from repro.engine.rng import RandomSource, make_rng, spawn_streams
+from repro.engine.rng import RandomSource, SeedTree, make_rng, spawn_streams
 from repro.engine.runner import (
     AggregatedSeries,
     EnsembleSpec,
     TrialOutcome,
     TrialRunner,
     aggregate_series,
+    run_engine_trials,
 )
 from repro.engine.simulator import SimulationResult, Simulator
 
@@ -76,11 +87,13 @@ __all__ = [
     "BatchedRunResult",
     "BatchedSimulator",
     "CallbackRecorder",
+    "DEFAULT_SHARD_SIZE",
     "ENGINE_NAMES",
     "Engine",
     "EngineSnapshot",
     "CompositeAdversary",
     "ConfigurationError",
+    "MAX_AUTO_WORKERS",
     "EmptyPopulationError",
     "EngineError",
     "EnsembleRunResult",
@@ -106,20 +119,28 @@ __all__ = [
     "ResizeEvent",
     "ResizeSchedule",
     "RunResult",
+    "SeedTree",
+    "ShardTiming",
     "SimulationResult",
     "Simulator",
     "SizeAdversary",
     "SnapshotStats",
     "TrialOutcome",
     "TrialRunner",
+    "TrialShard",
     "UnknownAgentError",
     "VectorizedProtocol",
     "aggregate_series",
+    "execute_shards",
     "has_vectorized",
     "make_engine",
     "make_rng",
+    "merge_shard_results",
+    "plan_shards",
     "register_vectorized",
     "registered_protocols",
+    "resolve_workers",
+    "run_engine_trials",
     "spawn_streams",
     "vectorized_for",
 ]

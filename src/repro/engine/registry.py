@@ -152,7 +152,9 @@ def registered_protocols() -> list[str]:
     return sorted(cls.__name__ for cls in _REGISTRY)
 
 
-def choose_engine(protocol: Any, trials: int, n: int) -> str:
+def choose_engine(
+    protocol: Any, trials: int, n: int, *, workers: int | None = None
+) -> str:
     """Pick the best engine name for a workload.
 
     The policy mirrors the measured trade-offs of the engine benchmarks:
@@ -162,8 +164,22 @@ def choose_engine(protocol: Any, trials: int, n: int) -> str:
     * small populations (``n <=`` :data:`SMALL_POPULATION_THRESHOLD`) run on
       the exact ``"array"`` engine — at that scale exactness is free;
     * multi-trial workloads of vectorisable protocols run fastest on the
-      ``"ensemble"`` engine (all trials in one stacked pass);
+      ``"ensemble"`` engine (trials in stacked passes);
     * a single large trial runs on the ``"batched"`` engine.
+
+    ``workers`` declares that the workload will run on the sharded
+    execution layer (:mod:`repro.engine.parallel`), where the unit that
+    actually executes is a row-shard of
+    :func:`~repro.engine.parallel.plan_shards` rather than the whole
+    point.  The stacked-vs-batched decision is then a *per-shard* one —
+    and because the balanced layout guarantees every shard of a
+    multi-trial point holds at least two trials (a single-trial shard
+    exists only when ``trials == 1``), the per-shard choice provably
+    coincides with the per-point choice for every workload; the
+    equivalence is pinned by the registry tests.  The parameter is
+    validated and kept so callers state their execution context
+    explicitly and alternative shard layouts can change the policy
+    without touching call sites.
 
     Experiments that pin an engine for reproducibility of published outputs
     bypass this helper; everything else (new scenarios, ``--engine auto``)
@@ -173,6 +189,8 @@ def choose_engine(protocol: Any, trials: int, n: int) -> str:
         raise ConfigurationError(f"trials must be at least 1, got {trials}")
     if n < 2:
         raise ConfigurationError(f"population size must be at least 2, got {n}")
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be at least 1, got {workers}")
     if not has_vectorized(protocol):
         return "sequential"
     if n <= SMALL_POPULATION_THRESHOLD:

@@ -18,6 +18,7 @@ The module also provides the primitive random quantities the protocols need:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -25,6 +26,7 @@ import numpy as np
 
 __all__ = [
     "RandomSource",
+    "SeedTree",
     "spawn_streams",
     "make_rng",
 ]
@@ -49,11 +51,134 @@ def spawn_streams(seed: int | None, count: int) -> list[np.random.Generator]:
     Used by the multi-run :class:`repro.engine.runner.TrialRunner` so that
     every independent trial behind a data point uses its own stream, exactly
     as the paper seeds each of its 96 runs independently.
+
+    This is the flat special case of :class:`SeedTree`:
+    ``spawn_streams(seed, count)[t]`` is bit-identical to
+    ``SeedTree.from_seed(seed).trial(t).generator()``, so code addressing
+    trials through the tree interoperates with code using this helper.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return SeedTree.from_seed(seed).streams(count)
+
+
+#: Spawn-key word marking a hashed (string / out-of-range integer) key
+#: block in a :class:`SeedTree` path, keeping hashed keys from colliding
+#: with directly-encoded trial indices.  (Golden ratio in 32 bits — an
+#: arbitrary constant far above any realistic trial count.)
+_HASHED_KEY_TAG = 0x9E3779B9
+
+#: One uint32 word is appended verbatim for integer keys in this range,
+#: which makes ``SeedTree.from_seed(s).child(t)`` bit-identical to
+#: ``numpy.random.SeedSequence(s).spawn(...)[t]``.
+_DIRECT_KEY_LIMIT = 2**32
+
+
+def _encode_key(key: int | str) -> tuple[int, ...]:
+    """Encode one tree key as spawn-key words (uint32 values).
+
+    Integers in ``[0, 2**32)`` encode as themselves — the NumPy
+    ``SeedSequence.spawn`` convention, which keeps trial addressing
+    compatible with :func:`spawn_streams`.  Strings (scenario names, shard
+    namespaces) and out-of-range integers are hashed through SHA-256 into a
+    tagged five-word block; the hash is stable across processes and Python
+    versions (unlike builtin ``hash``), which the multi-process executors
+    rely on.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; reject to avoid typos
+        raise ValueError(f"SeedTree keys must be int or str, got {key!r}")
+    if isinstance(key, (int, np.integer)):
+        value = int(key)
+        if 0 <= value < _DIRECT_KEY_LIMIT:
+            return (value,)
+        digest = hashlib.sha256(str(value).encode("ascii")).digest()
+    elif isinstance(key, str):
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+    else:
+        raise ValueError(f"SeedTree keys must be int or str, got {key!r}")
+    words = tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
+    return (_HASHED_KEY_TAG,) + words
+
+
+@dataclass(frozen=True)
+class SeedTree:
+    """Deterministic hierarchy of independent random streams.
+
+    A node is an entropy root plus a spawn-key path — exactly the
+    coordinates :class:`numpy.random.SeedSequence` uses for spawned
+    children, so child streams are statistically independent by the same
+    argument.  The tree gives every unit of work an *address* instead of a
+    *position in a spawning sequence*: the stream of trial ``t`` of point
+    ``p`` of scenario ``s`` is ``tree.child(s).child(p).trial(t)``,
+    identical no matter how many sibling trials exist, which shard the
+    trial lands in, or how many worker processes execute the shards.  That
+    address-based derivation is what makes the sharded executors in
+    :mod:`repro.engine.parallel` bit-deterministic across worker counts.
+
+    Integer keys below ``2**32`` append one spawn-key word verbatim, so the
+    first tree level is bit-compatible with the historical
+    :func:`spawn_streams` derivation: experiment outputs pinned under that
+    scheme are unchanged.  String keys hash through SHA-256 (stable across
+    processes) into a tagged word block that cannot collide with any
+    directly-encoded trial index.
+
+    Nodes are frozen, hashable and picklable, so a node can be shipped to a
+    worker process and expanded there.
+    """
+
+    entropy: int
+    spawn_key: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.entropy < 0:
+            raise ValueError(f"entropy must be non-negative, got {self.entropy}")
+
+    @classmethod
+    def from_seed(cls, seed: "int | SeedTree | None") -> "SeedTree":
+        """Root a tree at a seed; ``None`` draws OS entropy *once*.
+
+        Materialising the entropy up front (instead of letting every worker
+        draw its own) is what keeps unseeded runs internally consistent:
+        all shards of one run still derive from a single root.
+        """
+        if isinstance(seed, SeedTree):
+            return seed
+        if seed is None:
+            return cls(entropy=int(np.random.SeedSequence().entropy))
+        return cls(entropy=int(seed))
+
+    def child(self, *keys: int | str) -> "SeedTree":
+        """The subtree addressed by ``keys`` (ints and/or strings)."""
+        path = self.spawn_key
+        for key in keys:
+            path = path + _encode_key(key)
+        return SeedTree(entropy=self.entropy, spawn_key=path)
+
+    def trial(self, trial: int) -> "SeedTree":
+        """The subtree of one trial index (readability alias of ``child``)."""
+        if trial < 0:
+            raise ValueError(f"trial index must be non-negative, got {trial}")
+        return self.child(trial)
+
+    def sequence(self) -> np.random.SeedSequence:
+        """This node as a NumPy :class:`~numpy.random.SeedSequence`."""
+        return np.random.SeedSequence(entropy=self.entropy, spawn_key=self.spawn_key)
+
+    def generator(self) -> np.random.Generator:
+        """A fresh PCG64 generator seeded at this node."""
+        return np.random.default_rng(self.sequence())
+
+    def source(self) -> "RandomSource":
+        """A fresh :class:`RandomSource` seeded at this node."""
+        return RandomSource(self.generator())
+
+    def streams(self, count: int) -> list[np.random.Generator]:
+        """Generators for children ``0 .. count-1`` (one per trial)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.trial(t).generator() for t in range(count)]
 
 
 @dataclass

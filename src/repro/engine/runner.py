@@ -6,36 +6,49 @@ root seed out into independent per-trial random streams, builds a fresh
 simulator per trial via a user-supplied factory, runs them, and aggregates
 the recorded series (element-wise min / median / max across trials).
 
-Trials are independent by construction (each has its own spawned random
-stream), so the runner can execute them either synchronously in-process
-(the default — the experiment presets are sized so that a full figure
-regenerates in minutes on a laptop) or fanned out over a
-:mod:`multiprocessing` pool via the opt-in ``processes`` parameter.  Both
-modes produce identical outcomes for the same root seed.
+Trials are independent by construction — every trial's random stream is
+derived from its *address* in a :class:`repro.engine.rng.SeedTree`
+(``root seed -> trial index``), not from its position in an execution
+schedule — so the runner can execute them synchronously in-process (the
+default — the experiment presets are sized so that a full figure
+regenerates in minutes on a laptop) or shard them across a process pool
+via the opt-in ``workers`` parameter (see :mod:`repro.engine.parallel`).
+All modes produce bit-identical outcomes for the same root seed.
 
-For workloads that fit the struct-of-arrays engines there is a third mode:
-pass an :class:`EnsembleSpec` and the runner executes *all* trials in one
-stacked pass on the :class:`repro.engine.ensemble_engine.EnsembleSimulator`
-— no per-trial Python loop at all — while still returning the same
-``list[TrialOutcome]`` shape as the looped modes.
+For workloads that fit the struct-of-arrays engines there is a stacked
+mode: pass an :class:`EnsembleSpec` and the runner executes trials as
+``(trials, n)`` stacked state on the :class:`repro.engine.ensemble_engine.
+EnsembleSimulator` — no per-trial Python loop at all — while still
+returning the same ``list[TrialOutcome]`` shape as the looped modes.
+Combined with ``workers``, the stack is split into row-shards (layout
+independent of the worker count, each shard's stream derived from the
+seed tree) and the shards run across the pool.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.engine.api import RunResult, matrix_quantiles
-from repro.engine.rng import RandomSource, spawn_streams
+from repro.engine.parallel import (
+    ShardTiming,
+    execute_shards,
+    merge_shard_results,
+    plan_shards,
+    resolve_workers,
+)
+from repro.engine.rng import RandomSource, SeedTree, spawn_streams
 from repro.engine.simulator import SimulationResult
 
 __all__ = [
     "TrialOutcome",
     "AggregatedSeries",
     "EnsembleSpec",
+    "SHARD_NAMESPACE",
     "TrialRunner",
     "aggregate_series",
     "run_engine_trials",
@@ -114,6 +127,44 @@ def aggregate_series(
     )
 
 
+#: Seed-tree namespace of the stacked ensemble row-shards: shard streams
+#: are addressed ``tree.child(SHARD_NAMESPACE, first_trial)``, so a
+#: shard's stream depends on which trials it covers, never on which
+#: worker runs it or how many siblings exist.
+SHARD_NAMESPACE = "shard"
+
+
+def _run_looped_engine_shard(payload: dict[str, Any]) -> list[dict[str, list[float]]]:
+    """Run one row-shard of looped-engine trials; module-level for pickling.
+
+    Each trial in the shard gets the stream at its own tree address
+    (``tree.trial(t)``) — bit-identical to the serial per-trial loop no
+    matter how trials are grouped into shards.
+    """
+    tree: SeedTree = payload["tree"]
+    all_series = []
+    for trial in range(payload["start"], payload["stop"]):
+        simulator = payload["factory"](payload["engine"], tree.trial(trial).source(), None)
+        result = simulator.run(
+            payload["parallel_time"], snapshot_every=payload["snapshot_every"]
+        )
+        all_series.append(result.series())
+    return all_series
+
+
+def _run_ensemble_engine_shard(payload: dict[str, Any]) -> list[dict[str, list[float]]]:
+    """Run one row-shard of an ensemble workload as its own stacked engine."""
+    tree: SeedTree = payload["tree"]
+    rng = tree.child(SHARD_NAMESPACE, payload["start"]).source()
+    simulator = payload["factory"](
+        "ensemble", rng, payload["stop"] - payload["start"]
+    )
+    result = simulator.run(
+        payload["parallel_time"], snapshot_every=payload["snapshot_every"]
+    )
+    return [trial_result.series() for trial_result in result.trial_results]
+
+
 def run_engine_trials(
     engine_factory: Callable[[str, RandomSource, int | None], Any],
     *,
@@ -122,33 +173,76 @@ def run_engine_trials(
     seed: int | None,
     parallel_time: int,
     snapshot_every: int = 1,
+    workers: int | str | None = None,
+    timing_sink: list[ShardTiming] | None = None,
 ) -> list[dict[str, list[float]]]:
     """Run ``trials`` repetitions of one workload and return per-trial series.
 
     This is the one place that knows how a multi-trial workload maps onto an
     engine: the looped engines get one freshly built engine per trial, each
-    with its own random stream spawned from the root ``seed`` (identical to
-    what :class:`TrialRunner` does), while the ``"ensemble"`` engine gets the
-    root seed directly and runs all trials in one stacked pass.
+    with its own random stream derived from the root ``seed`` (identical to
+    what :class:`TrialRunner` does), while the ``"ensemble"`` engine stacks
+    trials into struct-of-arrays passes.
 
     ``engine_factory(engine_name, rng, trials)`` builds the engine; it
     receives ``trials`` only in ensemble mode (``None`` otherwise, where the
     engine runs exactly one trial).  Each returned entry is one trial's
     snapshot series (:meth:`repro.engine.api.RunResult.series` columns), in
     trial order — the same shape regardless of the execution mode.
+
+    ``workers`` selects the sharded execution path of
+    :mod:`repro.engine.parallel`: ``None`` (default) keeps the historical
+    serial behaviour, ``1`` runs the sharded path serially in-process, and
+    higher counts (or ``"auto"``) fan the shards over a process pool —
+    ``engine_factory`` must then be picklable (a module-level function or
+    :func:`functools.partial` over one).  The shard layout is independent
+    of the worker count, and every random stream is derived from its seed-
+    tree address, so any two worker counts produce bit-identical per-trial
+    results.  For the looped engines the sharded path is additionally
+    bit-identical to ``workers=None``; the stacked ensemble engine reseeds
+    per shard, so its sharded results differ from the single-stack
+    ``workers=None`` run (statistically equivalent, pinned by the
+    conformance tests).  ``timing_sink``, when given, receives one
+    :class:`~repro.engine.parallel.ShardTiming` per executed shard.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
-    if engine == "ensemble":
-        simulator = engine_factory(engine, RandomSource.from_seed(seed), trials)
-        result = simulator.run(parallel_time, snapshot_every=snapshot_every)
-        return [trial_result.series() for trial_result in result.trial_results]
-    all_series = []
-    for generator in spawn_streams(seed, trials):
-        simulator = engine_factory(engine, RandomSource(generator), None)
-        result = simulator.run(parallel_time, snapshot_every=snapshot_every)
-        all_series.append(result.series())
-    return all_series
+    resolved = resolve_workers(workers)
+    if resolved is None:
+        if engine == "ensemble":
+            simulator = engine_factory(engine, RandomSource.from_seed(seed), trials)
+            result = simulator.run(parallel_time, snapshot_every=snapshot_every)
+            return [trial_result.series() for trial_result in result.trial_results]
+        all_series = []
+        for generator in spawn_streams(seed, trials):
+            simulator = engine_factory(engine, RandomSource(generator), None)
+            result = simulator.run(parallel_time, snapshot_every=snapshot_every)
+            all_series.append(result.series())
+        return all_series
+
+    tree = SeedTree.from_seed(seed)
+    shards = plan_shards(trials)
+    shard_fn = (
+        _run_ensemble_engine_shard if engine == "ensemble" else _run_looped_engine_shard
+    )
+    payloads = [
+        {
+            "factory": engine_factory,
+            "engine": engine,
+            "tree": tree,
+            "start": shard.start,
+            "stop": shard.stop,
+            "parallel_time": parallel_time,
+            "snapshot_every": snapshot_every,
+        }
+        for shard in shards
+    ]
+    per_shard, timings = execute_shards(
+        shard_fn, payloads, workers=resolved, shards=shards
+    )
+    if timing_sink is not None:
+        timing_sink.extend(timings)
+    return merge_shard_results(shards, per_shard)
 
 
 @dataclass(frozen=True)
@@ -189,13 +283,74 @@ class EnsembleSpec:
     data_fn: Callable[[RunResult], dict[str, Any]] | None = None
 
 
-def _execute_trial(
-    job: tuple[Callable[..., tuple[SimulationResult, dict[str, Any]]], int, np.random.Generator],
-) -> tuple[int, SimulationResult, dict[str, Any]]:
-    """Run one trial; module-level so that worker processes can unpickle it."""
-    trial_fn, trial, generator = job
-    result, data = trial_fn(trial, RandomSource(generator))
-    return trial, result, data
+def _run_trial_fn_shard(
+    payload: dict[str, Any],
+) -> list[tuple[int, SimulationResult, dict[str, Any]]]:
+    """Run one row-shard of ``trial_fn`` trials; module-level for pickling.
+
+    Every trial's stream is the one at its seed-tree address
+    (``tree.trial(t)``): the root entropy is mixed into every derivation,
+    so two runners with the same trial count but distinct base seeds can
+    never silently reuse streams, and the result is independent of how
+    trials are grouped into shards.
+    """
+    tree: SeedTree = payload["tree"]
+    trial_fn = payload["trial_fn"]
+    outcomes = []
+    for trial in range(payload["start"], payload["stop"]):
+        result, data = trial_fn(trial, tree.trial(trial).source())
+        outcomes.append((trial, result, data))
+    return outcomes
+
+
+def _shard_initial_arrays(
+    initial_arrays: Mapping[str, np.ndarray] | None,
+    total_trials: int,
+    start: int,
+    stop: int,
+) -> dict[str, np.ndarray] | None:
+    """Restrict an ensemble's initial arrays to one row-shard's trials.
+
+    Per-trial 2-D ``(trials, n)`` state planes are sliced to the shard's
+    rows; shared 1-D length-``n`` arrays (every trial starts identically)
+    pass through untouched.
+    """
+    if initial_arrays is None:
+        return None
+    sliced: dict[str, np.ndarray] = {}
+    for key, value in initial_arrays.items():
+        arr = np.asarray(value)
+        if arr.ndim == 2 and arr.shape[0] == total_trials:
+            arr = arr[start:stop]
+        sliced[key] = arr
+    return sliced
+
+
+def _run_ensemble_spec_shard(payload: dict[str, Any]) -> list[RunResult]:
+    """Run one row-shard of an :class:`EnsembleSpec` as its own stack.
+
+    Module-level for pickling; returns the shard's per-trial
+    :class:`RunResult` objects.  The payload carries the spec's plain-data
+    fields only — ``data_fn`` extraction happens in the parent, and the
+    initial arrays arrive pre-sliced to the shard's rows — so the spec's
+    callable never crosses the process boundary.
+    """
+    from repro.engine.registry import make_engine
+
+    spec: EnsembleSpec = payload["spec"]
+    tree: SeedTree = payload["tree"]
+    engine = make_engine(
+        "ensemble",
+        spec.protocol,
+        spec.n,
+        trials=payload["stop"] - payload["start"],
+        rng=tree.child(SHARD_NAMESPACE, payload["start"]).source(),
+        resize_schedule=spec.resize_schedule,
+        initial_arrays=payload["initial_arrays"],
+        sub_batches=spec.sub_batches,
+    )
+    result = engine.run(spec.parallel_time, snapshot_every=spec.snapshot_every)
+    return list(result.trial_results)
 
 
 class TrialRunner:
@@ -211,22 +366,32 @@ class TrialRunner:
     trials:
         Number of independent repetitions.
     seed:
-        Root seed; looped modes spawn per-trial streams from it, the
-        ensemble mode feeds it to the stacked engine's single stream.
+        Root seed of the runner's :class:`~repro.engine.rng.SeedTree`;
+        looped modes derive per-trial streams from it (``tree.trial(t)``),
+        the single-stack ensemble mode feeds it to the stacked engine's
+        stream, and the sharded modes derive per-shard streams from the
+        same tree.
+    workers:
+        Opt-in sharded execution (see :mod:`repro.engine.parallel`):
+        ``None`` keeps the historical serial behaviour, ``1`` runs the
+        sharded path serially, higher counts (or ``"auto"``) fan the
+        row-shards over a process pool — ``trial_fn`` (and the data it
+        returns) must then be picklable, in practice a module-level
+        function.  The shard layout never depends on the worker count, so
+        any two worker counts are bit-identical per trial; for looped
+        trials they are additionally bit-identical to ``workers=None``.
     processes:
-        Opt-in multiprocessing: with a value greater than 1, trials are
-        fanned out over that many worker processes.  ``trial_fn`` (and the
-        data it returns) must then be picklable — in practice, a
-        module-level function.  ``None`` or 1 keeps the historical
-        synchronous single-process behaviour; results are identical either
-        way because every trial owns its spawned random stream.
+        Backwards-compatible alias for ``workers`` (the pre-shard
+        multiprocessing knob); ignored when ``workers`` is given.
     ensemble:
         Opt-in stacked execution: an :class:`EnsembleSpec` describing the
-        workload.  All trials then run in one
+        workload.  With ``workers=None`` all trials run in one
         :class:`repro.engine.ensemble_engine.EnsembleSimulator` pass — the
-        fastest mode for vectorisable protocols, and the outcomes keep the
-        exact ``list[TrialOutcome]`` shape of the looped modes.  Mutually
-        exclusive with ``trial_fn`` and ``processes``.
+        fastest single-core mode for vectorisable protocols; with
+        ``workers`` the stack is split into row-shards, one stacked engine
+        per shard, seeded by shard address.  Outcomes keep the exact
+        ``list[TrialOutcome]`` shape of the looped modes either way.
+        Mutually exclusive with ``trial_fn``.
     """
 
     def __init__(
@@ -236,6 +401,7 @@ class TrialRunner:
         *,
         trials: int,
         seed: int | None = None,
+        workers: int | str | None = None,
         processes: int | None = None,
         ensemble: EnsembleSpec | None = None,
     ) -> None:
@@ -245,36 +411,53 @@ class TrialRunner:
             raise ValueError(f"processes must be at least 1, got {processes}")
         if ensemble is None and trial_fn is None:
             raise ValueError("provide either trial_fn or an EnsembleSpec")
-        if ensemble is not None:
-            if trial_fn is not None:
-                raise ValueError(
-                    "trial_fn and ensemble are mutually exclusive; the ensemble "
-                    "spec already describes the whole workload"
-                )
-            if processes is not None:
-                raise ValueError(
-                    "processes does not apply to ensemble mode; all trials run "
-                    "in one stacked engine pass"
-                )
+        if ensemble is not None and trial_fn is not None:
+            raise ValueError(
+                "trial_fn and ensemble are mutually exclusive; the ensemble "
+                "spec already describes the whole workload"
+            )
+        if ensemble is not None and processes is not None:
+            raise ValueError(
+                "processes does not apply to ensemble mode (it predates "
+                "sharding); pass workers=N to split the stack into row-shards"
+            )
+        if workers is None and processes is not None:
+            workers = processes
         self._trial_fn = trial_fn
         self.trials = trials
         self.seed = seed
+        self.workers = resolve_workers(workers)
         self.processes = processes
         self.ensemble = ensemble
+        #: Per-shard wall-clock timings of the last sharded :meth:`run`.
+        self.shard_timings: list[ShardTiming] = []
 
     def run(self) -> list[TrialOutcome]:
         """Execute all trials and return their outcomes in trial order."""
+        self.shard_timings = []
         if self.ensemble is not None:
-            return self._run_ensemble(self.ensemble)
-        streams = spawn_streams(self.seed, self.trials)
-        jobs = [
-            (self._trial_fn, trial, generator) for trial, generator in enumerate(streams)
+            if self.workers is None:
+                return self._run_ensemble(self.ensemble)
+            return self._run_ensemble_sharded(self.ensemble)
+        tree = SeedTree.from_seed(self.seed)
+        shards = plan_shards(self.trials)
+        payloads = [
+            {
+                "trial_fn": self._trial_fn,
+                "tree": tree,
+                "start": shard.start,
+                "stop": shard.stop,
+            }
+            for shard in shards
         ]
-        if self.processes is not None and self.processes > 1:
-            with multiprocessing.Pool(min(self.processes, self.trials)) as pool:
-                triples = pool.map(_execute_trial, jobs)
-        else:
-            triples = [_execute_trial(job) for job in jobs]
+        per_shard, timings = execute_shards(
+            _run_trial_fn_shard,
+            payloads,
+            workers=self.workers if self.workers is not None else 1,
+            shards=shards,
+        )
+        self.shard_timings = timings
+        triples = merge_shard_results(shards, per_shard)
         return [
             TrialOutcome(trial=trial, seed_stream=trial, result=result, data=data)
             for trial, result, data in triples
@@ -297,8 +480,50 @@ class TrialRunner:
             sub_batches=spec.sub_batches,
         )
         result = engine.run(spec.parallel_time, snapshot_every=spec.snapshot_every)
+        return self._ensemble_outcomes(spec, list(enumerate(result.trial_results)))
+
+    def _run_ensemble_sharded(self, spec: EnsembleSpec) -> list[TrialOutcome]:
+        """Run the stacked workload as row-shards over the worker pool.
+
+        Each shard is its own :class:`EnsembleSimulator` stack seeded at
+        the shard's seed-tree address, so the shard layout (fixed by the
+        trial count) fully determines every stream — any worker count
+        reproduces the same per-trial results.  ``data_fn`` is applied in
+        the parent process, so only the spec itself must be picklable.
+        """
+        tree = SeedTree.from_seed(self.seed)
+        shards = plan_shards(self.trials)
+        # Ship a plain-data spec: data_fn stays in the parent (it may be a
+        # lambda), and each shard receives only its rows of any per-trial
+        # initial arrays.
+        portable_spec = dataclasses.replace(spec, data_fn=None, initial_arrays=None)
+        payloads = [
+            {
+                "spec": portable_spec,
+                "tree": tree,
+                "start": shard.start,
+                "stop": shard.stop,
+                "initial_arrays": _shard_initial_arrays(
+                    spec.initial_arrays, self.trials, shard.start, shard.stop
+                ),
+            }
+            for shard in shards
+        ]
+        per_shard, timings = execute_shards(
+            _run_ensemble_spec_shard,
+            payloads,
+            workers=self.workers if self.workers is not None else 1,
+            shards=shards,
+        )
+        self.shard_timings = timings
+        results = merge_shard_results(shards, per_shard)
+        return self._ensemble_outcomes(spec, list(enumerate(results)))
+
+    def _ensemble_outcomes(
+        self, spec: EnsembleSpec, results: list[tuple[int, RunResult]]
+    ) -> list[TrialOutcome]:
         outcomes = []
-        for trial, trial_result in enumerate(result.trial_results):
+        for trial, trial_result in results:
             data = (
                 spec.data_fn(trial_result)
                 if spec.data_fn is not None

@@ -63,6 +63,21 @@ EXPERIMENT_RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
 _COMMANDS = ("run", "list", "sweep")
 
 
+def _parse_workers(text: str) -> int | str:
+    """argparse type for ``--workers``: a positive integer or ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"workers must be at least 1, got {value}")
+    return value
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--effort",
@@ -83,6 +98,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "Execution engine (sequential, array, batched, ensemble) or 'auto' "
             "to pick the best engine per workload; omit to use each scenario's "
             "default."
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        type=_parse_workers,
+        metavar="N|auto",
+        help=(
+            "Shard trials (and sweep points) over this many worker processes; "
+            "'auto' uses the CPU count (capped).  Results are bit-identical "
+            "for any worker count; omit for the serial path."
         ),
     )
 
@@ -175,10 +201,31 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _shard_timing_lines(name: str, result: ExperimentResult) -> list[str]:
+    """Per-point shard timing summary of one sharded run (empty if serial)."""
+    timings = result.metadata.get("shard_timings")
+    if not timings:
+        return []
+    workers = result.metadata.get("workers")
+    lines = []
+    for label, shards in timings.items():
+        total = sum(entry["seconds"] for entry in shards)
+        slowest = max(entry["seconds"] for entry in shards)
+        lines.append(
+            f"[{name}] {label}: {len(shards)} shard(s) x "
+            f"{max(entry['trials'] for entry in shards)} trial(s), "
+            f"slowest {slowest:.2f}s, shard-seconds {total:.2f}s "
+            f"(workers={workers})"
+        )
+    return lines
+
+
 def _print_result(
     name: str, result: ExperimentResult, elapsed: float | None, output: str | None
 ) -> None:
     print(result.table())
+    for line in _shard_timing_lines(name, result):
+        print(line)
     if elapsed is not None:
         print(f"[{name}] completed in {elapsed:.1f}s ({result.metadata.get('preset')} preset)")
         print()
@@ -196,8 +243,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
         available = ", ".join(efforts.get(spec.id, []))
         engine = spec.engine if spec.engine is not None else "auto"
         tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        sharding = "trial-shards" if spec.executor is None else "serial-only"
         print(f"{spec.name}: {spec.description}{tags}")
-        print(f"    efforts: {available or '(custom preset required)'}  engine: {engine}")
+        print(
+            f"    efforts: {available or '(custom preset required)'}  "
+            f"engine: {engine}  workers: {sharding}"
+        )
     return 0
 
 
@@ -246,7 +297,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             continue
         started = time.time()
         try:
-            result = run_scenario(name, effort=args.effort, engine=args.engine)
+            result = run_scenario(
+                name, effort=args.effort, engine=args.engine, workers=args.workers
+            )
         except EngineError as exc:
             # Covers misconfiguration and invalid schedules alike: every
             # engine-level failure surfaces as a one-line error, not a
@@ -271,11 +324,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[sweep] {args.scenario}: {combos} combination(s)")
         print()
         started = time.time()
-        results = run_sweep(sweep, effort=args.effort, engine=args.engine)
+        results = run_sweep(
+            sweep, effort=args.effort, engine=args.engine, workers=args.workers
+        )
     except EngineError as exc:
         return _fail(str(exc))
     for label, result in results:
         print(f"=== {args.scenario} @ {label} ===")
+        if "sweep_seconds" in result.metadata:
+            print(
+                f"[{args.scenario} @ {label}] point ran in "
+                f"{result.metadata['sweep_seconds']:.2f}s "
+                f"(workers={result.metadata.get('workers')})"
+            )
         output = (
             str(Path(args.output) / label.replace(",", "__"))
             if args.output is not None

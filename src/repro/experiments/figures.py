@@ -19,13 +19,15 @@ workloads where the interleaving matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Sequence
 
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import ProtocolParameters, empirical_parameters
 from repro.core.vectorized import VectorizedDynamicCounting
 from repro.engine.api import Engine
+from repro.engine.parallel import ShardTiming, resolve_workers
 from repro.engine.registry import choose_engine, make_engine
 from repro.engine.rng import RandomSource
 from repro.engine.runner import aggregate_series, run_engine_trials
@@ -39,6 +41,10 @@ class EstimateTrace:
 
     ``parallel_time``, ``population_size``, ``minimum``, ``median`` and
     ``maximum`` are aligned column lists (one entry per snapshot).
+    ``shard_timings`` carries one entry per executed row-shard (dicts with
+    ``shard`` / ``start`` / ``stop`` / ``trials`` / ``seconds``) when the
+    workload ran on the sharded execution layer, and stays empty on the
+    serial path.
     """
 
     n: int
@@ -48,6 +54,7 @@ class EstimateTrace:
     minimum: list[float]
     median: list[float]
     maximum: list[float]
+    shard_timings: list[dict[str, Any]] = field(default_factory=list)
 
     def series(self) -> dict[str, list[float]]:
         return {
@@ -105,6 +112,35 @@ def _build_trace_engine(
     )
 
 
+def _trace_engine_factory(
+    engine_name: str,
+    rng: RandomSource,
+    ensemble_trials: int | None,
+    *,
+    n: int,
+    params: ProtocolParameters,
+    resize_schedule: tuple[tuple[int, int], ...],
+    initial_estimate: float | None,
+    sub_batches: int,
+) -> Engine:
+    """Picklable engine factory for :func:`run_engine_trials`.
+
+    A module-level function (bound via :func:`functools.partial` over
+    plain-data keywords) rather than a closure, so the sharded execution
+    layer can ship it to worker processes.
+    """
+    return _build_trace_engine(
+        engine_name,
+        n,
+        rng,
+        params,
+        resize_schedule,
+        initial_estimate,
+        sub_batches,
+        trials=ensemble_trials,
+    )
+
+
 def run_estimate_trace(
     n: int,
     parallel_time: int,
@@ -117,6 +153,7 @@ def run_estimate_trace(
     snapshot_every: int = 1,
     sub_batches: int = 8,
     engine: str | None = "batched",
+    workers: int | str | None = None,
 ) -> EstimateTrace:
     """Run ``trials`` independent simulations of one workload and aggregate.
 
@@ -145,15 +182,24 @@ def run_estimate_trace(
         engine for the workload via
         :func:`repro.engine.registry.choose_engine`.  All engines report the
         same snapshot series; the exact engines are practical only for small
-        ``n``, and the ensemble engine runs all ``trials`` in one stacked
-        pass instead of the per-trial loop.
+        ``n``, and the ensemble engine runs trials in stacked passes
+        instead of the per-trial loop.
+    workers:
+        Sharded execution (see :mod:`repro.engine.parallel`): ``None``
+        (default) keeps the serial path, ``"auto"`` uses the capped CPU
+        count, an integer fans the trial row-shards over that many worker
+        processes.  Per-trial results are bit-identical across worker
+        counts (and, for the looped engines, identical to the serial
+        path); per-shard wall-clock timings land in the returned trace's
+        ``shard_timings``.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     params = params or empirical_parameters()
     resize_schedule = tuple(resize_schedule)
+    workers = resolve_workers(workers)
     if engine is None or engine == "auto":
-        engine = choose_engine(DynamicSizeCounting(params), trials, n)
+        engine = choose_engine(DynamicSizeCounting(params), trials, n, workers=workers)
 
     per_trial_min: list[list[float]] = []
     per_trial_med: list[list[float]] = []
@@ -161,22 +207,23 @@ def run_estimate_trace(
     index: list[float] = []
     sizes: list[float] = []
 
+    timing_sink: list[ShardTiming] = []
     trial_series = run_engine_trials(
-        lambda engine_name, rng, ensemble_trials: _build_trace_engine(
-            engine_name,
-            n,
-            rng,
-            params,
-            resize_schedule,
-            initial_estimate,
-            sub_batches,
-            trials=ensemble_trials,
+        partial(
+            _trace_engine_factory,
+            n=n,
+            params=params,
+            resize_schedule=resize_schedule,
+            initial_estimate=initial_estimate,
+            sub_batches=sub_batches,
         ),
         engine=engine,
         trials=trials,
         seed=seed,
         parallel_time=parallel_time,
         snapshot_every=snapshot_every,
+        workers=workers,
+        timing_sink=timing_sink,
     )
 
     for series in trial_series:
@@ -199,4 +246,5 @@ def run_estimate_trace(
         minimum=minimum.minimum[:length],
         median=median.median[:length],
         maximum=maximum.maximum[:length],
+        shard_timings=[timing.as_dict() for timing in timing_sink],
     )

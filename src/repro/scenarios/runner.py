@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.params import ProtocolParameters
 from repro.engine.errors import ConfigurationError, UnsupportedEngineError
+from repro.engine.parallel import execute_shards, resolve_workers
 from repro.engine.registry import ENGINE_NAMES, choose_engine
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, SweepSpec
@@ -107,12 +108,15 @@ def _engine_for_point(
     point_trials: int,
     point_n: int,
     params: ProtocolParameters,
+    workers: int | None = None,
 ) -> str:
     if requested is not None and requested != "auto":
         return requested
     if requested is None and spec.engine is not None:
         return spec.engine
-    chosen = choose_engine(spec.protocol_factory(params), point_trials, point_n)
+    chosen = choose_engine(
+        spec.protocol_factory(params), point_trials, point_n, workers=workers
+    )
     if chosen not in spec.engines:
         chosen = spec.engines[0]
     return chosen
@@ -124,6 +128,7 @@ def run_scenario(
     effort: str = "quick",
     preset: ExperimentPreset | None = None,
     engine: str | None = None,
+    workers: int | str | None = None,
 ) -> ExperimentResult:
     """Run one scenario and return its :class:`ExperimentResult`.
 
@@ -139,6 +144,16 @@ def run_scenario(
         point even if the spec pins an engine, or ``None`` (default) to use
         the spec's pinned engine — falling back to auto-selection via
         :func:`repro.engine.registry.choose_engine` when none is pinned.
+    workers:
+        Sharded execution of every point's trials (see
+        :mod:`repro.engine.parallel`): ``None`` (default) keeps the serial
+        path, ``"auto"`` uses the capped CPU count, an integer fans each
+        point's row-shards over that many worker processes.  Per-trial
+        results are bit-identical for any ``workers >= 1`` — only
+        wall-clock time changes.  Bespoke-executor scenarios (recorder
+        workloads pinned to the sequential engine) always run serially;
+        requesting workers for them is recorded in the result metadata but
+        has no effect.
     """
     # Imported here: the experiments layer imports repro.scenarios at
     # definition time, so the reverse dependency must stay lazy.
@@ -147,6 +162,7 @@ def run_scenario(
 
     spec = _resolve_spec(spec_or_name)
     _validate_engine(spec, engine)
+    workers = resolve_workers(workers)
     preset = resolve_preset(spec, effort, preset)
     params = resolve_params(spec, preset)
 
@@ -154,7 +170,10 @@ def run_scenario(
         resolved = _engine_for_point(
             spec, engine, preset.trials, max(preset.population_sizes, default=2), params
         )
-        return spec.executor(spec, preset, params, resolved)
+        result = spec.executor(spec, preset, params, resolved)
+        if workers is not None:
+            result.metadata.setdefault("workers", "serial-only (bespoke executor)")
+        return result
 
     points = tuple(spec.points(preset, params))
     if not points:
@@ -166,8 +185,11 @@ def run_scenario(
     rows: list[dict[str, Any]] = []
     series: dict[str, dict[str, list[float]]] = {}
     engines_used: list[str] = []
+    shard_timings: dict[str, list[dict[str, Any]]] = {}
     for point in points:
-        point_engine = _engine_for_point(spec, engine, point.trials, point.n, params)
+        point_engine = _engine_for_point(
+            spec, engine, point.trials, point.n, params, workers
+        )
         engines_used.append(point_engine)
         trace = run_estimate_trace(
             point.n,
@@ -178,6 +200,7 @@ def run_scenario(
             resize_schedule=point.resize_schedule,
             initial_estimate=point.initial_estimate,
             engine=point_engine,
+            workers=workers,
         )
         row: dict[str, Any] = {}
         for metric in spec.metrics:
@@ -185,19 +208,38 @@ def run_scenario(
         rows.append(row)
         if spec.keep_series:
             series[point.series_label] = trace.series()
+        if trace.shard_timings:
+            shard_timings[point.series_label] = trace.shard_timings
 
     engine_label = engines_used[0] if len(set(engines_used)) == 1 else "auto"
+    metadata: dict[str, Any] = {
+        "preset": preset.name,
+        "params": params.describe(),
+        "engine": engine_label,
+        "scenario": spec.name,
+    }
+    if workers is not None:
+        metadata["workers"] = workers
+        metadata["shard_timings"] = shard_timings
     return ExperimentResult(
         experiment=spec.id,
         description=spec.description_for(preset),
         rows=rows,
         series=series,
-        metadata={
-            "preset": preset.name,
-            "params": params.describe(),
-            "engine": engine_label,
-            "scenario": spec.name,
-        },
+        metadata=metadata,
+    )
+
+
+def _run_sweep_combo(payload: dict[str, Any]) -> "ExperimentResult":
+    """Run one sweep combination; module-level so worker processes can
+    unpickle it.  The scenario travels by registry name (the spec itself
+    may hold non-picklable factories) and is re-resolved in the worker.
+    """
+    return run_scenario(
+        payload["scenario"],
+        preset=payload["preset"],
+        engine=payload["engine"],
+        workers=payload["workers"],
     )
 
 
@@ -207,6 +249,7 @@ def run_sweep(
     effort: str = "quick",
     preset: ExperimentPreset | None = None,
     engine: str | None = None,
+    workers: int | str | None = None,
 ) -> list[tuple[str, ExperimentResult]]:
     """Run every combination of a sweep grid; returns ``(label, result)`` pairs.
 
@@ -214,9 +257,19 @@ def run_sweep(
     axes *and* workload points (schedules, population sizes) — so a bad axis
     value fails before the first simulation instead of mid-sweep after
     earlier combinations already ran.
+
+    ``workers`` shards the sweep: with more than one combination, each grid
+    point becomes an independent job and the jobs fan out over the worker
+    pool (each combination runs serially inside its worker); a single
+    combination instead delegates ``workers`` to :func:`run_scenario`,
+    which shards that combination's trials.  Either way the split is a pure
+    function of the grid — results are bit-identical for any
+    ``workers >= 1`` and are returned in grid order with per-combination
+    wall-clock seconds in ``metadata["sweep_seconds"]``.
     """
     spec = _resolve_spec(sweep.scenario)
     _validate_engine(spec, engine)
+    resolved_workers = resolve_workers(workers)
     base = resolve_preset(spec, effort, preset)
     expanded = sweep.expand(base)
     for _, combo_preset in expanded:
@@ -225,9 +278,37 @@ def run_sweep(
             # Point construction validates population sizes, trial counts
             # and resize schedules for every engine.
             tuple(spec.points(combo_preset, combo_params))
+
+    if resolved_workers is None or len(expanded) == 1:
+        # Serial path (or a single combination, where trial-level sharding
+        # inside run_scenario is the better use of the pool).
+        results = []
+        for label, combo_preset in expanded:
+            result = run_scenario(
+                spec, preset=combo_preset, engine=engine, workers=workers
+            )
+            result.metadata["sweep"] = label
+            results.append((label, result))
+        return results
+
+    payloads = [
+        {
+            "scenario": sweep.scenario,
+            "preset": combo_preset,
+            "engine": engine,
+            # Combinations are the unit of parallelism; each runs serially
+            # inside its worker so results match workers=1 bit for bit.
+            "workers": None,
+        }
+        for _, combo_preset in expanded
+    ]
+    combo_results, timings = execute_shards(
+        _run_sweep_combo, payloads, workers=resolved_workers
+    )
     results = []
-    for label, combo_preset in expanded:
-        result = run_scenario(spec, preset=combo_preset, engine=engine)
+    for (label, _), result, timing in zip(expanded, combo_results, timings):
         result.metadata["sweep"] = label
+        result.metadata["workers"] = resolved_workers
+        result.metadata["sweep_seconds"] = timing.seconds
         results.append((label, result))
     return results

@@ -1,0 +1,596 @@
+"""Tests for the sharded parallel execution layer (repro.engine.parallel).
+
+Covers the seed tree, shard planning, the executor, and the wiring through
+``TrialRunner`` / ``run_engine_trials`` / ``choose_engine`` /
+``run_scenario`` / ``run_sweep`` / the CLI.  The determinism contract —
+bit-identical per-trial results across worker counts — has its own golden
+regression module (``test_parallel_determinism.py``); here we test the
+mechanisms and the API surface.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.engine.errors import ConfigurationError
+from repro.engine.parallel import (
+    DEFAULT_SHARD_SIZE,
+    MAX_AUTO_WORKERS,
+    ShardTiming,
+    TrialShard,
+    execute_shards,
+    merge_shard_results,
+    plan_shards,
+    resolve_workers,
+)
+from repro.engine.recorder import EstimateRecorder
+from repro.engine.registry import choose_engine, make_engine
+from repro.engine.rng import SeedTree, spawn_streams
+from repro.engine.runner import EnsembleSpec, TrialRunner, run_engine_trials
+from repro.engine.simulator import Simulator
+from repro.protocols.static_counting import MaxGrvCounting
+
+
+# ----------------------------------------------------------------- seed tree
+
+
+class TestSeedTree:
+    def test_trial_streams_match_spawn_streams(self):
+        """First-level integer children are bit-compatible with the
+        historical ``spawn_streams`` derivation (pins the golden outputs)."""
+        tree = SeedTree.from_seed(42)
+        legacy = spawn_streams(42, 6)
+        for trial in range(6):
+            a = legacy[trial].integers(0, 10**9, size=16)
+            b = tree.trial(trial).generator().integers(0, 10**9, size=16)
+            assert a.tolist() == b.tolist()
+
+    def test_streams_helper_matches_trial_addressing(self):
+        tree = SeedTree.from_seed(3)
+        via_streams = tree.streams(4)
+        for trial, generator in enumerate(via_streams):
+            direct = tree.trial(trial).generator()
+            assert (
+                generator.integers(0, 10**6, 8).tolist()
+                == direct.integers(0, 10**6, 8).tolist()
+            )
+
+    def test_distinct_base_seeds_produce_distinct_streams(self):
+        """The respawn-hazard regression: the root entropy is mixed into
+        every trial stream, so two runners with the same trial count but
+        different base seeds can never reuse streams."""
+        a = SeedTree.from_seed(1)
+        b = SeedTree.from_seed(2)
+        for trial in range(8):
+            left = a.trial(trial).generator().integers(0, 10**9, size=16)
+            right = b.trial(trial).generator().integers(0, 10**9, size=16)
+            assert left.tolist() != right.tolist()
+
+    def test_address_is_independent_of_sibling_count(self):
+        """A trial's stream depends on its address only — not on how many
+        sibling trials were spawned around it."""
+        few = spawn_streams(9, 2)[1].integers(0, 10**9, 8)
+        many = spawn_streams(9, 200)[1].integers(0, 10**9, 8)
+        assert few.tolist() == many.tolist()
+
+    def test_string_and_int_namespaces_are_disjoint(self):
+        tree = SeedTree.from_seed(5)
+        named = tree.child("shard", 0)
+        indexed = tree.child(0, 0)
+        assert named.spawn_key != indexed.spawn_key
+        a = named.generator().integers(0, 10**9, 8).tolist()
+        b = indexed.generator().integers(0, 10**9, 8).tolist()
+        assert a != b
+
+    def test_string_keys_are_stable(self):
+        """String keys hash through SHA-256, so the derived stream is a
+        fixed function of the key — across processes and sessions."""
+        stream = SeedTree.from_seed(0).child("shard").generator()
+        assert stream.integers(0, 10**6, 4).tolist() == (
+            SeedTree.from_seed(0).child("shard").generator().integers(0, 10**6, 4).tolist()
+        )
+        # Pinned spawn key: changing the encoding would silently re-seed
+        # every sharded ensemble run.
+        assert SeedTree.from_seed(0).child("shard").spawn_key == (
+            0x9E3779B9,
+            3449304543,
+            1539043686,
+            2076304068,
+            2122095592,
+        )
+
+    def test_large_and_negative_int_keys_are_hashed(self):
+        tree = SeedTree.from_seed(1)
+        assert len(tree.child(2**40).spawn_key) > 1
+        assert len(tree.child(-1).spawn_key) > 1
+        assert tree.child(2**40).spawn_key != tree.child(-1).spawn_key
+
+    def test_rejects_bad_keys(self):
+        tree = SeedTree.from_seed(1)
+        with pytest.raises(ValueError):
+            tree.child(1.5)  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            tree.child(True)  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            tree.trial(-1)
+
+    def test_from_seed_none_materialises_entropy_once(self):
+        tree = SeedTree.from_seed(None)
+        a = tree.trial(0).generator().integers(0, 10**9, 8)
+        b = tree.trial(0).generator().integers(0, 10**9, 8)
+        assert a.tolist() == b.tolist()
+
+    def test_from_seed_passes_trees_through(self):
+        tree = SeedTree.from_seed(7).child("x")
+        assert SeedTree.from_seed(tree) is tree
+
+    def test_nodes_pickle_and_hash(self):
+        node = SeedTree.from_seed(11).child("scenario", 3).trial(2)
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone == node
+        assert hash(clone) == hash(node)
+        assert (
+            clone.generator().integers(0, 10**6, 4).tolist()
+            == node.generator().integers(0, 10**6, 4).tolist()
+        )
+
+
+# ------------------------------------------------------------ shard planning
+
+
+class TestPlanShards:
+    def test_tiles_the_trial_range(self):
+        for trials in (1, 2, 15, 16, 17, 96, 100):
+            shards = plan_shards(trials)
+            assert shards[0].start == 0
+            assert shards[-1].stop == trials
+            for left, right in zip(shards, shards[1:]):
+                assert left.stop == right.start
+
+    def test_respects_shard_size_cap(self):
+        for trials in (1, 16, 33, 96):
+            assert all(s.trials <= DEFAULT_SHARD_SIZE for s in plan_shards(trials))
+
+    def test_balanced_within_one_trial(self):
+        for trials in (17, 31, 97):
+            sizes = [s.trials for s in plan_shards(trials)]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_layout_is_a_pure_function_of_the_workload(self):
+        assert plan_shards(96) == plan_shards(96)
+        assert plan_shards(96, shard_size=DEFAULT_SHARD_SIZE) == plan_shards(96)
+        assert plan_shards(96, shard_size=2 * DEFAULT_SHARD_SIZE) != plan_shards(96)
+
+    def test_single_trial_single_shard(self):
+        assert plan_shards(1) == (TrialShard(index=0, start=0, stop=1),)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(0)
+        with pytest.raises(ConfigurationError):
+            plan_shards(4, shard_size=0)
+        with pytest.raises(ConfigurationError):
+            TrialShard(index=0, start=3, stop=3)
+
+
+class TestResolveWorkers:
+    def test_none_passthrough(self):
+        assert resolve_workers(None) is None
+
+    def test_integers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(6) == 6
+
+    def test_auto_is_capped_positive(self):
+        resolved = resolve_workers("auto")
+        assert 1 <= resolved <= MAX_AUTO_WORKERS
+
+    def test_rejects_bad_values(self):
+        for bad in (0, -2, "four", 2.5, True):
+            with pytest.raises(ConfigurationError):
+                resolve_workers(bad)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------- executor
+
+
+def _square_shard(payload):
+    """Module-level shard function so the pool can unpickle it."""
+    return [value * value for value in payload]
+
+
+def _failing_shard(payload):
+    raise RuntimeError("shard exploded")
+
+
+class TestExecuteShards:
+    def test_serial_and_parallel_agree_in_order(self):
+        payloads = [[1, 2], [3], [4, 5, 6]]
+        serial, _ = execute_shards(_square_shard, payloads, workers=1)
+        parallel, _ = execute_shards(_square_shard, payloads, workers=3)
+        assert serial == parallel == [[1, 4], [9], [16, 25, 36]]
+
+    def test_timings_reported_per_shard(self):
+        shards = plan_shards(5, shard_size=2)
+        payloads = [list(s.trial_indices()) for s in shards]
+        _, timings = execute_shards(_square_shard, payloads, workers=1, shards=shards)
+        assert [t.shard for t in timings] == [0, 1, 2]
+        assert all(t.seconds >= 0.0 for t in timings)
+        assert timings[0].as_dict()["trials"] == shards[0].trials
+
+    def test_worker_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            execute_shards(_failing_shard, [[1]], workers=1)
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            execute_shards(_failing_shard, [[1], [2]], workers=2)
+
+    def test_shard_payload_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_shards(_square_shard, [[1]], workers=1, shards=plan_shards(5, shard_size=2))
+
+
+class TestMergeShardResults:
+    def test_merge_in_any_order(self):
+        shards = plan_shards(7, shard_size=3)
+        per_shard = [[f"t{t}" for t in s.trial_indices()] for s in shards]
+        expected = [f"t{t}" for t in range(7)]
+        assert merge_shard_results(shards, per_shard) == expected
+        reordered = list(zip(shards, per_shard))[::-1]
+        assert merge_shard_results(
+            [s for s, _ in reordered], [r for _, r in reordered]
+        ) == expected
+
+    def test_rejects_gaps_overlaps_and_bad_counts(self):
+        shards = plan_shards(4, shard_size=2)
+        with pytest.raises(ConfigurationError):
+            merge_shard_results(shards, [["a", "b"]])
+        with pytest.raises(ConfigurationError):
+            merge_shard_results(shards, [["a", "b"], ["c"]])
+        gappy = (shards[0], TrialShard(index=1, start=3, stop=4))
+        with pytest.raises(ConfigurationError):
+            merge_shard_results(gappy, [["a", "b"], ["c"]])
+        with pytest.raises(ConfigurationError):
+            merge_shard_results(
+                (TrialShard(index=0, start=1, stop=3),), [["a", "b"]]
+            )
+
+
+# ------------------------------------------------------------- TrialRunner
+
+
+def _picklable_trial(trial_index, rng):
+    """Module-level trial function so that worker processes can unpickle it."""
+    recorder = EstimateRecorder()
+    simulator = Simulator(MaxGrvCounting(), 30, rng=rng, recorders=[recorder])
+    result = simulator.run(10)
+    series = recorder.series()
+    return result, {"maximum": series["maximum"]}
+
+
+class TestTrialRunnerWorkers:
+    def test_workers_none_matches_legacy_serial(self):
+        legacy = TrialRunner(_picklable_trial, trials=4, seed=11).run()
+        sharded = TrialRunner(_picklable_trial, trials=4, seed=11, workers=1).run()
+        assert [o.data for o in legacy] == [o.data for o in sharded]
+
+    def test_worker_counts_are_bit_identical(self):
+        one = TrialRunner(_picklable_trial, trials=5, seed=11, workers=1).run()
+        three = TrialRunner(_picklable_trial, trials=5, seed=11, workers=3).run()
+        assert [o.trial for o in three] == [0, 1, 2, 3, 4]
+        assert [o.data for o in one] == [o.data for o in three]
+
+    def test_processes_alias_still_works(self):
+        alias = TrialRunner(_picklable_trial, trials=3, seed=7, processes=2).run()
+        direct = TrialRunner(_picklable_trial, trials=3, seed=7, workers=2).run()
+        assert [o.data for o in alias] == [o.data for o in direct]
+
+    def test_distinct_base_seeds_produce_distinct_streams(self):
+        """Respawn-hazard regression at the runner level: same trial count,
+        different base seeds, no stream reuse anywhere."""
+        first = TrialRunner(_picklable_trial, trials=3, seed=100, workers=2).run()
+        second = TrialRunner(_picklable_trial, trials=3, seed=200, workers=2).run()
+        for left, right in zip(first, second):
+            assert left.data["maximum"] != right.data["maximum"]
+
+    def test_shard_timings_recorded(self):
+        runner = TrialRunner(_picklable_trial, trials=4, seed=1, workers=2)
+        runner.run()
+        assert len(runner.shard_timings) == 1  # 4 trials fit one shard
+        assert runner.shard_timings[0].stop == 4
+
+    def test_ensemble_sharded_matches_across_worker_counts(self):
+        spec = EnsembleSpec(protocol=DynamicSizeCounting(), n=150, parallel_time=6)
+        one = TrialRunner(trials=20, seed=9, ensemble=spec, workers=1).run()
+        four = TrialRunner(trials=20, seed=9, ensemble=spec, workers=4).run()
+        assert [o.trial for o in four] == list(range(20))
+        for left, right in zip(one, four):
+            assert left.data == right.data
+
+    def test_ensemble_sharded_splits_the_stack(self):
+        spec = EnsembleSpec(protocol=DynamicSizeCounting(), n=100, parallel_time=4)
+        runner = TrialRunner(trials=20, seed=9, ensemble=spec, workers=1)
+        runner.run()
+        assert [t.stop - t.start for t in runner.shard_timings] == [7, 7, 6]
+
+    def test_ensemble_data_fn_applied_in_parent(self):
+        spec = EnsembleSpec(
+            protocol=DynamicSizeCounting(),
+            n=60,
+            parallel_time=4,
+            # A lambda is deliberately non-picklable: it must never cross
+            # the process boundary.  18 trials span multiple shards, so
+            # workers=2 genuinely ships payloads through the pool.
+            data_fn=lambda result: {"final": result.snapshots[-1].median},
+        )
+        outcomes = TrialRunner(trials=18, seed=3, ensemble=spec, workers=2).run()
+        assert len(outcomes) == 18
+        assert all("final" in o.data for o in outcomes)
+
+    def test_ensemble_per_trial_initial_arrays_sliced_per_shard(self):
+        """A 2-D (trials, n) initial state must land row-by-row in the
+        right trial regardless of shard boundaries or worker count."""
+        import numpy as np
+
+        from repro.core.vectorized import VectorizedDynamicCounting
+
+        trials, n = 18, 40
+        vectorized = VectorizedDynamicCounting()
+        base = vectorized.initial_arrays_with_estimate(n, 12.0)
+        # Give every trial a distinct initial estimate plane.
+        stacked = {
+            key: np.stack(
+                [np.asarray(value) + (0.5 * t if key == "max" else 0.0)
+                 for t in range(trials)]
+            )
+            for key, value in base.items()
+        }
+        spec = EnsembleSpec(
+            protocol=vectorized,
+            n=n,
+            parallel_time=3,
+            initial_arrays=stacked,
+        )
+        serial = TrialRunner(trials=trials, seed=5, ensemble=spec, workers=1).run()
+        pooled = TrialRunner(trials=trials, seed=5, ensemble=spec, workers=3).run()
+        assert [o.data for o in serial] == [o.data for o in pooled]
+        # The per-trial planes really differ, so a mis-sliced shard would
+        # show up as shifted starting estimates.
+        first_points = [o.data["maximum"][0] for o in serial]
+        assert len(set(first_points)) > 1
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            TrialRunner(_picklable_trial, trials=2, workers=0)
+        with pytest.raises(ConfigurationError):
+            TrialRunner(_picklable_trial, trials=2, workers="many")
+
+
+# -------------------------------------------------------- run_engine_trials
+
+
+def _counting_engine_factory(engine_name, rng, ensemble_trials):
+    """Module-level factory so the sharded path can pickle it."""
+    return make_engine(
+        engine_name,
+        DynamicSizeCounting(),
+        50,
+        rng=rng,
+        trials=ensemble_trials if engine_name == "ensemble" else None,
+    )
+
+
+class TestRunEngineTrialsWorkers:
+    @pytest.mark.parametrize("engine", ["sequential", "array", "batched"])
+    def test_looped_engines_sharded_equals_serial(self, engine):
+        serial = run_engine_trials(
+            _counting_engine_factory, engine=engine, trials=3, seed=5, parallel_time=5
+        )
+        for workers in (1, 2):
+            sharded = run_engine_trials(
+                _counting_engine_factory,
+                engine=engine,
+                trials=3,
+                seed=5,
+                parallel_time=5,
+                workers=workers,
+            )
+            assert sharded == serial
+
+    def test_ensemble_sharded_consistent_across_worker_counts(self):
+        results = {}
+        for workers in (1, 2, 4):
+            results[workers] = run_engine_trials(
+                _counting_engine_factory,
+                engine="ensemble",
+                trials=20,
+                seed=5,
+                parallel_time=5,
+                workers=workers,
+            )
+        assert results[1] == results[2] == results[4]
+        assert len(results[1]) == 20
+
+    def test_timing_sink_receives_shards(self):
+        sink: list[ShardTiming] = []
+        run_engine_trials(
+            _counting_engine_factory,
+            engine="array",
+            trials=5,
+            seed=5,
+            parallel_time=3,
+            workers=1,
+            timing_sink=sink,
+        )
+        assert len(sink) == 1
+        assert sink[0].stop == 5
+
+    def test_workers_auto_accepted(self):
+        series = run_engine_trials(
+            _counting_engine_factory,
+            engine="array",
+            trials=2,
+            seed=5,
+            parallel_time=3,
+            workers="auto",
+        )
+        assert len(series) == 2
+
+
+# ---------------------------------------------------- shard-aware selection
+
+
+class TestChooseEngineShardAware:
+    def test_multi_trial_shards_still_prefer_ensemble(self):
+        protocol = DynamicSizeCounting()
+        assert choose_engine(protocol, 96, 10_000, workers=4) == "ensemble"
+
+    def test_single_trial_prefers_batched_regardless(self):
+        protocol = DynamicSizeCounting()
+        assert choose_engine(protocol, 1, 10_000) == "batched"
+        assert choose_engine(protocol, 1, 10_000, workers=4) == "batched"
+
+    def test_selection_depends_on_shard_layout_not_worker_count(self):
+        protocol = DynamicSizeCounting()
+        for workers in (1, 2, 8):
+            assert choose_engine(protocol, 96, 10_000, workers=workers) == "ensemble"
+
+    def test_small_population_still_exact(self):
+        assert choose_engine(DynamicSizeCounting(), 96, 64, workers=4) == "array"
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            choose_engine(DynamicSizeCounting(), 4, 100, workers=0)
+
+
+# ----------------------------------------------------- scenarios and sweeps
+
+
+class TestScenarioWorkers:
+    def test_run_scenario_bit_identical_across_worker_counts(self):
+        from repro.scenarios import run_scenario
+
+        results = {
+            workers: run_scenario("fig3", effort="quick", workers=workers)
+            for workers in (1, 2)
+        }
+        assert results[1].rows == results[2].rows
+        assert results[1].series == results[2].series
+        assert results[1].metadata["workers"] == 1
+        assert results[2].metadata["workers"] == 2
+
+    def test_run_scenario_serial_unchanged_for_looped_engines(self):
+        from repro.scenarios import run_scenario
+
+        serial = run_scenario("fig3", effort="quick")
+        sharded = run_scenario("fig3", effort="quick", workers=2)
+        # fig3 pins the batched engine (looped), so the sharded path must
+        # reproduce the serial rows bit for bit.
+        assert sharded.rows == serial.rows
+        assert "workers" not in serial.metadata
+
+    def test_shard_timings_in_metadata(self):
+        from repro.scenarios import run_scenario
+
+        result = run_scenario("fig3", effort="quick", workers=2)
+        timings = result.metadata["shard_timings"]
+        assert timings
+        for shards in timings.values():
+            assert all(entry["seconds"] >= 0.0 for entry in shards)
+
+    def test_executor_scenarios_stay_serial(self):
+        from repro.scenarios import run_scenario
+
+        result = run_scenario("memory", effort="quick", workers=2)
+        assert result.metadata["workers"] == "serial-only (bespoke executor)"
+
+    def test_rejects_bad_workers_before_running(self):
+        from repro.scenarios import run_scenario
+
+        with pytest.raises(ConfigurationError):
+            run_scenario("fig3", effort="quick", workers=0)
+
+    def test_run_sweep_bit_identical_across_worker_counts(self):
+        from repro.scenarios import run_sweep
+        from repro.scenarios.spec import SweepSpec
+
+        sweep = SweepSpec.from_mapping("fig4", {"keep": (50, 100)})
+        by_workers = {
+            workers: run_sweep(sweep, effort="quick", workers=workers)
+            for workers in (1, 2)
+        }
+        labels_1 = [label for label, _ in by_workers[1]]
+        labels_2 = [label for label, _ in by_workers[2]]
+        assert labels_1 == labels_2 == ["keep=50", "keep=100"]
+        for (_, left), (_, right) in zip(by_workers[1], by_workers[2]):
+            assert left.rows == right.rows
+            assert left.metadata["sweep"] == right.metadata["sweep"]
+            assert right.metadata["sweep_seconds"] >= 0.0
+
+    def test_run_sweep_serial_unchanged(self):
+        from repro.scenarios import run_sweep
+        from repro.scenarios.spec import SweepSpec
+
+        sweep = SweepSpec.from_mapping("fig4", {"keep": (50, 100)})
+        legacy = run_sweep(sweep, effort="quick")
+        sharded = run_sweep(sweep, effort="quick", workers=2)
+        for (_, left), (_, right) in zip(legacy, sharded):
+            assert left.rows == right.rows
+
+
+# ------------------------------------------------------------------- CLI
+
+
+class TestCliWorkers:
+    def test_run_accepts_workers_and_prints_shard_timing(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "fig3", "--effort", "quick", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard(s)" in out
+        assert "workers=2" in out
+
+    def test_workers_auto_accepted(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "fig3", "--effort", "quick", "--workers", "auto"]) == 0
+
+    def test_bad_workers_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "fig3", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["run", "fig3", "--workers", "lots"])
+
+    def test_list_shows_sharding_capability(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "workers: trial-shards" in out
+        assert "workers: serial-only" in out
+
+    def test_sweep_accepts_workers(self, capsys):
+        from repro.experiments.cli import main
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig4",
+                    "--effort",
+                    "quick",
+                    "--set",
+                    "keep=50,100",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "point ran in" in out

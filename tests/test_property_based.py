@@ -12,9 +12,11 @@ from repro.analysis.synchronization import extract_bursts
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import ProtocolParameters, empirical_parameters
 from repro.core.state import CountingState, Phase, classify_phase, state_memory_bits
+from repro.engine.parallel import merge_shard_results, plan_shards
 from repro.engine.population import Population
 from repro.engine.protocol import InteractionContext, ProtocolEvent
-from repro.engine.rng import RandomSource
+from repro.engine.registry import make_engine
+from repro.engine.rng import RandomSource, SeedTree
 from repro.protocols.chvp import CHVP
 from repro.protocols.epidemic import MaxEpidemic
 
@@ -194,6 +196,86 @@ class TestEngineProperties:
         # Bursts are ordered and separated by more than the gap threshold.
         for earlier, later in zip(bursts, bursts[1:]):
             assert later.start - earlier.end > gap
+
+
+class TestParallelExecutionProperties:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=25),
+                st.integers(min_value=2, max_value=120),
+            ),
+            min_size=0,
+            max_size=6,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_valid_resize_schedule_keeps_population_at_least_two(
+        self, events, seed
+    ):
+        """Whatever the adversary does — shrink, grow, duplicate event
+        times, out-of-order times — the population never drops below two
+        agents at any snapshot."""
+        engine = make_engine(
+            "array",
+            DynamicSizeCounting(),
+            30,
+            seed=seed,
+            resize_schedule=events,
+        )
+        result = engine.run(30)
+        assert engine.size >= 2
+        assert all(snapshot.population_size >= 2 for snapshot in result.snapshots)
+
+    @given(
+        trials=st.integers(min_value=1, max_value=200),
+        shard_size=st.integers(min_value=1, max_value=40),
+        order_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=150)
+    def test_shard_merge_is_order_invariant(self, trials, shard_size, order_seed):
+        """Merging per-shard result streams yields the same trial-ordered
+        list no matter which order the shards complete in."""
+        shards = plan_shards(trials, shard_size=shard_size)
+        per_shard = [[("trial", t) for t in shard.trial_indices()] for shard in shards]
+        expected = [("trial", t) for t in range(trials)]
+        permutation = RandomSource.from_seed(order_seed).shuffled(range(len(shards)))
+        shuffled_shards = [shards[i] for i in permutation]
+        shuffled_results = [per_shard[i] for i in permutation]
+        assert merge_shard_results(shuffled_shards, shuffled_results) == expected
+        # The layout itself tiles [0, trials) without gaps or overlaps.
+        assert shards[0].start == 0 and shards[-1].stop == trials
+        assert all(a.stop == b.start for a, b in zip(shards, shards[1:]))
+
+    @given(seed=st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=5, deadline=None)
+    def test_seed_tree_children_never_collide_across_10k_spawns(self, seed):
+        """10^4 sibling children of one root all seed distinct generator
+        states (the pool-scale no-stream-reuse guarantee)."""
+        tree = SeedTree.from_seed(seed)
+        states = {
+            tuple(tree.trial(t).sequence().generate_state(2).tolist())
+            for t in range(10_000)
+        }
+        assert len(states) == 10_000
+
+    @given(seed=st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=10, deadline=None)
+    def test_seed_tree_namespaced_children_distinct_from_trials(self, seed):
+        """Shard-namespace streams never alias trial streams of any index."""
+        tree = SeedTree.from_seed(seed)
+        trial_states = {
+            tuple(tree.trial(t).sequence().generate_state(2).tolist())
+            for t in range(64)
+        }
+        shard_states = {
+            tuple(
+                tree.child("shard", t).sequence().generate_state(2).tolist()
+            )
+            for t in range(64)
+        }
+        assert not (trial_states & shard_states)
 
 
 class TestDistributionProperties:

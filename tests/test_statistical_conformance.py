@@ -1,0 +1,268 @@
+"""Statistical-conformance battery across engines and execution modes.
+
+The engines deliberately differ in *mechanism* — exact sequential
+interleaving, exact struct-of-arrays, synchronous-rounds batching, stacked
+ensembles, sharded stacks — but they all simulate the same stochastic
+process, so the *distributions* of the quantities the paper reports must
+agree.  This module checks two of them on a small counting workload:
+
+* **convergence time** — first parallel time at which the median estimate
+  is within tolerance of ``log2 n`` (horizon sentinel if never), and
+* **estimate error** — ``|median estimate - log2 n|`` at the horizon,
+
+across sequential vs array vs batched vs ensemble engines, and across
+``workers=1`` vs ``workers>1`` and the sharded vs single-stack ensemble
+paths.
+
+Every run is fully seeded, so the sample sets — and therefore the test
+verdicts — are deterministic: there is no flakiness to tolerate, and the
+generous significance level (``ALPHA = 1e-3``) only documents how big a
+disagreement would have to be before we call the engines statistically
+inconsistent.  The engines use *distinct* base seeds on purpose: with a
+shared seed the exact engines are trajectory-identical and the comparison
+would be vacuous; distinct seeds make this an honest two-sample test.
+
+The KS and chi-square machinery is implemented on plain NumPy (no SciPy
+dependency): two-sample Kolmogorov-Smirnov with the asymptotic critical
+value ``c(alpha) * sqrt((n+m)/(n*m))``, and a chi-square homogeneity test
+on pooled-quantile bins with the Wilson-Hilferty critical-value
+approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.engine.registry import make_engine
+from repro.engine.runner import run_engine_trials
+
+# --------------------------------------------------------------- statistics
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max CDF distance)."""
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    grid = np.concatenate([a, b])
+    grid.sort()
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def ks_critical(n: int, m: int, alpha: float) -> float:
+    """Asymptotic two-sample KS critical value at significance ``alpha``."""
+    c = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    return c * math.sqrt((n + m) / (n * m))
+
+
+#: Upper-tail standard normal quantiles used by the chi-square critical
+#: value approximation, keyed by significance level.
+_Z_UPPER = {0.05: 1.6449, 0.01: 2.3263, 0.001: 3.0902}
+
+
+def chi_square_critical(df: int, alpha: float) -> float:
+    """Wilson-Hilferty approximation of the chi-square upper quantile."""
+    z = _Z_UPPER[alpha]
+    return df * (1.0 - 2.0 / (9.0 * df) + z * math.sqrt(2.0 / (9.0 * df))) ** 3
+
+
+def chi_square_homogeneity(
+    a: np.ndarray, b: np.ndarray, bins: int = 3
+) -> tuple[float, int]:
+    """Chi-square homogeneity statistic of two samples on pooled bins.
+
+    Bin edges are pooled quantiles, so expected counts stay comfortably
+    above the classic >= 5 rule for the sample sizes used here.  Returns
+    ``(statistic, degrees_of_freedom)``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    pooled = np.concatenate([a, b])
+    edges = np.quantile(pooled, np.linspace(0.0, 1.0, bins + 1))
+    edges[0], edges[-1] = -np.inf, np.inf
+    # Collapse duplicate edges (heavily tied samples) to keep bins valid.
+    edges = np.unique(edges)
+    observed = np.array(
+        [np.histogram(sample, bins=edges)[0] for sample in (a, b)], dtype=float
+    )
+    row = observed.sum(axis=1, keepdims=True)
+    col = observed.sum(axis=0, keepdims=True)
+    expected = row * col / pooled.size
+    mask = expected > 0
+    statistic = float(((observed - expected)[mask] ** 2 / expected[mask]).sum())
+    df = (observed.shape[0] - 1) * (mask.any(axis=0).sum() - 1)
+    return statistic, max(int(df), 1)
+
+
+class TestStatisticHelpers:
+    def test_ks_identical_samples_is_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert ks_statistic(x, x) == 0.0
+
+    def test_ks_disjoint_samples_is_one(self):
+        assert ks_statistic(np.zeros(10), np.ones(10)) == 1.0
+
+    def test_ks_matches_known_value(self):
+        # CDFs differ by exactly 0.5 at x in [2, 3).
+        assert ks_statistic(np.array([1.0, 2.0]), np.array([1.0, 3.0])) == 0.5
+
+    def test_ks_critical_decreases_with_sample_size(self):
+        assert ks_critical(100, 100, 0.001) < ks_critical(10, 10, 0.001)
+
+    def test_chi_square_critical_close_to_table(self):
+        # Table values: chi2(2, 0.05)=5.991, chi2(4, 0.01)=13.277.
+        assert chi_square_critical(2, 0.05) == pytest.approx(5.991, abs=0.15)
+        assert chi_square_critical(4, 0.01) == pytest.approx(13.277, abs=0.15)
+
+    def test_chi_square_identical_samples_is_zero(self):
+        x = np.arange(30, dtype=float)
+        statistic, _ = chi_square_homogeneity(x, x)
+        assert statistic == 0.0
+
+
+# ----------------------------------------------------------------- workload
+
+N = 64
+PARALLEL_TIME = 40
+TRIALS = 30
+TOLERANCE = 2.0
+ALPHA = 0.001
+#: Sentinel convergence time for trials that never reach the tolerance.
+NEVER = float(PARALLEL_TIME + 10)
+
+#: (sample label) -> (engine, base seed, workers).  Distinct seeds keep the
+#: comparisons honest (see module docstring); the two ensemble entries
+#: compare the sharded row-shard path against the single-stack pass.
+SAMPLES = {
+    "sequential": ("sequential", 101, None),
+    "array": ("array", 202, None),
+    "batched": ("batched", 303, None),
+    "ensemble": ("ensemble", 404, 2),
+    "ensemble-single-stack": ("ensemble", 505, None),
+}
+
+
+def _factory(engine_name, rng, ensemble_trials):
+    """Module-level engine factory so worker processes can unpickle it."""
+    return make_engine(
+        engine_name,
+        DynamicSizeCounting(),
+        N,
+        rng=rng,
+        trials=ensemble_trials if engine_name == "ensemble" else None,
+    )
+
+
+def _convergence_times(series_list) -> np.ndarray:
+    log_n = math.log2(N)
+    times = []
+    for series in series_list:
+        time = next(
+            (
+                t
+                for t, median in zip(series["parallel_time"], series["median"])
+                if abs(median - log_n) <= TOLERANCE
+            ),
+            NEVER,
+        )
+        times.append(float(time))
+    return np.array(times)
+
+
+def _estimate_errors(series_list) -> np.ndarray:
+    log_n = math.log2(N)
+    return np.array([abs(series["median"][-1] - log_n) for series in series_list])
+
+
+@pytest.fixture(scope="module")
+def samples() -> dict[str, dict[str, np.ndarray]]:
+    """Per-engine convergence-time and estimate-error samples (seeded)."""
+    out = {}
+    for label, (engine, seed, workers) in SAMPLES.items():
+        series = run_engine_trials(
+            _factory,
+            engine=engine,
+            trials=TRIALS,
+            seed=seed,
+            parallel_time=PARALLEL_TIME,
+            workers=workers,
+        )
+        out[label] = {
+            "convergence": _convergence_times(series),
+            "error": _estimate_errors(series),
+        }
+    return out
+
+
+_PAIRS = [
+    ("sequential", "array"),
+    ("sequential", "batched"),
+    ("sequential", "ensemble"),
+    ("array", "ensemble"),
+    ("batched", "ensemble"),
+    ("ensemble", "ensemble-single-stack"),
+]
+
+
+class TestCrossEngineConformance:
+    @pytest.mark.parametrize("left,right", _PAIRS)
+    def test_convergence_times_agree_ks(self, samples, left, right):
+        d = ks_statistic(samples[left]["convergence"], samples[right]["convergence"])
+        assert d <= ks_critical(TRIALS, TRIALS, ALPHA), (
+            f"convergence-time distributions diverge: {left} vs {right}, D={d:.3f}"
+        )
+
+    @pytest.mark.parametrize("left,right", _PAIRS)
+    def test_estimate_errors_agree_ks(self, samples, left, right):
+        d = ks_statistic(samples[left]["error"], samples[right]["error"])
+        assert d <= ks_critical(TRIALS, TRIALS, ALPHA), (
+            f"estimate-error distributions diverge: {left} vs {right}, D={d:.3f}"
+        )
+
+    @pytest.mark.parametrize("left,right", _PAIRS)
+    def test_estimate_errors_agree_chi_square(self, samples, left, right):
+        statistic, df = chi_square_homogeneity(
+            samples[left]["error"], samples[right]["error"]
+        )
+        assert statistic <= chi_square_critical(df, ALPHA), (
+            f"binned estimate errors diverge: {left} vs {right}, "
+            f"chi2={statistic:.2f} (df={df})"
+        )
+
+    def test_all_engines_actually_converge(self, samples):
+        """Sanity anchor: the majority of trials converge on every engine,
+        so the KS comparisons are not vacuously comparing sentinels."""
+        for label, data in samples.items():
+            converged = (data["convergence"] < NEVER).mean()
+            assert converged >= 0.5, f"{label}: only {converged:.0%} converged"
+
+
+class TestWorkerCountConformance:
+    """workers=1 vs workers>1 is stronger than distributional agreement:
+    the sharded layer is bit-deterministic, so the samples are *equal*."""
+
+    @pytest.mark.parametrize("engine", ["sequential", "array", "batched", "ensemble"])
+    def test_worker_counts_yield_identical_samples(self, engine):
+        series_by_workers = {
+            workers: run_engine_trials(
+                _factory,
+                engine=engine,
+                trials=12,
+                seed=77,
+                parallel_time=15,
+                workers=workers,
+            )
+            for workers in (1, 3)
+        }
+        a = _convergence_times(series_by_workers[1])
+        b = _convergence_times(series_by_workers[3])
+        assert a.tolist() == b.tolist()
+        assert ks_statistic(a, b) == 0.0
+        ea = _estimate_errors(series_by_workers[1])
+        eb = _estimate_errors(series_by_workers[3])
+        assert ea.tolist() == eb.tolist()
