@@ -5,13 +5,25 @@ Every benchmark regenerates one figure or table of the paper at the
 benchmark's ``extra_info`` so that the numbers appear in the pytest-benchmark
 JSON output alongside the timing.  Set the environment variable
 ``REPRO_BENCH_EFFORT=default`` (or ``paper``) to run the larger presets.
+
+The engine/parallel speedup modules are thin wrappers over the
+:mod:`repro.bench` subsystem instead: they time through
+:func:`repro.bench.timing.measure`, collect :class:`repro.bench.suite.CaseResult`
+rows via the :func:`suite_cases` fixture, and — when ``REPRO_BENCH_DIR`` is
+set — write one normalized, schema-versioned suite JSON per module
+(``BENCH_engines.json`` / ``BENCH_parallel.json``), the same format the
+``python -m repro.bench`` CLI produces.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
+
+from repro.bench.suite import BenchSuite, CaseResult
+from repro.bench.timing import calibration_seconds
 
 
 @pytest.fixture(scope="session")
@@ -21,6 +33,33 @@ def effort() -> str:
     if level not in ("quick", "default", "paper"):
         raise ValueError(f"invalid REPRO_BENCH_EFFORT {level!r}")
     return level
+
+
+@pytest.fixture(scope="module")
+def suite_cases(request, effort) -> list[CaseResult]:
+    """Per-module collector of normalized benchmark cases.
+
+    Tests append :class:`CaseResult` rows; at module teardown the collected
+    cases are written as one :class:`BenchSuite` to
+    ``$REPRO_BENCH_DIR/<module's BENCH_SUITE_FILENAME>`` when that
+    environment variable is set (the CI bench job sets it to upload the
+    suites as artifacts).  Without it the cases are simply discarded — the
+    assertions in the tests themselves are the point of a plain pytest run.
+    """
+    cases: list[CaseResult] = []
+    yield cases
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    filename = getattr(request.module, "BENCH_SUITE_FILENAME", None)
+    if not out_dir or filename is None or not cases:
+        return
+    suite = BenchSuite(
+        cases=tuple(cases),
+        effort=effort,
+        warmup=0,
+        repeats=1,
+        calibration_seconds=calibration_seconds(),
+    )
+    suite.save(Path(out_dir) / filename)
 
 
 def run_experiment_benchmark(benchmark, runner, effort: str):

@@ -1,37 +1,42 @@
 """Engine x protocol benchmark matrix (engineering, not in the paper).
 
-Times every engine (sequential / array / batched / ensemble) on every
-protocol with a vectorised counterpart, across a sweep of population sizes
-— the engine-sweep shape of a classic simulator bench harness.  Each cell
-runs once (``pedantic``; these are throughput probes, not micro-benchmarks)
-and records the executed interaction count in ``extra_info`` so that
-interactions-per-second can be derived from the pytest-benchmark JSON.
+A thin wrapper over the :mod:`repro.bench` subsystem: every workload is
+timed through :func:`repro.bench.timing.measure` and recorded as a
+normalized :class:`repro.bench.suite.CaseResult` via the ``suite_cases``
+collector (written to ``$REPRO_BENCH_DIR/BENCH_engines.json`` when set —
+the same schema the ``python -m repro.bench`` CLI produces, so the files
+are comparable with ``repro.bench compare``).
 
-``test_bench_ensemble_speedup_fig3_preset`` additionally times the Fig. 3
-preset workload — the same ``(n, trials)`` sweep a figure regeneration
-runs — as per-trial looped ``batched`` runs versus one stacked ensemble
-pass, and records the per-point speedups.  CI runs this module with
-``--benchmark-json BENCH_engines.json`` so the perf trajectory is tracked
-(see ``.github/workflows/ci.yml``).
+Covered here, beyond the registry-derived scenario grid the CLI runs:
 
-Population sizes scale with ``REPRO_BENCH_EFFORT`` (see ``conftest.py``):
-the quick preset keeps the whole matrix in seconds, the larger presets let
-the vectorised engines show their asymptotic advantage.
+* the engine x protocol matrix — every engine (sequential / array /
+  batched / ensemble) on every protocol with a vectorised counterpart,
+  across a sweep of population sizes;
+* a larger single-cell probe of the batched engine;
+* the Fig. 3-preset ensemble-vs-looped-batched speedup, with the same
+  wall-clock assertions as always (gated by ``REPRO_BENCH_ASSERT`` so
+  shared-runner noise can never fail a plain test run).
+
+Population sizes scale with ``REPRO_BENCH_EFFORT`` (see ``conftest.py``).
 """
 
 from __future__ import annotations
 
 import os
-import time
 
 import pytest
 
+from repro.bench.suite import CaseResult
+from repro.bench.timing import measure
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.engine.registry import ENGINE_NAMES, make_engine
 from repro.experiments.figures import run_estimate_trace
 from repro.protocols.epidemic import MaxEpidemic
 from repro.protocols.junta import JuntaElection
 from repro.protocols.majority import ApproximateMajority
+
+#: Suite file the ``suite_cases`` collector writes under ``REPRO_BENCH_DIR``.
+BENCH_SUITE_FILENAME = "BENCH_engines.json"
 
 #: Scalar protocol factories with registered vectorised counterparts.
 PROTOCOLS = {
@@ -54,25 +59,35 @@ PARALLEL_TIME = 10
 
 @pytest.mark.parametrize("engine", ENGINE_NAMES)
 @pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
-def test_bench_engine_matrix(benchmark, effort, engine, protocol_name):
+def test_bench_engine_matrix(suite_cases, effort, engine, protocol_name):
     sizes = SIZES[effort]
+    interactions = 0
 
-    def sweep() -> int:
+    def sweep() -> None:
+        nonlocal interactions
         interactions = 0
         for n in sizes:
             simulator = make_engine(engine, PROTOCOLS[protocol_name](), n, seed=1)
             result = simulator.run(PARALLEL_TIME)
             assert result.parallel_time == PARALLEL_TIME
             interactions += result.interactions
-        return interactions
 
-    interactions = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    benchmark.extra_info["engine"] = engine
-    benchmark.extra_info["protocol"] = protocol_name
-    benchmark.extra_info["population_sizes"] = list(sizes)
-    benchmark.extra_info["parallel_time_per_size"] = PARALLEL_TIME
-    benchmark.extra_info["interactions_per_run"] = interactions
+    timing = measure(sweep, warmup=0, repeats=1)
     assert interactions == sum(sizes) * PARALLEL_TIME
+    suite_cases.append(
+        CaseResult(
+            case_id=f"engine-matrix:{protocol_name}[engine={engine}]@{effort}",
+            scenario=f"engine-matrix:{protocol_name}",
+            engine=engine,
+            effort=effort,
+            seconds=timing.seconds,
+            work_interactions=interactions,
+            extra={
+                "population_sizes": list(sizes),
+                "parallel_time_per_size": PARALLEL_TIME,
+            },
+        )
+    )
 
 
 #: Larger single-cell probe of the batched engine (the matrix above keeps
@@ -80,17 +95,28 @@ def test_bench_engine_matrix(benchmark, effort, engine, protocol_name):
 BATCHED_SCALE = {"quick": 50_000, "default": 200_000, "paper": 1_000_000}
 
 
-def test_bench_batched_engine_at_scale(benchmark, effort):
+def test_bench_batched_engine_at_scale(suite_cases, effort):
     n, parallel_time = BATCHED_SCALE[effort], 30
+    interactions = 0
 
-    def run():
+    def run() -> None:
+        nonlocal interactions
         simulator = make_engine("batched", DynamicSizeCounting(), n, seed=1)
-        return simulator.run(parallel_time)
+        interactions = simulator.run(parallel_time).interactions
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info["population_size"] = n
-    benchmark.extra_info["interactions_per_run"] = result.interactions
-    assert result.interactions == n * parallel_time
+    timing = measure(run, warmup=0, repeats=1)
+    assert interactions == n * parallel_time
+    suite_cases.append(
+        CaseResult(
+            case_id=f"batched-at-scale[n={n}]@{effort}",
+            scenario="batched-at-scale",
+            engine="batched",
+            effort=effort,
+            seconds=timing.seconds,
+            work_interactions=interactions,
+            extra={"population_size": n, "parallel_time": parallel_time},
+        )
+    )
 
 
 #: Fig. 3-preset-shaped speedup workload per effort level:
@@ -104,27 +130,35 @@ FIG3_SPEEDUP = {
 }
 
 
-def test_bench_ensemble_speedup_fig3_preset(benchmark, effort):
+def test_bench_ensemble_speedup_fig3_preset(suite_cases, effort):
     """Stacked ensemble pass vs per-trial looped batched runs on Fig. 3.
 
     Wherever the per-trial Python loop dominates — every small/mid-``n``
     point of the preset — the ensemble engine is well over 5x faster (8-16x
     measured).  At ``n = 10^4`` a single population's batches are already
     1250 lanes wide, so the loop overhead the ensemble removes shrinks and
-    the win settles around 2x; both regimes are recorded per point in
-    ``extra_info`` so the perf trajectory is tracked from this PR on.
+    the win settles around 2x; both regimes are recorded per point in the
+    case's ``extra`` so the perf trajectory stays tracked.
     """
     sizes, trials, parallel_time = FIG3_SPEEDUP[effort]
 
     per_point = {}
     looped_total = ensemble_total = 0.0
     for n in sizes:
-        started = time.perf_counter()
-        run_estimate_trace(n, parallel_time, trials=trials, seed=1, engine="batched")
-        looped = time.perf_counter() - started
-        started = time.perf_counter()
-        run_estimate_trace(n, parallel_time, trials=trials, seed=1, engine="ensemble")
-        stacked = time.perf_counter() - started
+        looped = measure(
+            lambda n=n: run_estimate_trace(
+                n, parallel_time, trials=trials, seed=1, engine="batched"
+            ),
+            warmup=0,
+            repeats=1,
+        ).minimum
+        stacked = measure(
+            lambda n=n: run_estimate_trace(
+                n, parallel_time, trials=trials, seed=1, engine="ensemble"
+            ),
+            warmup=0,
+            repeats=1,
+        ).minimum
         per_point[n] = {
             "looped_batched_seconds": looped,
             "ensemble_seconds": stacked,
@@ -138,19 +172,35 @@ def test_bench_ensemble_speedup_fig3_preset(benchmark, effort):
         per_point[n]["looped_batched_seconds"] for n in loop_bound
     ) / sum(per_point[n]["ensemble_seconds"] for n in loop_bound)
 
-    benchmark.extra_info["trials"] = trials
-    benchmark.extra_info["parallel_time"] = parallel_time
-    benchmark.extra_info["per_point"] = {str(n): per_point[n] for n in sizes}
-    benchmark.extra_info["sweep_speedup"] = looped_total / ensemble_total
-    benchmark.extra_info["loop_bound_speedup"] = loop_bound_speedup
-
-    # The timing column of the JSON tracks the ensemble pass itself.
-    benchmark.pedantic(
-        lambda: run_estimate_trace(
-            sizes[-1], parallel_time, trials=trials, seed=1, engine="ensemble"
-        ),
-        rounds=1,
-        iterations=1,
+    work = sum(n * parallel_time * trials for n in sizes)
+    shared_extra = {
+        "trials": trials,
+        "parallel_time": parallel_time,
+        "per_point": {str(n): per_point[n] for n in sizes},
+        "sweep_speedup": looped_total / ensemble_total,
+        "loop_bound_speedup": loop_bound_speedup,
+    }
+    suite_cases.append(
+        CaseResult(
+            case_id=f"fig3-speedup[engine=batched]@{effort}",
+            scenario="fig3-speedup",
+            engine="batched",
+            effort=effort,
+            seconds=(looped_total,),
+            work_interactions=work,
+            extra=shared_extra,
+        )
+    )
+    suite_cases.append(
+        CaseResult(
+            case_id=f"fig3-speedup[engine=ensemble]@{effort}",
+            scenario="fig3-speedup",
+            engine="ensemble",
+            effort=effort,
+            seconds=(ensemble_total,),
+            work_interactions=work,
+            extra=shared_extra,
+        )
     )
 
     # Functional runs only check that both paths completed and were timed;

@@ -7,7 +7,6 @@ clock rounds.
 
 from __future__ import annotations
 
-import math
 
 from conftest import run_experiment_benchmark
 

@@ -1,12 +1,12 @@
 """Shard-count scaling benchmark of the parallel execution layer.
 
-Times the Fig. 3-preset-shaped workload under the sharded execution path
-at ``workers`` ∈ {1, 2, 4} on its *loop-bound* point — the regime where
-per-trial Python work dominates and process sharding should scale with
-cores — and records per-worker-count seconds plus speedups in
-``extra_info``.  CI runs this module with ``--benchmark-json
-BENCH_parallel.json`` and uploads the artifact, so the scaling trajectory
-is tracked PR over PR alongside ``BENCH_engines.json``.
+A thin wrapper over the :mod:`repro.bench` subsystem (timing via
+:func:`repro.bench.timing.measure`, normalized cases via the
+``suite_cases`` collector, written to ``$REPRO_BENCH_DIR/BENCH_parallel.json``
+when set) that times the Fig. 3-preset-shaped workload under the sharded
+execution path at ``workers`` ∈ {1, 2, 4} on its *loop-bound* points —
+the regime where per-trial Python work dominates and process sharding
+should scale with cores.
 
 Two loop-bound flavours are measured:
 
@@ -27,9 +27,13 @@ single-core containers cannot fail it.
 from __future__ import annotations
 
 import os
-import time
 
+from repro.bench.suite import CaseResult
+from repro.bench.timing import measure
 from repro.experiments.figures import run_estimate_trace
+
+#: Suite file the ``suite_cases`` collector writes under ``REPRO_BENCH_DIR``.
+BENCH_SUITE_FILENAME = "BENCH_parallel.json"
 
 #: Fig. 3-preset-shaped loop-bound workloads per effort level:
 #: (sequential point, looped-batched point), each (n, trials, parallel_time).
@@ -46,21 +50,7 @@ WORKLOADS = {
 WORKER_COUNTS = (1, 2, 4)
 
 
-def _time_point(engine: str, n: int, trials: int, parallel_time: int, workers: int):
-    started = time.perf_counter()
-    trace = run_estimate_trace(
-        n,
-        parallel_time,
-        trials=trials,
-        seed=1,
-        engine=engine,
-        workers=workers,
-    )
-    elapsed = time.perf_counter() - started
-    return elapsed, trace
-
-
-def test_bench_parallel_shard_scaling(benchmark, effort):
+def test_bench_parallel_shard_scaling(suite_cases, effort):
     workloads = WORKLOADS[effort]
     cpu_count = os.cpu_count() or 1
 
@@ -69,8 +59,21 @@ def test_bench_parallel_shard_scaling(benchmark, effort):
         seconds = {}
         reference_rows = None
         for workers in WORKER_COUNTS:
-            elapsed, trace = _time_point(engine, n, trials, parallel_time, workers)
-            seconds[workers] = elapsed
+            trace = None
+
+            def point(workers=workers):
+                nonlocal trace
+                trace = run_estimate_trace(
+                    n,
+                    parallel_time,
+                    trials=trials,
+                    seed=1,
+                    engine=engine,
+                    workers=workers,
+                )
+
+            timing = measure(point, warmup=0, repeats=1)
+            seconds[workers] = timing.minimum
             # The determinism contract, re-checked at bench scale: every
             # worker count reproduces the same aggregated trace.
             rows = (trace.minimum, trace.median, trace.maximum)
@@ -80,29 +83,30 @@ def test_bench_parallel_shard_scaling(benchmark, effort):
                 assert rows == reference_rows, (
                     f"{engine}: workers={workers} changed the results"
                 )
-        per_engine[engine] = {
+        entry = {
             "n": n,
             "trials": trials,
             "parallel_time": parallel_time,
             "seconds_by_workers": {str(w): seconds[w] for w in WORKER_COUNTS},
             "speedup_2_workers": seconds[1] / seconds[2],
             "speedup_4_workers": seconds[1] / seconds[4],
+            "cpu_count": cpu_count,
         }
-
-    benchmark.extra_info["cpu_count"] = cpu_count
-    benchmark.extra_info["worker_counts"] = list(WORKER_COUNTS)
-    benchmark.extra_info["per_engine"] = per_engine
-
-    # The timing column of the JSON tracks the 4-worker sequential point —
-    # the sharded path this benchmark exists to guard.
-    n, trials, parallel_time = workloads["sequential"]
-    benchmark.pedantic(
-        lambda: run_estimate_trace(
-            n, parallel_time, trials=trials, seed=1, engine="sequential", workers=4
-        ),
-        rounds=1,
-        iterations=1,
-    )
+        per_engine[engine] = entry
+        work = n * parallel_time * trials
+        for workers in WORKER_COUNTS:
+            suite_cases.append(
+                CaseResult(
+                    case_id=f"shard-scaling:{engine}[workers={workers}]@{effort}",
+                    scenario=f"shard-scaling:{engine}",
+                    engine=engine,
+                    workers=workers,
+                    effort=effort,
+                    seconds=(seconds[workers],),
+                    work_interactions=work,
+                    extra=entry,
+                )
+            )
 
     # Functional runs only check that everything completed and was timed;
     # the wall-clock gate lives in the dedicated bench job.

@@ -76,7 +76,7 @@ def main() -> None:
         f"-> current leader: {winner} (initial majority was A)"
     )
     print(
-        f"Size estimate tracked log2(n): final median "
+        "Size estimate tracked log2(n): final median "
         f"{sorted(composed.estimate(s) for s in simulator.states())[simulator.population.size // 2]:.1f} "
         f"vs log2({simulator.population.size}) = {math.log2(simulator.population.size):.1f}"
     )

@@ -1,0 +1,9 @@
+"""Module entry point: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

@@ -1,0 +1,235 @@
+"""``python -m repro.bench`` — run, compare and report benchmark suites.
+
+::
+
+    python -m repro.bench run --effort quick --output BENCH_suite.json
+    python -m repro.bench compare benchmarks/BENCH_baseline.json BENCH_suite.json \
+        --fail-on-regression 25%
+    python -m repro.bench report BENCH_suite.json --baseline benchmarks/BENCH_baseline.json
+
+``run`` executes the registry-derived grid and writes one normalized suite
+file.  ``compare`` diffs two suite files; with ``--fail-on-regression PCT``
+it exits ``1`` when any case regressed beyond the threshold — the CI perf
+gate.  ``report`` prints the markdown summary (optionally with the verdict
+table against a baseline) for ``$GITHUB_STEP_SUMMARY``.
+
+Exit codes: ``0`` success / no gated regression, ``1`` gated regression,
+``2`` usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.compare import (
+    DEFAULT_NOISE_FLOOR_SECONDS,
+    DEFAULT_THRESHOLD,
+    compare_files,
+    parse_threshold,
+)
+from repro.bench.report import markdown_comparison, markdown_report
+from repro.bench.runner import run_suite
+from repro.bench.spec import EFFORTS, default_grid
+from repro.bench.suite import load_suite
+from repro.engine.errors import EngineError
+
+__all__ = ["main", "build_parser"]
+
+
+def _threshold(text: str) -> float:
+    try:
+        return parse_threshold(text)
+    except EngineError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Benchmark suites over the scenario registry: run, compare, report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="Execute the benchmark grid and write a suite JSON."
+    )
+    run_parser.add_argument(
+        "--effort",
+        default="quick",
+        choices=EFFORTS,
+        help="Preset effort level every case runs at (default: quick).",
+    )
+    run_parser.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="Restrict the grid to these scenarios (default: every registered one).",
+    )
+    run_parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="Unmeasured warmup runs per case (default: 1).",
+    )
+    run_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="Measured runs per case (default: 3).",
+    )
+    run_parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="Skip the machine-calibration measurement.",
+    )
+    run_parser.add_argument(
+        "--output",
+        default="BENCH_suite.json",
+        help="Suite file to write (default: BENCH_suite.json).",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare", help="Diff two suite files and print the verdict table."
+    )
+    compare_parser.add_argument("baseline", help="Baseline suite JSON.")
+    compare_parser.add_argument("current", help="Current suite JSON.")
+    compare_parser.add_argument(
+        "--fail-on-regression",
+        default=None,
+        metavar="PCT",
+        type=_threshold,
+        help=(
+            "Gate: exit 1 if any case is at least this much slower than the "
+            "baseline (e.g. '25%%'); omit to report without gating."
+        ),
+    )
+    compare_parser.add_argument(
+        "--threshold",
+        default=None,
+        metavar="PCT",
+        type=_threshold,
+        help=(
+            "Classification threshold when not gating (default: "
+            f"{DEFAULT_THRESHOLD * 100:.0f}%%)."
+        ),
+    )
+    compare_parser.add_argument(
+        "--noise-floor",
+        default=DEFAULT_NOISE_FLOOR_SECONDS,
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "Cases faster than this on both sides are always neutral "
+            f"(default: {DEFAULT_NOISE_FLOOR_SECONDS}s)."
+        ),
+    )
+    compare_parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="Do not rescale the baseline by the suites' calibration ratio.",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="Print the markdown summary of a suite file."
+    )
+    report_parser.add_argument("suite", help="Suite JSON to summarize.")
+    report_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="Also print the verdict table against this baseline suite.",
+    )
+    report_parser.add_argument(
+        "--threshold",
+        default=None,
+        metavar="PCT",
+        type=_threshold,
+        help=f"Verdict threshold (default: {DEFAULT_THRESHOLD * 100:.0f}%%).",
+    )
+    report_parser.add_argument(
+        "--noise-floor",
+        default=DEFAULT_NOISE_FLOOR_SECONDS,
+        type=float,
+        metavar="SECONDS",
+        help="Noise floor for the verdict table.",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenarios = None
+    if args.scenarios:
+        scenarios = [name for name in args.scenarios.split(",") if name]
+    specs = default_grid(args.effort, scenarios=scenarios)
+    print(
+        f"[repro.bench] running {len(specs)} case(s) at effort "
+        f"{args.effort!r} (warmup={args.warmup}, repeats={args.repeats})",
+        file=sys.stderr,
+    )
+    suite = run_suite(
+        specs,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        calibrate=not args.no_calibrate,
+        progress=lambda line: print(f"[repro.bench] {line}", file=sys.stderr),
+    )
+    path = suite.save(args.output)
+    print(markdown_report(suite))
+    print(f"[repro.bench] suite written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    gating = args.fail_on_regression is not None
+    threshold = (
+        args.fail_on_regression
+        if gating
+        else (args.threshold if args.threshold is not None else DEFAULT_THRESHOLD)
+    )
+    comparison = compare_files(
+        args.baseline,
+        args.current,
+        threshold=threshold,
+        noise_floor_seconds=args.noise_floor,
+        calibrate=not args.no_calibrate,
+    )
+    print(markdown_comparison(comparison))
+    if gating and comparison.has_regressions:
+        print(
+            f"[repro.bench] FAIL: {len(comparison.regressions)} case(s) "
+            f"regressed beyond {threshold * 100:.0f}% vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[repro.bench] {comparison.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    suite = load_suite(args.suite)
+    print(markdown_report(suite))
+    if args.baseline is not None:
+        comparison = compare_files(
+            args.baseline,
+            args.suite,
+            threshold=args.threshold if args.threshold is not None else DEFAULT_THRESHOLD,
+            noise_floor_seconds=args.noise_floor,
+        )
+        print(markdown_comparison(comparison, title="vs committed baseline"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    handlers = {"run": _cmd_run, "compare": _cmd_compare, "report": _cmd_report}
+    try:
+        return handlers[args.command](args)
+    except EngineError as exc:
+        print(f"repro.bench: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

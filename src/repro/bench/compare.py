@@ -1,0 +1,273 @@
+"""Suite-to-suite comparison with a regression/improvement/neutral verdict.
+
+The classification is deliberately conservative — a *regression* verdict
+can fail CI, so it must survive timing noise:
+
+* the headline ratio compares **medians**, and a verdict additionally
+  requires the **min-of-repeats** ratio (the least noisy statistic a small
+  sample offers) to cross the same threshold in the same direction, so a
+  single slow sample cannot flip a case;
+* cases whose wall time is below the **noise floor** on both sides are
+  always neutral — sub-hundredth-of-a-second cases measure scheduler
+  jitter, not code;
+* when both suites carry a calibration measurement, the baseline's times
+  are rescaled by the calibration ratio first, so a baseline committed
+  from a fast laptop doesn't read as a fleet-wide regression on a slower
+  CI runner (and vice versa).
+
+Cases present in only one suite are reported as ``added`` / ``removed``
+and never gate — growing the grid must not fail the build that grows it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.suite import BenchSuite, load_suite
+from repro.engine.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_NOISE_FLOOR_SECONDS",
+    "CaseComparison",
+    "SuiteComparison",
+    "compare_suites",
+    "compare_files",
+    "parse_threshold",
+]
+
+#: Default regression/improvement threshold: 25% (the CI gate's value).
+DEFAULT_THRESHOLD = 0.25
+
+#: Cases faster than this on both sides are always neutral.
+DEFAULT_NOISE_FLOOR_SECONDS = 0.02
+
+_STATUSES = ("regression", "improvement", "neutral", "added", "removed")
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """Verdict for one case id.
+
+    ``baseline_seconds`` is the calibration-rescaled baseline median (the
+    number the current median was actually judged against);
+    ``baseline_raw_seconds`` keeps the value as recorded in the baseline
+    file.  ``ratio`` is ``current / rescaled baseline`` (``None`` for
+    one-sided cases).
+    """
+
+    case_id: str
+    status: str
+    baseline_seconds: float | None = None
+    baseline_raw_seconds: float | None = None
+    current_seconds: float | None = None
+    ratio: float | None = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ConfigurationError(
+                f"unknown comparison status {self.status!r}; expected one of "
+                f"{', '.join(_STATUSES)}"
+            )
+
+
+@dataclass(frozen=True)
+class SuiteComparison:
+    """All case verdicts of one baseline-vs-current comparison."""
+
+    cases: tuple[CaseComparison, ...]
+    threshold: float
+    noise_floor_seconds: float
+    calibration_scale: float
+
+    def by_status(self, status: str) -> tuple[CaseComparison, ...]:
+        return tuple(case for case in self.cases if case.status == status)
+
+    @property
+    def regressions(self) -> tuple[CaseComparison, ...]:
+        return self.by_status("regression")
+
+    @property
+    def improvements(self) -> tuple[CaseComparison, ...]:
+        return self.by_status("improvement")
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def counts(self) -> dict[str, int]:
+        return {status: len(self.by_status(status)) for status in _STATUSES}
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{count} {status}" for status, count in counts.items() if count]
+        return ", ".join(parts) if parts else "no cases"
+
+
+def parse_threshold(text: str | float) -> float:
+    """Parse a threshold: ``"25%"``, ``"25"`` and ``"0.25"`` all mean 25%."""
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if value >= 1.0:
+            value /= 100.0
+    else:
+        stripped = text.strip()
+        percent = stripped.endswith("%")
+        try:
+            value = float(stripped.rstrip("%"))
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid threshold {text!r}; expected e.g. '25%' or '0.25'"
+            ) from None
+        if percent:
+            value /= 100.0
+        elif value >= 1.0:
+            value /= 100.0
+    if not 0.0 < value < 1.0:
+        raise ConfigurationError(
+            f"threshold {text!r} is outside the sensible (0%, 100%) range"
+        )
+    return value
+
+
+def _classify(
+    case_id: str,
+    baseline_median: float,
+    baseline_min: float,
+    current_median: float,
+    current_min: float,
+    *,
+    threshold: float,
+    noise_floor: float,
+) -> CaseComparison:
+    ratio = current_median / baseline_median if baseline_median > 0 else float("inf")
+    common = {
+        "case_id": case_id,
+        "baseline_seconds": baseline_median,
+        "current_seconds": current_median,
+        "ratio": ratio,
+    }
+    if max(baseline_median, current_median) < noise_floor:
+        return CaseComparison(
+            status="neutral",
+            reason=f"below the {noise_floor:.3f}s noise floor",
+            **common,
+        )
+    min_ratio = current_min / baseline_min if baseline_min > 0 else float("inf")
+    if ratio > 1.0 + threshold:
+        if min_ratio > 1.0 + threshold:
+            return CaseComparison(
+                status="regression",
+                reason=f"{(ratio - 1.0) * 100:.0f}% slower (min-of-repeats agrees)",
+                **common,
+            )
+        return CaseComparison(
+            status="neutral",
+            reason="median crossed the threshold but min-of-repeats did not "
+            "(likely a noisy sample)",
+            **common,
+        )
+    if ratio < 1.0 - threshold:
+        if min_ratio < 1.0 - threshold:
+            return CaseComparison(
+                status="improvement",
+                reason=f"{(1.0 - ratio) * 100:.0f}% faster (min-of-repeats agrees)",
+                **common,
+            )
+        return CaseComparison(
+            status="neutral",
+            reason="median crossed the threshold but min-of-repeats did not "
+            "(likely a noisy sample)",
+            **common,
+        )
+    return CaseComparison(status="neutral", reason="within threshold", **common)
+
+
+def compare_suites(
+    baseline: BenchSuite,
+    current: BenchSuite,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_seconds: float = DEFAULT_NOISE_FLOOR_SECONDS,
+    calibrate: bool = True,
+) -> SuiteComparison:
+    """Diff two suites case by case (see the module docstring for the rules)."""
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(
+            f"threshold must be a fraction in (0, 1), got {threshold}"
+        )
+    scale = 1.0
+    if (
+        calibrate
+        and baseline.calibration_seconds
+        and current.calibration_seconds
+        and baseline.calibration_seconds > 0
+    ):
+        scale = current.calibration_seconds / baseline.calibration_seconds
+
+    baseline_cases = baseline.by_case_id()
+    current_cases = current.by_case_id()
+    comparisons: list[CaseComparison] = []
+    for case_id in sorted(set(baseline_cases) | set(current_cases)):
+        base = baseline_cases.get(case_id)
+        cur = current_cases.get(case_id)
+        if base is None:
+            comparisons.append(
+                CaseComparison(
+                    case_id=case_id,
+                    status="added",
+                    current_seconds=cur.median_seconds,
+                    reason="not in baseline",
+                )
+            )
+            continue
+        if cur is None:
+            comparisons.append(
+                CaseComparison(
+                    case_id=case_id,
+                    status="removed",
+                    baseline_seconds=base.median_seconds * scale,
+                    baseline_raw_seconds=base.median_seconds,
+                    reason="not in current suite",
+                )
+            )
+            continue
+        verdict = _classify(
+            case_id,
+            base.median_seconds * scale,
+            base.min_seconds * scale,
+            cur.median_seconds,
+            cur.min_seconds,
+            threshold=threshold,
+            noise_floor=noise_floor_seconds,
+        )
+        comparisons.append(
+            dataclasses.replace(verdict, baseline_raw_seconds=base.median_seconds)
+        )
+    return SuiteComparison(
+        cases=tuple(comparisons),
+        threshold=threshold,
+        noise_floor_seconds=noise_floor_seconds,
+        calibration_scale=scale,
+    )
+
+
+def compare_files(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_seconds: float = DEFAULT_NOISE_FLOOR_SECONDS,
+    calibrate: bool = True,
+) -> SuiteComparison:
+    """Load two suite files and compare them (schema-checked on load)."""
+    return compare_suites(
+        load_suite(baseline_path),
+        load_suite(current_path),
+        threshold=threshold,
+        noise_floor_seconds=noise_floor_seconds,
+        calibrate=calibrate,
+    )

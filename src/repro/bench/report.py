@@ -1,0 +1,103 @@
+"""Markdown summaries of suites and comparisons.
+
+The tables are GitHub-flavored markdown so the CI job can append them to
+``$GITHUB_STEP_SUMMARY`` — the per-case numbers are then visible on the
+run page without downloading any artifact.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import SuiteComparison
+from repro.bench.suite import BenchSuite
+
+__all__ = ["markdown_report", "markdown_comparison"]
+
+_VERDICT_MARKS = {
+    "regression": "❌ regression",
+    "improvement": "✅ improvement",
+    "neutral": "· neutral",
+    "added": "➕ added",
+    "removed": "➖ removed",
+}
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "—"
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.0f}ms"
+
+
+def _fmt_throughput(interactions_per_second: float) -> str:
+    if interactions_per_second <= 0:
+        return "—"
+    if interactions_per_second >= 1e6:
+        return f"{interactions_per_second / 1e6:.1f}M/s"
+    if interactions_per_second >= 1e3:
+        return f"{interactions_per_second / 1e3:.1f}k/s"
+    return f"{interactions_per_second:.0f}/s"
+
+
+def markdown_report(suite: BenchSuite, *, title: str = "Benchmark suite") -> str:
+    """Per-case table of one suite: wall times and nominal throughput."""
+    lines = [
+        f"### {title}",
+        "",
+        f"effort `{suite.effort}` · warmup {suite.warmup} · repeats "
+        f"{suite.repeats} · {len(suite.cases)} case(s)"
+        + (
+            f" · calibration {_fmt_seconds(suite.calibration_seconds)}"
+            if suite.calibration_seconds
+            else ""
+        ),
+        "",
+        "| case | median | min | interactions/s |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for case in suite.cases:
+        lines.append(
+            f"| `{case.case_id}` | {_fmt_seconds(case.median_seconds)} "
+            f"| {_fmt_seconds(case.min_seconds)} "
+            f"| {_fmt_throughput(case.interactions_per_second)} |"
+        )
+    commit = suite.git.get("commit")
+    if commit:
+        dirty = " (dirty)" if suite.git.get("dirty") else ""
+        lines += ["", f"git `{commit[:12]}`{dirty} · {suite.machine.get('platform', '?')}"]
+    return "\n".join(lines) + "\n"
+
+
+def markdown_comparison(
+    comparison: SuiteComparison, *, title: str = "Benchmark comparison"
+) -> str:
+    """Verdict table of one baseline-vs-current comparison."""
+    lines = [
+        f"### {title}",
+        "",
+        f"threshold ±{comparison.threshold * 100:.0f}% · noise floor "
+        f"{_fmt_seconds(comparison.noise_floor_seconds)} · calibration scale "
+        f"{comparison.calibration_scale:.2f}x · {comparison.summary()}",
+        "",
+        "| case | baseline | current | Δ | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for case in comparison.cases:
+        if case.ratio is None:
+            delta = "—"
+        else:
+            delta = f"{(case.ratio - 1.0) * 100:+.0f}%"
+        lines.append(
+            f"| `{case.case_id}` | {_fmt_seconds(case.baseline_seconds)} "
+            f"| {_fmt_seconds(case.current_seconds)} | {delta} "
+            f"| {_VERDICT_MARKS[case.status]} |"
+        )
+    if comparison.has_regressions:
+        lines += [
+            "",
+            "**Regressions detected:** "
+            + ", ".join(f"`{case.case_id}`" for case in comparison.regressions),
+        ]
+    return "\n".join(lines) + "\n"

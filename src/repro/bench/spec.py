@@ -1,0 +1,167 @@
+"""Frozen benchmark case specifications and the registry-derived grid.
+
+A :class:`BenchSpec` pins everything one benchmark case needs — a
+registered scenario, the engine to force (or the scenario's default), a
+worker count for the sharded execution layer, and the effort preset — as
+frozen data, so a case is serializable, hashable, and identified by a
+stable :attr:`~BenchSpec.case_id` that two suites can be joined on.
+
+:func:`default_grid` derives the benchmark grid from the scenario registry
+itself: one case per registered scenario at its default engine, plus
+engine- and worker-axis cases for the designated workhorse scenarios.
+Because the grid is *derived* rather than enumerated, registering a new
+scenario makes it benchmarked (and therefore regression-gated in CI) for
+free — no benchmark-side change required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.errors import ConfigurationError
+from repro.engine.registry import ENGINE_NAMES
+from repro.scenarios.registry import get_scenario, iter_scenarios
+from repro.scenarios.runner import resolve_params, resolve_preset
+
+__all__ = ["EFFORTS", "BenchSpec", "default_grid", "nominal_work"]
+
+#: Effort presets a benchmark case may target.
+EFFORTS = ("quick", "default", "paper")
+
+#: Scenarios that additionally get one case per listed engine.  ``fig3`` is
+#: the canonical speedup workload of this repository (population sweep x
+#: trials), so its engine axis tracks the stacked-ensemble win PR over PR.
+ENGINE_AXIS: dict[str, tuple[str, ...]] = {"fig3": ("ensemble",)}
+
+#: Scenarios that additionally get one case per listed worker count,
+#: tracking the sharded execution layer's overhead/scaling.
+WORKER_AXIS: dict[str, tuple[int, ...]] = {"fig3": (2,)}
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One benchmark case: scenario x engine x workers x effort.
+
+    Attributes
+    ----------
+    scenario:
+        Name of a registered scenario (:mod:`repro.scenarios.registry`).
+    engine:
+        Engine to force for the run; ``None`` (default) uses the
+        scenario's own default, ``"auto"`` forces per-point auto-selection.
+    workers:
+        Worker processes for the sharded execution layer; ``None`` keeps
+        the serial path.
+    effort:
+        Preset effort level the scenario runs at.
+    """
+
+    scenario: str
+    engine: str | None = None
+    workers: int | None = None
+    effort: str = "quick"
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise ConfigurationError("bench spec needs a scenario name")
+        if self.engine is not None and self.engine != "auto" and self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; available: "
+                f"{', '.join(ENGINE_NAMES)} (or 'auto')"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.effort not in EFFORTS:
+            raise ConfigurationError(
+                f"unknown effort {self.effort!r}; available: {', '.join(EFFORTS)}"
+            )
+
+    @property
+    def case_id(self) -> str:
+        """Stable identifier two suites join on, e.g. ``fig3[engine=ensemble]@quick``.
+
+        Only non-default axes appear, so the id of the common case stays
+        short (``fig3@quick``) and adding a new axis later cannot silently
+        rename existing cases.
+        """
+        axes = []
+        if self.engine is not None:
+            axes.append(f"engine={self.engine}")
+        if self.workers is not None:
+            axes.append(f"workers={self.workers}")
+        middle = f"[{','.join(axes)}]" if axes else ""
+        return f"{self.scenario}{middle}@{self.effort}"
+
+
+def nominal_work(spec: BenchSpec) -> int:
+    """Nominal interaction count of a case: sum over points of ``n * T * trials``.
+
+    One parallel-time unit is ``n`` interactions, so this is the number of
+    agent interactions the workload simulates if the adversary never
+    resizes the population — a stable work denominator for
+    interactions-per-second throughput that does not depend on which
+    engine ran the case.
+    """
+    scenario = get_scenario(spec.scenario)
+    preset = resolve_preset(scenario, spec.effort)
+    if scenario.executor is None:
+        params = resolve_params(scenario, preset)
+        points = scenario.points(preset, params)
+        return sum(p.n * p.parallel_time * p.trials for p in points)
+    # Bespoke-executor scenarios (recorder workloads) don't expand points;
+    # approximate from the preset's own knobs.
+    return sum(
+        n * preset.parallel_time * preset.trials for n in preset.population_sizes
+    )
+
+
+def _has_effort(scenario_name: str, effort: str) -> bool:
+    try:
+        resolve_preset(get_scenario(scenario_name), effort)
+    except ConfigurationError:
+        return False
+    return True
+
+
+def default_grid(
+    effort: str = "quick", *, scenarios: Sequence[str] | None = None
+) -> tuple[BenchSpec, ...]:
+    """The registry-derived benchmark grid at one effort level.
+
+    One case per registered scenario at its default engine, plus the
+    :data:`ENGINE_AXIS` / :data:`WORKER_AXIS` cases for the scenarios that
+    carry them.  ``scenarios`` restricts the grid to the named scenarios
+    (unknown names raise, so a typo fails fast instead of silently
+    benchmarking nothing).
+    """
+    if effort not in EFFORTS:
+        raise ConfigurationError(
+            f"unknown effort {effort!r}; available: {', '.join(EFFORTS)}"
+        )
+    explicit = scenarios is not None
+    if explicit:
+        selected: Iterable = [get_scenario(name) for name in scenarios]
+    else:
+        selected = iter_scenarios()
+
+    grid: list[BenchSpec] = []
+    for scenario in selected:
+        if not _has_effort(scenario.name, effort):
+            if explicit:
+                # A named scenario must be benchable at the requested
+                # effort; skipping it silently would fake coverage.
+                raise ConfigurationError(
+                    f"scenario {scenario.name!r} has no {effort!r} preset"
+                )
+            continue
+        grid.append(BenchSpec(scenario=scenario.name, effort=effort))
+        default_engine = scenario.engine
+        for engine in ENGINE_AXIS.get(scenario.name, ()):
+            if engine != default_engine and scenario.supports_engine(engine):
+                grid.append(BenchSpec(scenario=scenario.name, engine=engine, effort=effort))
+        if scenario.executor is not None:
+            continue  # bespoke executors always run serially
+        for workers in WORKER_AXIS.get(scenario.name, ()):
+            grid.append(BenchSpec(scenario=scenario.name, workers=workers, effort=effort))
+    return tuple(grid)

@@ -1,0 +1,99 @@
+"""Wall-clock measurement primitives shared by the whole subsystem.
+
+:func:`measure` is the one way anything in this repository times a
+workload: warmup runs that never count, ``repeats`` measured runs, and a
+:class:`Timing` carrying every sample so that downstream consumers can use
+the noise-robust statistics (median for the headline, min as the "best
+achievable on this machine" floor) instead of a single noisy sample.
+
+:func:`calibration_seconds` times a fixed synthetic workload — a mix of
+NumPy array work and a pure-Python loop, mirroring the two regimes the
+engines live in — so that every :class:`~repro.bench.suite.BenchSuite`
+records how fast the machine that produced it actually is.  Comparing a
+suite from CI against a baseline committed from a laptop then rescales by
+the calibration ratio instead of pretending both machines run at the same
+speed.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.errors import ConfigurationError
+
+__all__ = ["Timing", "measure", "calibration_seconds"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """All measured samples of one workload, in execution order."""
+
+    seconds: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.seconds:
+            raise ConfigurationError("a Timing needs at least one measured sample")
+        if any(s < 0 for s in self.seconds):
+            raise ConfigurationError(f"negative wall-clock sample in {self.seconds}")
+
+    @property
+    def median(self) -> float:
+        """Headline statistic: robust against one slow outlier sample."""
+        return statistics.median(self.seconds)
+
+    @property
+    def minimum(self) -> float:
+        """Best observed sample — the least noisy lower bound on cost."""
+        return min(self.seconds)
+
+
+def measure(
+    fn: Callable[[], Any], *, warmup: int = 1, repeats: int = 3
+) -> Timing:
+    """Time ``fn`` with warmup/repeat control.
+
+    ``warmup`` runs execute first and are discarded (they absorb import
+    costs, allocator warmup and CPU frequency ramp); ``repeats`` runs are
+    then measured with :func:`time.perf_counter`.
+    """
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return Timing(seconds=tuple(samples))
+
+
+#: Sizes of the calibration workload.  Fixed forever: changing them changes
+#: the meaning of ``calibration_seconds`` recorded in every existing suite.
+_CALIBRATION_ARRAY = 400_000
+_CALIBRATION_LOOP = 800_000
+
+
+def _calibration_workload() -> float:
+    """Deterministic mixed NumPy + pure-Python workload (~0.1s per run)."""
+    rng = np.random.default_rng(20240508)
+    acc = 0.0
+    for _ in range(8):
+        values = rng.random(_CALIBRATION_ARRAY)
+        acc += float(np.sort(values)[:: _CALIBRATION_ARRAY // 100].sum())
+    total = 0
+    for i in range(_CALIBRATION_LOOP):
+        total = (total + i * 2654435761) & 0xFFFFFFFF
+    return acc + total
+
+
+def calibration_seconds(*, warmup: int = 1, repeats: int = 3) -> float:
+    """Median wall time of the fixed calibration workload on this machine."""
+    return measure(_calibration_workload, warmup=warmup, repeats=repeats).median

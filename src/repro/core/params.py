@@ -68,7 +68,7 @@ class ProtocolParameters:
     def __post_init__(self) -> None:
         if not self.tau1 > self.tau2 > self.tau3 > 0:
             raise ValueError(
-                f"phase constants must satisfy tau1 > tau2 > tau3 > 0, got "
+                "phase constants must satisfy tau1 > tau2 > tau3 > 0, got "
                 f"tau1={self.tau1}, tau2={self.tau2}, tau3={self.tau3}"
             )
         if self.tau_prime <= 0:

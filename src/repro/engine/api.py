@@ -451,7 +451,7 @@ class ArrayStateEngine(Engine):
             missing = [key for key in self.arrays if key not in extra]
             if missing:
                 raise ConfigurationError(
-                    f"initial_arrays is missing state variable(s) "
+                    "initial_arrays is missing state variable(s) "
                     f"{', '.join(repr(k) for k in missing)} when growing"
                 )
             for key in self.arrays:

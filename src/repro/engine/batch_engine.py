@@ -130,7 +130,7 @@ class VectorizedProtocol(abc.ABC):
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement interact_one(); it can "
-            f"run on the batched engine but not on the exact array engine"
+            "run on the batched engine but not on the exact array engine"
         )
 
     def interact_ensemble(

@@ -238,7 +238,7 @@ class EnsembleSimulator(ArrayStateEngine):
             missing = [key for key in self.arrays if key not in extra]
             if missing:
                 raise ConfigurationError(
-                    f"initial_arrays is missing state variable(s) "
+                    "initial_arrays is missing state variable(s) "
                     f"{', '.join(repr(k) for k in missing)} when growing"
                 )
             for key in self.arrays:

@@ -142,7 +142,7 @@ def vectorized_for(protocol: Any) -> VectorizedProtocol:
     raise ConfigurationError(
         f"no vectorized counterpart registered for {type(protocol).__name__}; "
         f"registered protocols: {', '.join(registered_protocols()) or '(none)'}. "
-        f"Use register_vectorized() or run on the sequential engine."
+        "Use register_vectorized() or run on the sequential engine."
     )
 
 
@@ -251,7 +251,7 @@ def make_engine(
     resize_schedule = tuple(resize_schedule)
     if engine != "ensemble" and trials is not None:
         raise ConfigurationError(
-            f"trials is only supported by the ensemble engine; the "
+            "trials is only supported by the ensemble engine; the "
             f"{engine!r} engine runs one trial per instance"
         )
     if engine == "sequential":
@@ -287,13 +287,13 @@ def make_engine(
         if list(recorders):
             raise ConfigurationError(
                 f"the {engine} engine does not support Recorder observers; "
-                f"use Engine.add_snapshot_hook() instead"
+                "use Engine.add_snapshot_hook() instead"
             )
         if not isinstance(population, int):
             raise ConfigurationError(
                 f"the {engine} engine needs an integer population size, got "
                 f"{type(population).__name__}; use initial_arrays for custom "
-                f"initial configurations"
+                "initial configurations"
             )
         vectorized = vectorized_for(protocol)
         if engine == "array":

@@ -294,7 +294,7 @@ class VectorizedApproximateMajority(VectorizedProtocol):
         """Arrays for an initial configuration with the given opinion counts."""
         if min(a, b, undecided) < 0 or a + b + undecided < 2:
             raise ValueError(
-                f"opinion counts must be non-negative and sum to >= 2, "
+                "opinion counts must be non-negative and sum to >= 2, "
                 f"got a={a}, b={b}, undecided={undecided}"
             )
         opinion = np.concatenate(

@@ -47,7 +47,7 @@ def register(spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
     if not replace and spec.name in _SCENARIOS:
         raise ConfigurationError(
             f"scenario {spec.name!r} is already registered; pass replace=True "
-            f"to override it"
+            "to override it"
         )
     _SCENARIOS[spec.name] = spec
     return spec

@@ -234,7 +234,7 @@ class ScenarioSpec:
         if self.executor is None and not self.metrics:
             raise ConfigurationError(
                 f"scenario {self.name!r} needs at least one metric extractor "
-                f"(or a bespoke executor)"
+                "(or a bespoke executor)"
             )
 
     @property

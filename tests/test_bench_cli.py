@@ -1,0 +1,251 @@
+"""The ``python -m repro.bench`` CLI: run / compare / report, exit codes.
+
+The acceptance contract of the CI perf gate is pinned here: ``compare
+--fail-on-regression 25%`` exits nonzero on a suite with an injected >= 25%
+slowdown and zero on a neutral re-run of the same baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.suite import BenchSuite, CaseResult, load_suite
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_suite_file(path, times: dict[str, float], calibration=0.1):
+    cases = tuple(
+        CaseResult(
+            case_id=case_id,
+            scenario=case_id.split("@")[0],
+            seconds=(seconds,) * 3,
+            work_interactions=1_000_000,
+        )
+        for case_id, seconds in times.items()
+    )
+    return BenchSuite(cases=cases, calibration_seconds=calibration).save(path)
+
+
+@pytest.fixture
+def baseline_file(tmp_path):
+    return make_suite_file(
+        tmp_path / "baseline.json", {"fig3@quick": 1.0, "fig4@quick": 2.0}
+    )
+
+
+def inject_slowdown(baseline_path, out_path, factor):
+    """Copy of a suite file with every case's samples scaled by ``factor``."""
+    data = json.loads(Path(baseline_path).read_text())
+    for case in data["cases"]:
+        case["seconds"] = [s * factor for s in case["seconds"]]
+    Path(out_path).write_text(json.dumps(data))
+    return out_path
+
+
+class TestCompareCommand:
+    def test_neutral_rerun_exits_zero(self, baseline_file, capsys):
+        code = main(
+            ["compare", str(baseline_file), str(baseline_file), "--fail-on-regression", "25%"]
+        )
+        assert code == 0
+        assert "neutral" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero(self, baseline_file, tmp_path, capsys):
+        slow = inject_slowdown(baseline_file, tmp_path / "slow.json", 1.5)
+        code = main(
+            ["compare", str(baseline_file), str(slow), "--fail-on-regression", "25%"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_exact_threshold_slowdown_is_neutral(self, baseline_file, tmp_path):
+        slow = inject_slowdown(baseline_file, tmp_path / "slow.json", 1.25)
+        code = main(
+            ["compare", str(baseline_file), str(slow), "--fail-on-regression", "25%"]
+        )
+        assert code == 0
+
+    def test_without_gate_reports_but_exits_zero(self, baseline_file, tmp_path, capsys):
+        slow = inject_slowdown(baseline_file, tmp_path / "slow.json", 2.0)
+        code = main(["compare", str(baseline_file), str(slow)])
+        assert code == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_improvement_never_gates(self, baseline_file, tmp_path):
+        fast = inject_slowdown(baseline_file, tmp_path / "fast.json", 0.5)
+        code = main(
+            ["compare", str(baseline_file), str(fast), "--fail-on-regression", "25%"]
+        )
+        assert code == 0
+
+    def test_missing_file_is_a_one_line_error(self, baseline_file, tmp_path, capsys):
+        code = main(["compare", str(baseline_file), str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_schema_mismatch_is_a_one_line_error(self, baseline_file, tmp_path, capsys):
+        data = json.loads(Path(baseline_file).read_text())
+        data["schema_version"] += 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(data))
+        code = main(["compare", str(baseline_file), str(bad)])
+        assert code == 2
+        assert "schema version" in capsys.readouterr().err
+
+    def test_bad_threshold_is_a_usage_error(self, baseline_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare", str(baseline_file), str(baseline_file), "--fail-on-regression", "fast"])
+        assert excinfo.value.code == 2
+
+
+class TestReportCommand:
+    def test_report_prints_case_table(self, baseline_file, capsys):
+        assert main(["report", str(baseline_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark suite" in out
+        assert "`fig3@quick`" in out
+
+    def test_report_with_baseline_prints_verdicts(self, baseline_file, tmp_path, capsys):
+        slow = inject_slowdown(baseline_file, tmp_path / "slow.json", 1.5)
+        assert main(["report", str(slow), "--baseline", str(baseline_file)]) == 0
+        out = capsys.readouterr().out
+        assert "vs committed baseline" in out
+        assert "❌ regression" in out
+
+
+class TestRunCommand:
+    def test_run_writes_a_loadable_suite(self, tmp_path, capsys):
+        out = tmp_path / "suite.json"
+        code = main(
+            [
+                "run",
+                "--scenarios",
+                "oscillate",
+                "--warmup",
+                "0",
+                "--repeats",
+                "1",
+                "--no-calibrate",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        suite = load_suite(out)
+        assert [case.case_id for case in suite.cases] == ["oscillate@quick"]
+        assert suite.cases[0].median_seconds > 0
+        assert suite.cases[0].work_interactions > 0
+        assert "oscillate@quick" in capsys.readouterr().out
+
+    def test_run_then_self_compare_is_neutral(self, tmp_path):
+        out = tmp_path / "suite.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--scenarios",
+                    "churn",
+                    "--warmup",
+                    "0",
+                    "--repeats",
+                    "1",
+                    "--no-calibrate",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert main(["compare", str(out), str(out), "--fail-on-regression", "25%"]) == 0
+
+    def test_unknown_scenario_is_a_one_line_error(self, tmp_path, capsys):
+        code = main(["run", "--scenarios", "nope", "--output", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_duplicate_scenario_fails_before_any_run(self, tmp_path, capsys):
+        out = tmp_path / "x.json"
+        code = main(["run", "--scenarios", "oscillate,oscillate", "--output", str(out)])
+        assert code == 2
+        assert "duplicate benchmark case" in capsys.readouterr().err
+        assert not out.exists()
+
+
+class TestCommittedBaseline:
+    """The CI gate's actual inputs: the committed quick-effort baseline."""
+
+    BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+
+    def test_baseline_is_a_valid_current_schema_suite(self):
+        suite = load_suite(self.BASELINE)
+        assert suite.effort == "quick"
+        assert suite.calibration_seconds and suite.calibration_seconds > 0
+        assert len(suite.cases) >= 10
+        assert all(case.median_seconds > 0 for case in suite.cases)
+
+    def test_neutral_rerun_of_the_baseline_exits_zero(self):
+        code = main(
+            [
+                "compare",
+                str(self.BASELINE),
+                str(self.BASELINE),
+                "--fail-on-regression",
+                "25%",
+            ]
+        )
+        assert code == 0
+
+    def test_injected_slowdown_against_the_baseline_exits_nonzero(self, tmp_path):
+        slow = inject_slowdown(self.BASELINE, tmp_path / "slow.json", 1.5)
+        code = main(
+            ["compare", str(self.BASELINE), str(slow), "--fail-on-regression", "25%"]
+        )
+        assert code == 1
+
+    def test_baseline_covers_the_default_grid(self):
+        from repro.bench.spec import default_grid
+
+        suite_ids = set(load_suite(self.BASELINE).by_case_id())
+        grid_ids = {spec.case_id for spec in default_grid("quick")}
+        assert grid_ids <= suite_ids
+
+
+class TestModuleEntryPoint:
+    """The literal CI invocation: ``python -m repro.bench compare ...``."""
+
+    def run_module(self, *args):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.bench", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+
+    def test_gate_exit_codes(self, baseline_file, tmp_path):
+        slow = inject_slowdown(baseline_file, tmp_path / "slow.json", 1.5)
+        neutral = self.run_module(
+            "compare", str(baseline_file), str(baseline_file), "--fail-on-regression", "25%"
+        )
+        assert neutral.returncode == 0, neutral.stderr
+        regressed = self.run_module(
+            "compare", str(baseline_file), str(slow), "--fail-on-regression", "25%"
+        )
+        assert regressed.returncode == 1, regressed.stderr
+        assert "regression" in regressed.stdout

@@ -1,0 +1,204 @@
+"""Suite comparison: thresholds, noise tolerance, one-sided cases, schema.
+
+These are the edge cases the CI perf gate's correctness rests on: a
+regression verdict can fail a build, so every rule that prevents a false
+one (strict threshold boundary, min-of-repeats veto, noise floor,
+calibration rescaling, added/removed never gating) is pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    compare_files,
+    compare_suites,
+    parse_threshold,
+)
+from repro.bench.suite import SCHEMA_VERSION, BenchSuite, CaseResult, SchemaVersionError
+from repro.engine.errors import ConfigurationError
+
+
+def make_suite(times: dict[str, float | tuple[float, ...]], calibration=0.1):
+    """Suite with one case per entry; a scalar time means identical repeats."""
+    cases = []
+    for case_id, seconds in times.items():
+        if isinstance(seconds, (int, float)):
+            seconds = (float(seconds),) * 3
+        cases.append(
+            CaseResult(
+                case_id=case_id,
+                scenario=case_id.split("[")[0].split("@")[0],
+                seconds=seconds,
+                work_interactions=1_000_000,
+            )
+        )
+    return BenchSuite(cases=tuple(cases), calibration_seconds=calibration)
+
+
+class TestClassification:
+    def test_neutral_rerun(self):
+        suite = make_suite({"fig3@quick": 1.0, "fig4@quick": 2.0})
+        comparison = compare_suites(suite, suite)
+        assert comparison.counts()["neutral"] == 2
+        assert not comparison.has_regressions
+
+    def test_regression_beyond_threshold(self):
+        baseline = make_suite({"fig3@quick": 1.0})
+        current = make_suite({"fig3@quick": 1.5})
+        comparison = compare_suites(baseline, current, threshold=0.25)
+        (case,) = comparison.regressions
+        assert case.case_id == "fig3@quick"
+        assert case.ratio == pytest.approx(1.5)
+
+    def test_improvement_beyond_threshold(self):
+        baseline = make_suite({"fig3@quick": 1.0})
+        current = make_suite({"fig3@quick": 0.5})
+        comparison = compare_suites(baseline, current, threshold=0.25)
+        assert len(comparison.improvements) == 1
+        assert not comparison.has_regressions
+
+    def test_all_improvement_run_has_no_regressions(self):
+        baseline = make_suite({f"s{i}@quick": 1.0 for i in range(5)})
+        current = make_suite({f"s{i}@quick": 0.4 for i in range(5)})
+        comparison = compare_suites(baseline, current)
+        assert comparison.counts()["improvement"] == 5
+        assert comparison.summary() == "5 improvement"
+        assert not comparison.has_regressions
+
+    def test_threshold_boundary_is_strict(self):
+        # Exactly 25% slower is NOT a regression — the verdict requires
+        # strictly crossing the threshold.
+        baseline = make_suite({"fig3@quick": 1.0})
+        comparison = compare_suites(
+            baseline, make_suite({"fig3@quick": 1.25}), threshold=0.25
+        )
+        assert comparison.counts()["neutral"] == 1
+        comparison = compare_suites(
+            baseline, make_suite({"fig3@quick": 1.2500001}), threshold=0.25
+        )
+        assert comparison.has_regressions
+
+    def test_min_of_repeats_vetoes_noisy_median(self):
+        # Median says 2x slower, but the best repeat matches the baseline:
+        # one slow sample must not fail a build.
+        baseline = make_suite({"fig3@quick": (1.0, 1.0, 1.0)})
+        current = make_suite({"fig3@quick": (1.0, 2.0, 2.0)})
+        comparison = compare_suites(baseline, current, threshold=0.25)
+        (case,) = comparison.cases
+        assert case.status == "neutral"
+        assert "min-of-repeats" in case.reason
+
+    def test_noise_floor_makes_tiny_cases_neutral(self):
+        baseline = make_suite({"tiny@quick": 0.001})
+        current = make_suite({"tiny@quick": 0.010})  # 10x "slower"
+        comparison = compare_suites(baseline, current, noise_floor_seconds=0.02)
+        (case,) = comparison.cases
+        assert case.status == "neutral"
+        assert "noise floor" in case.reason
+
+    def test_case_above_noise_floor_still_gates(self):
+        baseline = make_suite({"big@quick": 1.0})
+        current = make_suite({"big@quick": 10.0})
+        comparison = compare_suites(baseline, current, noise_floor_seconds=0.02)
+        assert comparison.has_regressions
+
+
+class TestOneSidedCases:
+    def test_case_only_in_current_is_added(self):
+        baseline = make_suite({"fig3@quick": 1.0})
+        current = make_suite({"fig3@quick": 1.0, "new@quick": 9.0})
+        comparison = compare_suites(baseline, current)
+        (added,) = comparison.by_status("added")
+        assert added.case_id == "new@quick"
+        assert not comparison.has_regressions  # growing the grid never gates
+
+    def test_case_only_in_baseline_is_removed(self):
+        baseline = make_suite({"fig3@quick": 1.0, "old@quick": 1.0})
+        current = make_suite({"fig3@quick": 1.0})
+        comparison = compare_suites(baseline, current)
+        (removed,) = comparison.by_status("removed")
+        assert removed.case_id == "old@quick"
+        assert not comparison.has_regressions
+
+    def test_empty_baseline_suite(self):
+        baseline = BenchSuite(cases=(), calibration_seconds=0.1)
+        current = make_suite({"fig3@quick": 1.0})
+        comparison = compare_suites(baseline, current)
+        assert comparison.counts()["added"] == 1
+        assert not comparison.has_regressions
+
+    def test_both_suites_empty(self):
+        empty = BenchSuite(cases=(), calibration_seconds=0.1)
+        comparison = compare_suites(empty, empty)
+        assert comparison.cases == ()
+        assert comparison.summary() == "no cases"
+        assert not comparison.has_regressions
+
+
+class TestCalibration:
+    def test_slower_machine_is_rescaled_not_regressed(self):
+        # The current machine's calibration ran 2x slower than the
+        # baseline's: 2x-slower case times are expected, not regressions.
+        baseline = make_suite({"fig3@quick": 1.0}, calibration=0.05)
+        current = make_suite({"fig3@quick": 2.0}, calibration=0.10)
+        comparison = compare_suites(baseline, current)
+        assert comparison.calibration_scale == pytest.approx(2.0)
+        (case,) = comparison.cases
+        assert case.status == "neutral"
+        assert case.baseline_raw_seconds == pytest.approx(1.0)
+        assert case.baseline_seconds == pytest.approx(2.0)
+
+    def test_no_calibrate_disables_rescaling(self):
+        baseline = make_suite({"fig3@quick": 1.0}, calibration=0.05)
+        current = make_suite({"fig3@quick": 2.0}, calibration=0.10)
+        comparison = compare_suites(baseline, current, calibrate=False)
+        assert comparison.calibration_scale == 1.0
+        assert comparison.has_regressions
+
+    def test_missing_calibration_assumes_equal_machines(self):
+        baseline = make_suite({"fig3@quick": 1.0}, calibration=None)
+        current = make_suite({"fig3@quick": 1.0}, calibration=0.10)
+        comparison = compare_suites(baseline, current)
+        assert comparison.calibration_scale == 1.0
+
+
+class TestSchemaAndInputs:
+    def test_schema_version_mismatch_raises(self, tmp_path):
+        good = make_suite({"fig3@quick": 1.0})
+        good_path = good.save(tmp_path / "good.json")
+        data = good.to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 7
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(data))
+        with pytest.raises(SchemaVersionError):
+            compare_files(good_path, bad_path)
+        with pytest.raises(SchemaVersionError):
+            compare_files(bad_path, good_path)
+
+    def test_bad_threshold_rejected(self):
+        suite = make_suite({"fig3@quick": 1.0})
+        with pytest.raises(ConfigurationError):
+            compare_suites(suite, suite, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            compare_suites(suite, suite, threshold=1.5)
+
+
+class TestParseThreshold:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("25%", 0.25), ("25", 0.25), ("0.25", 0.25), (" 10% ", 0.10), (0.5, 0.5), (30, 0.30)],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_threshold(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "fast", "-5%", "0", "100%"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_threshold(text)
+
+    def test_default_matches_ci_gate(self):
+        assert parse_threshold("25%") == DEFAULT_THRESHOLD

@@ -1,0 +1,75 @@
+"""Markdown report rendering for suites and comparisons."""
+
+from __future__ import annotations
+
+from repro.bench.compare import compare_suites
+from repro.bench.report import markdown_comparison, markdown_report
+from repro.bench.suite import BenchSuite, CaseResult
+
+
+def make_suite(times: dict[str, float], calibration=0.1):
+    cases = tuple(
+        CaseResult(
+            case_id=case_id,
+            scenario=case_id.split("@")[0],
+            seconds=(seconds,) * 3,
+            work_interactions=2_000_000,
+        )
+        for case_id, seconds in times.items()
+    )
+    return BenchSuite(cases=cases, calibration_seconds=calibration)
+
+
+class TestMarkdownReport:
+    def test_one_row_per_case(self):
+        suite = make_suite({"fig3@quick": 1.0, "fig4@quick": 0.5})
+        text = markdown_report(suite)
+        assert "| `fig3@quick` | 1.00s |" in text
+        assert "| `fig4@quick` | 500ms |" in text
+
+    def test_header_carries_run_knobs(self):
+        text = markdown_report(make_suite({"fig3@quick": 1.0}))
+        assert "effort `quick`" in text
+        assert "repeats 3" in text
+        assert "calibration 100ms" in text
+
+    def test_throughput_column(self):
+        text = markdown_report(make_suite({"fig3@quick": 1.0}))
+        assert "2.0M/s" in text
+
+    def test_git_provenance_footer(self):
+        suite = make_suite({"fig3@quick": 1.0})
+        text = markdown_report(suite)
+        commit = suite.git.get("commit")
+        if commit:
+            assert commit[:12] in text
+
+
+class TestMarkdownComparison:
+    def test_verdict_rows(self):
+        baseline = make_suite({"same@quick": 1.0, "slow@quick": 1.0, "fast@quick": 1.0})
+        current = make_suite({"same@quick": 1.0, "slow@quick": 2.0, "fast@quick": 0.4})
+        text = markdown_comparison(compare_suites(baseline, current))
+        assert "| `slow@quick` | 1.00s | 2.00s | +100% | ❌ regression |" in text
+        assert "✅ improvement" in text
+        assert "· neutral" in text
+
+    def test_regression_callout(self):
+        baseline = make_suite({"slow@quick": 1.0})
+        current = make_suite({"slow@quick": 2.0})
+        text = markdown_comparison(compare_suites(baseline, current))
+        assert "**Regressions detected:** `slow@quick`" in text
+
+    def test_added_and_removed_rows(self):
+        baseline = make_suite({"old@quick": 1.0, "keep@quick": 1.0})
+        current = make_suite({"new@quick": 1.0, "keep@quick": 1.0})
+        text = markdown_comparison(compare_suites(baseline, current))
+        assert "➕ added" in text
+        assert "➖ removed" in text
+        assert "—" in text  # one-sided rows have no delta
+
+    def test_header_carries_thresholds(self):
+        baseline = make_suite({"a@quick": 1.0})
+        text = markdown_comparison(compare_suites(baseline, baseline, threshold=0.25))
+        assert "threshold ±25%" in text
+        assert "calibration scale 1.00x" in text

@@ -1,0 +1,138 @@
+"""BenchSpec validation, case ids, and the registry-derived grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.spec import ENGINE_AXIS, WORKER_AXIS, BenchSpec, default_grid, nominal_work
+from repro.engine.errors import ConfigurationError
+from repro.scenarios.registry import register, scenario_names, unregister
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestBenchSpec:
+    def test_case_id_defaults(self):
+        assert BenchSpec("fig3").case_id == "fig3@quick"
+
+    def test_case_id_with_axes(self):
+        spec = BenchSpec("fig3", engine="ensemble", workers=2, effort="default")
+        assert spec.case_id == "fig3[engine=ensemble,workers=2]@default"
+
+    def test_case_id_single_axis(self):
+        assert BenchSpec("fig3", workers=4).case_id == "fig3[workers=4]@quick"
+        assert BenchSpec("fig3", engine="auto").case_id == "fig3[engine=auto]@quick"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchSpec("fig3", engine="warp-drive")
+
+    def test_auto_engine_accepted(self):
+        assert BenchSpec("fig3", engine="auto").engine == "auto"
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchSpec("fig3", workers=0)
+
+    def test_bad_effort_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchSpec("fig3", effort="heroic")
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchSpec("")
+
+
+class TestDefaultGrid:
+    def test_covers_every_registered_scenario(self):
+        grid = default_grid("quick")
+        covered = {spec.scenario for spec in grid}
+        assert covered == set(scenario_names())
+
+    def test_case_ids_are_unique(self):
+        grid = default_grid("quick")
+        ids = [spec.case_id for spec in grid]
+        assert len(ids) == len(set(ids))
+
+    def test_engine_and_worker_axes_present(self):
+        ids = {spec.case_id for spec in default_grid("quick")}
+        for scenario, engines in ENGINE_AXIS.items():
+            for engine in engines:
+                assert f"{scenario}[engine={engine}]@quick" in ids
+        for scenario, workers in WORKER_AXIS.items():
+            for count in workers:
+                assert f"{scenario}[workers={count}]@quick" in ids
+
+    def test_scenario_filter(self):
+        grid = default_grid("quick", scenarios=["oscillate"])
+        assert [spec.case_id for spec in grid] == ["oscillate@quick"]
+
+    def test_unknown_scenario_in_filter_fails_fast(self):
+        with pytest.raises(ConfigurationError):
+            default_grid("quick", scenarios=["nope"])
+
+    def test_unknown_effort_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_grid("overnight")
+
+    def test_explicitly_named_scenario_without_effort_fails_fast(self):
+        spec = ScenarioSpec(
+            name="grid_probe_explicit",
+            description="no presets registered",
+            metrics=(lambda trace, point, preset, params: {"n": point.n},),
+        )
+        register(spec)
+        try:
+            with pytest.raises(ConfigurationError, match="no 'quick' preset"):
+                default_grid("quick", scenarios=["grid_probe_explicit"])
+        finally:
+            unregister("grid_probe_explicit")
+
+    def test_new_scenario_is_benchable_for_free(self):
+        # A freshly registered scenario that resolves presets (here by
+        # borrowing fig3's preset family via experiment_id) appears in the
+        # grid with no benchmark-side change.
+        spec = ScenarioSpec(
+            name="grid_probe_scenario",
+            description="registry-derived grid probe",
+            metrics=(lambda trace, point, preset, params: {"n": point.n},),
+            experiment_id="fig3",
+        )
+        register(spec)
+        try:
+            ids = {s.case_id for s in default_grid("quick")}
+            assert "grid_probe_scenario@quick" in ids
+        finally:
+            unregister("grid_probe_scenario")
+
+    def test_scenario_without_presets_is_skipped(self):
+        spec = ScenarioSpec(
+            name="grid_probe_no_presets",
+            description="no presets registered",
+            metrics=(lambda trace, point, preset, params: {"n": point.n},),
+        )
+        register(spec)
+        try:
+            grid = default_grid("quick")
+            assert all(s.scenario != "grid_probe_no_presets" for s in grid)
+        finally:
+            unregister("grid_probe_no_presets")
+
+
+class TestNominalWork:
+    def test_fig3_matches_preset_points(self):
+        from repro.experiments.config import PRESETS
+
+        preset = PRESETS["fig3"]["quick"]
+        expected = sum(
+            n * preset.parallel_time * preset.trials for n in preset.population_sizes
+        )
+        assert nominal_work(BenchSpec("fig3")) == expected
+
+    def test_executor_scenarios_report_work(self):
+        # Bespoke-executor scenarios (recorder workloads) approximate from
+        # the preset knobs instead of expanded points.
+        assert nominal_work(BenchSpec("memory")) > 0
+
+    def test_every_grid_case_has_work(self):
+        for spec in default_grid("quick"):
+            assert nominal_work(spec) > 0, spec.case_id

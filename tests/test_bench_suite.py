@@ -1,0 +1,127 @@
+"""BenchSuite / CaseResult: round-trips, provenance, schema versioning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.suite import (
+    SCHEMA_VERSION,
+    BenchSuite,
+    CaseResult,
+    SchemaVersionError,
+    git_metadata,
+    load_suite,
+    machine_metadata,
+)
+from repro.engine.errors import ConfigurationError
+
+
+def make_case(case_id="fig3@quick", seconds=(0.2, 0.3, 0.25), **overrides):
+    fields = {
+        "case_id": case_id,
+        "scenario": "fig3",
+        "engine": None,
+        "workers": None,
+        "effort": "quick",
+        "seconds": seconds,
+        "work_interactions": 1_000_000,
+    }
+    fields.update(overrides)
+    return CaseResult(**fields)
+
+
+class TestCaseResult:
+    def test_statistics(self):
+        case = make_case(seconds=(0.2, 0.3, 0.25))
+        assert case.median_seconds == 0.25
+        assert case.min_seconds == 0.2
+        assert case.interactions_per_second == pytest.approx(1_000_000 / 0.25)
+
+    def test_throughput_without_work_measure(self):
+        assert make_case(work_interactions=0).interactions_per_second == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_case(seconds=())
+
+    def test_missing_case_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_case(case_id="")
+
+    def test_dict_round_trip(self):
+        case = make_case(extra={"per_point": {"10": 1.5}})
+        assert CaseResult.from_dict(case.to_dict()) == case
+
+
+class TestBenchSuite:
+    def test_json_round_trip(self, tmp_path):
+        suite = BenchSuite(
+            cases=(make_case(), make_case(case_id="fig4@quick", scenario="fig4")),
+            effort="quick",
+            warmup=1,
+            repeats=3,
+            calibration_seconds=0.1,
+        )
+        path = suite.save(tmp_path / "suite.json")
+        loaded = load_suite(path)
+        assert loaded.to_dict() == suite.to_dict()
+        assert loaded.by_case_id().keys() == {"fig3@quick", "fig4@quick"}
+
+    def test_duplicate_case_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchSuite(cases=(make_case(), make_case()))
+
+    def test_machine_and_git_provenance_recorded(self):
+        suite = BenchSuite(cases=(make_case(),))
+        data = suite.to_dict()
+        assert data["machine"]["python"]
+        assert data["machine"]["numpy"]
+        assert data["machine"]["cpu_count"] >= 1
+        assert "commit" in data["git"]
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "repro-bench-suite"
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        suite = BenchSuite(cases=(make_case(),))
+        data = suite.to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(SchemaVersionError):
+            load_suite(path)
+
+    def test_missing_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "not_a_suite.json"
+        path.write_text(json.dumps({"cases": []}))
+        with pytest.raises(SchemaVersionError):
+            load_suite(path)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SchemaVersionError):
+            BenchSuite.from_dict(
+                {"schema_version": SCHEMA_VERSION, "kind": "pytest-benchmark"}
+            )
+
+    def test_missing_file_is_a_one_line_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such suite file"):
+            load_suite(tmp_path / "absent.json")
+
+    def test_invalid_json_is_a_one_line_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_suite(path)
+
+
+def test_machine_metadata_fields():
+    meta = machine_metadata()
+    assert set(meta) == {"platform", "machine", "python", "numpy", "cpu_count"}
+
+
+def test_git_metadata_fields():
+    meta = git_metadata()
+    assert set(meta) == {"commit", "branch", "dirty"}
+    # This test runs inside the repository checkout, so the commit resolves.
+    assert meta["commit"] is None or len(meta["commit"]) == 40

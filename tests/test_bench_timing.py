@@ -1,0 +1,60 @@
+"""Timing primitives: measure(), Timing statistics, calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.timing import Timing, calibration_seconds, measure
+from repro.engine.errors import ConfigurationError
+
+
+class TestTiming:
+    def test_median_and_minimum(self):
+        timing = Timing(seconds=(0.3, 0.1, 0.2))
+        assert timing.median == 0.2
+        assert timing.minimum == 0.1
+
+    def test_single_sample(self):
+        timing = Timing(seconds=(0.5,))
+        assert timing.median == 0.5
+        assert timing.minimum == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timing(seconds=())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timing(seconds=(0.1, -0.1))
+
+
+class TestMeasure:
+    def test_warmup_runs_are_not_measured(self):
+        calls = []
+        timing = measure(lambda: calls.append(1), warmup=2, repeats=3)
+        assert len(calls) == 5
+        assert len(timing.seconds) == 3
+
+    def test_zero_warmup(self):
+        calls = []
+        timing = measure(lambda: calls.append(1), warmup=0, repeats=1)
+        assert len(calls) == 1
+        assert len(timing.seconds) == 1
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure(lambda: None, warmup=-1)
+        with pytest.raises(ConfigurationError):
+            measure(lambda: None, repeats=0)
+
+    def test_samples_are_positive(self):
+        timing = measure(lambda: sum(range(1000)), warmup=0, repeats=2)
+        assert all(s >= 0 for s in timing.seconds)
+
+
+def test_calibration_is_positive_and_repeatable():
+    first = calibration_seconds(warmup=0, repeats=1)
+    second = calibration_seconds(warmup=0, repeats=1)
+    assert first > 0 and second > 0
+    # Same fixed workload on the same machine: same order of magnitude.
+    assert 0.2 < first / second < 5.0

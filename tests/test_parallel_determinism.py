@@ -75,7 +75,7 @@ def golden() -> dict:
     if not GOLDEN_PATH.exists():
         pytest.fail(
             f"golden file {GOLDEN_PATH} missing; regenerate with "
-            f"REPRO_REGEN_GOLDEN=1"
+            "REPRO_REGEN_GOLDEN=1"
         )
     return json.loads(GOLDEN_PATH.read_text())
 

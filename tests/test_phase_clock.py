@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 from repro.analysis.synchronization import analyze_synchrony
 from repro.core.dynamic_counting import DynamicSizeCounting

@@ -6,8 +6,6 @@ import math
 
 import pytest
 
-from repro.engine.adversary import RemoveAgentsAt
-from repro.engine.population import Population
 from repro.engine.simulator import Simulator
 from repro.protocols.token_counting import TokenCounting, TokenCountingState
 

@@ -10,7 +10,6 @@ import pytest
 from repro.core.params import empirical_parameters, theory_parameters
 from repro.core.vectorized import VectorizedDynamicCounting
 from repro.engine.batch_engine import BatchedSimulator
-from repro.engine.rng import RandomSource
 
 
 @pytest.fixture
