@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.engine.errors import ConfigurationError
-from repro.engine.registry import ENGINE_NAMES
+from repro.engine.registry import engine_names
 from repro.scenarios.registry import get_scenario, iter_scenarios
 from repro.scenarios.runner import resolve_params, resolve_preset
 
@@ -31,8 +31,13 @@ EFFORTS = ("quick", "default", "paper")
 
 #: Scenarios that additionally get one case per listed engine.  ``fig3`` is
 #: the canonical speedup workload of this repository (population sweep x
-#: trials), so its engine axis tracks the stacked-ensemble win PR over PR.
-ENGINE_AXIS: dict[str, tuple[str, ...]] = {"fig3": ("ensemble",)}
+#: trials), so its engine axis tracks the stacked-ensemble win PR over PR
+#: and, since the counts engine landed, the count-vector path as well.
+#: ``fig2`` tracks the counts engine on the single-trace workload.
+ENGINE_AXIS: dict[str, tuple[str, ...]] = {
+    "fig3": ("ensemble", "counts"),
+    "fig2": ("counts",),
+}
 
 #: Scenarios that additionally get one case per listed worker count,
 #: tracking the sharded execution layer's overhead/scaling.
@@ -65,10 +70,11 @@ class BenchSpec:
     def __post_init__(self) -> None:
         if not self.scenario:
             raise ConfigurationError("bench spec needs a scenario name")
-        if self.engine is not None and self.engine != "auto" and self.engine not in ENGINE_NAMES:
+        known = self.engine is None or self.engine == "auto" or self.engine in engine_names()
+        if not known:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; available: "
-                f"{', '.join(ENGINE_NAMES)} (or 'auto')"
+                f"{', '.join(engine_names())} (or 'auto')"
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")

@@ -2,12 +2,14 @@
 
 The engine package is independent of the paper's specific protocol: it
 provides the random scheduler, the dynamic population, size-change
-adversaries, recorders, multi-trial orchestration, and four execution
+adversaries, recorders, multi-trial orchestration, and five execution
 engines behind one :class:`repro.engine.api.Engine` contract — exact
 sequential (:class:`Simulator`), exact struct-of-arrays
 (:class:`ArraySimulator`), batched/vectorised (:class:`BatchedSimulator`),
-and whole-ensemble stacked (:class:`EnsembleSimulator`) — selectable by
-name through :func:`repro.engine.registry.make_engine`.
+whole-ensemble stacked (:class:`EnsembleSimulator`), and count-vector
+multiset (:class:`CountsSimulator`, per-step cost independent of the
+population size) — selectable by name through
+:func:`repro.engine.registry.make_engine`.
 """
 
 from repro.engine.adversary import (
@@ -27,6 +29,14 @@ from repro.engine.batch_engine import (
     BatchedSimulator,
     BatchSnapshot,
     VectorizedProtocol,
+)
+from repro.engine.counts_engine import (
+    CountsKernel,
+    CountsSimulator,
+    CountsState,
+    PackedCountsKernel,
+    multiset_sample,
+    weighted_quantiles,
 )
 from repro.engine.ensemble_engine import EnsembleRunResult, EnsembleSimulator
 from repro.engine.errors import (
@@ -61,9 +71,20 @@ from repro.engine.recorder import (
 )
 from repro.engine.registry import (
     ENGINE_NAMES,
+    LARGE_POPULATION_THRESHOLD,
+    SMALL_POPULATION_THRESHOLD,
+    EngineInfo,
+    choose_engine,
+    counts_kernel_for,
+    engine_info,
+    engine_names,
+    has_counts_kernel,
     has_vectorized,
     make_engine,
+    register_counts_kernel,
+    register_engine,
     register_vectorized,
+    registered_counts_protocols,
     registered_protocols,
     vectorized_for,
 )
@@ -87,13 +108,20 @@ __all__ = [
     "BatchedRunResult",
     "BatchedSimulator",
     "CallbackRecorder",
+    "CountsKernel",
+    "CountsSimulator",
+    "CountsState",
     "DEFAULT_SHARD_SIZE",
     "ENGINE_NAMES",
     "Engine",
+    "EngineInfo",
     "EngineSnapshot",
     "CompositeAdversary",
     "ConfigurationError",
+    "LARGE_POPULATION_THRESHOLD",
     "MAX_AUTO_WORKERS",
+    "SMALL_POPULATION_THRESHOLD",
+    "PackedCountsKernel",
     "EmptyPopulationError",
     "EngineError",
     "EnsembleRunResult",
@@ -131,16 +159,26 @@ __all__ = [
     "UnknownAgentError",
     "VectorizedProtocol",
     "aggregate_series",
+    "choose_engine",
+    "counts_kernel_for",
+    "engine_info",
+    "engine_names",
     "execute_shards",
+    "has_counts_kernel",
     "has_vectorized",
     "make_engine",
     "make_rng",
     "merge_shard_results",
+    "multiset_sample",
     "plan_shards",
+    "register_counts_kernel",
+    "register_engine",
     "register_vectorized",
+    "registered_counts_protocols",
     "registered_protocols",
     "resolve_workers",
     "run_engine_trials",
     "spawn_streams",
     "vectorized_for",
+    "weighted_quantiles",
 ]

@@ -1,21 +1,26 @@
-"""Protocol-to-vectorized registry and engine selection by name.
+"""Protocol registries, the engine table, and engine selection by name.
 
-Two pieces of plumbing that make the unified engine layer usable from
+Three pieces of plumbing that make the unified engine layer usable from
 experiment code:
 
-* a **registry** mapping scalar protocol classes (subclasses of
+* a **vectorized registry** mapping scalar protocol classes (subclasses of
   :class:`repro.engine.protocol.Protocol`) to factories for their
   vectorised counterparts, so that the array/batched engines can be asked
   to run a scalar protocol and look up the struct-of-arrays implementation
-  themselves; and
-* :func:`make_engine`, which builds any of the four engines —
-  ``"sequential"`` / ``"array"`` / ``"batched"`` / ``"ensemble"`` — from a
-  protocol and a population size, converting a ``resize_schedule`` into the
-  right adversary representation for each engine.
+  themselves;
+* a **counts-kernel registry** doing the same for the multiset engine's
+  :class:`repro.engine.counts_engine.CountsKernel` adapters; and
+* an **engine table** (:class:`EngineInfo`) mapping engine names to
+  builders plus capability flags, consumed by :func:`make_engine` — new
+  backends (the ROADMAP's Numba/CuPy candidates) are
+  :func:`register_engine` calls, not edits to an if-chain.
 
-The default registrations (dynamic size counting, the uniform phase clock,
-epidemics, junta election, approximate majority) are loaded lazily on first
-lookup, so importing this module stays cheap and free of circular imports.
+The five built-in engines — ``"sequential"`` / ``"array"`` / ``"batched"``
+/ ``"ensemble"`` / ``"counts"`` — register when this module is imported;
+the default protocol registrations (dynamic size counting, the uniform
+phase clock, epidemics, junta election, approximate majority) are loaded
+lazily on first lookup, so importing this module stays cheap and free of
+circular imports.
 
 Example
 -------
@@ -27,6 +32,7 @@ Example
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 import numpy as np
@@ -35,6 +41,7 @@ from repro.engine.adversary import ResizeSchedule, SizeAdversary
 from repro.engine.api import Engine
 from repro.engine.array_engine import ArraySimulator
 from repro.engine.batch_engine import BatchedSimulator, VectorizedProtocol
+from repro.engine.counts_engine import CountsKernel, CountsSimulator
 from repro.engine.ensemble_engine import EnsembleSimulator
 from repro.engine.errors import ConfigurationError
 from repro.engine.population import Population
@@ -45,24 +52,120 @@ from repro.engine.simulator import Simulator
 __all__ = [
     "ENGINE_NAMES",
     "SMALL_POPULATION_THRESHOLD",
+    "LARGE_POPULATION_THRESHOLD",
+    "EngineInfo",
+    "register_engine",
+    "engine_names",
+    "engine_info",
     "register_vectorized",
     "has_vectorized",
     "vectorized_for",
     "registered_protocols",
+    "register_counts_kernel",
+    "has_counts_kernel",
+    "counts_kernel_for",
+    "registered_counts_protocols",
     "choose_engine",
     "make_engine",
 ]
-
-#: Names accepted by :func:`make_engine` (and the experiments' ``engine=``).
-ENGINE_NAMES = ("sequential", "array", "batched", "ensemble")
 
 #: Below this population size the exact array engine is already cheap, so
 #: :func:`choose_engine` prefers exactness over the approximate batched path.
 SMALL_POPULATION_THRESHOLD = 128
 
+#: At and above this population size the per-agent engines pay O(n) per
+#: parallel step while the counts engine stays O(|Q|^2), so
+#: :func:`choose_engine` switches to ``"counts"`` whenever the protocol has
+#: a counts kernel.  The crossover is far lower in practice (~10^4), but
+#: below this bound the per-agent engines are still comfortably fast and
+#: keep their stronger fidelity class.
+LARGE_POPULATION_THRESHOLD = 1_000_000
+
 #: Scalar protocol class -> factory building its vectorised counterpart.
 _REGISTRY: dict[type, Callable[[Any], VectorizedProtocol]] = {}
+#: Protocol class -> factory building its counts kernel.
+_COUNTS_REGISTRY: dict[type, Callable[[Any], CountsKernel]] = {}
 _defaults_loaded = False
+
+
+# --------------------------------------------------------------- engine table
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """One engine registration: a builder plus its capability flags.
+
+    The flags drive :func:`make_engine`'s shared argument validation, so a
+    registered backend only implements what it genuinely supports and the
+    rejection messages stay uniform.
+
+    Attributes
+    ----------
+    name:
+        Name accepted by :func:`make_engine` / ``--engine``.
+    builder:
+        Callable with :func:`make_engine`'s full signature building the
+        engine instance (called after the shared validation).
+    description:
+        One-line summary for listings and docs.
+    exact:
+        Whether the engine reproduces the sequential scheduler exactly
+        (as opposed to a synchronous-rounds / count-level approximation).
+    supports_trials:
+        Accepts ``trials=`` (stacked multi-trial execution).
+    supports_recorders:
+        Accepts :class:`repro.engine.recorder.Recorder` observers.
+    supports_adversary:
+        Accepts a :class:`repro.engine.adversary.SizeAdversary` object
+        (every engine accepts plain ``resize_schedule`` pairs).
+    supports_initial_arrays:
+        Accepts ``initial_arrays`` struct-of-arrays initial configurations.
+    requires_int_population:
+        Only accepts an integer population size (no ``Population`` object).
+    """
+
+    name: str
+    builder: Callable[..., Engine]
+    description: str = ""
+    exact: bool = False
+    supports_trials: bool = False
+    supports_recorders: bool = False
+    supports_adversary: bool = False
+    supports_initial_arrays: bool = False
+    requires_int_population: bool = True
+
+
+_ENGINE_TABLE: dict[str, EngineInfo] = {}
+
+#: Names accepted by :func:`make_engine` (and the experiments' ``engine=``).
+#: Rebuilt by :func:`register_engine`; prefer :func:`engine_names` in code
+#: that must see late registrations.
+ENGINE_NAMES: tuple[str, ...] = ()
+
+
+def register_engine(info: EngineInfo) -> None:
+    """Register (or replace) an engine in the table used by :func:`make_engine`."""
+    global ENGINE_NAMES
+    _ENGINE_TABLE[info.name] = info
+    ENGINE_NAMES = tuple(_ENGINE_TABLE)
+
+
+def engine_names() -> tuple[str, ...]:
+    """Currently registered engine names, in registration order."""
+    return tuple(_ENGINE_TABLE)
+
+
+def engine_info(name: str) -> EngineInfo:
+    """The registration record for an engine name."""
+    try:
+        return _ENGINE_TABLE[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; available engines: {', '.join(_ENGINE_TABLE)}"
+        ) from None
+
+
+# ------------------------------------------------------- vectorized registry
 
 
 def register_vectorized(
@@ -77,15 +180,34 @@ def register_vectorized(
     _REGISTRY[protocol_cls] = factory
 
 
+def register_counts_kernel(
+    protocol_cls: type, factory: Callable[[Any], CountsKernel]
+) -> None:
+    """Register ``factory(protocol) -> CountsKernel`` for a protocol class.
+
+    Mirrors :func:`register_vectorized` for the counts engine.  Registering
+    both the scalar protocol class and its vectorised counterpart lets
+    callers holding either representation run on ``"counts"``.
+    """
+    _COUNTS_REGISTRY[protocol_cls] = factory
+
+
 def _ensure_default_registrations() -> None:
     """Load the built-in registrations (deferred to avoid import cycles)."""
     global _defaults_loaded
     if _defaults_loaded:
         return
     _defaults_loaded = True
+    from repro.core.counts import DynamicCountingCountsKernel
     from repro.core.dynamic_counting import DynamicSizeCounting
     from repro.core.phase_clock import UniformPhaseClock
     from repro.core.vectorized import VectorizedDynamicCounting
+    from repro.protocols.counts import (
+        ApproximateMajorityCountsKernel,
+        InfectionEpidemicCountsKernel,
+        JuntaElectionCountsKernel,
+        MaxEpidemicCountsKernel,
+    )
     from repro.protocols.epidemic import InfectionEpidemic, MaxEpidemic
     from repro.protocols.junta import JuntaElection
     from repro.protocols.majority import ApproximateMajority
@@ -115,6 +237,25 @@ def _ensure_default_registrations() -> None:
     register_vectorized(
         ApproximateMajority, lambda p: VectorizedApproximateMajority(p.initial_opinion)
     )
+
+    # Counts kernels: registered for the scalar protocols *and* their
+    # vectorised counterparts, so code paths that already resolved a
+    # VectorizedProtocol (the generic trace builder, scenario executors)
+    # can switch to the counts engine without re-plumbing.
+    for cls in (DynamicSizeCounting, UniformPhaseClock, VectorizedDynamicCounting):
+        register_counts_kernel(cls, lambda p: DynamicCountingCountsKernel(p.params))
+    for cls in (MaxEpidemic, VectorizedMaxEpidemic):
+        register_counts_kernel(
+            cls, lambda p: MaxEpidemicCountsKernel(p.initial_value, p.one_way)
+        )
+    for cls in (InfectionEpidemic, VectorizedInfectionEpidemic):
+        register_counts_kernel(cls, lambda p: InfectionEpidemicCountsKernel(p.one_way))
+    for cls in (JuntaElection, VectorizedJuntaElection):
+        register_counts_kernel(cls, lambda p: JuntaElectionCountsKernel(p.max_level))
+    for cls in (ApproximateMajority, VectorizedApproximateMajority):
+        register_counts_kernel(
+            cls, lambda p: ApproximateMajorityCountsKernel(p.initial_opinion)
+        )
 
 
 def has_vectorized(protocol: Any) -> bool:
@@ -152,17 +293,67 @@ def registered_protocols() -> list[str]:
     return sorted(cls.__name__ for cls in _REGISTRY)
 
 
+def counts_kernel_for(protocol: Any) -> CountsKernel:
+    """Build the counts kernel for a protocol instance.
+
+    A :class:`~repro.engine.counts_engine.CountsKernel` passed in is
+    returned unchanged; otherwise the lookup walks the protocol's MRO like
+    :func:`vectorized_for`.  Raises :class:`ConfigurationError` when no
+    kernel is registered *or* when the registered kernel rejects the
+    protocol's parameterisation (e.g. the theory presets of dynamic
+    counting overflow the packed state key).
+    """
+    if isinstance(protocol, CountsKernel):
+        return protocol
+    _ensure_default_registrations()
+    for cls in type(protocol).__mro__:
+        factory = _COUNTS_REGISTRY.get(cls)
+        if factory is not None:
+            return factory(protocol)
+    raise ConfigurationError(
+        f"no counts kernel registered for {type(protocol).__name__}; "
+        f"registered protocols: {', '.join(registered_counts_protocols()) or '(none)'}. "
+        "Use register_counts_kernel() or run on a per-agent engine."
+    )
+
+
+def has_counts_kernel(protocol: Any) -> bool:
+    """Whether ``protocol`` can run on the counts engine *as parameterised*.
+
+    False both when no kernel is registered and when kernel construction
+    rejects the parameters, so :func:`choose_engine` never selects
+    ``"counts"`` for a workload :func:`make_engine` would refuse.
+    """
+    try:
+        counts_kernel_for(protocol)
+    except ConfigurationError:
+        return False
+    return True
+
+
+def registered_counts_protocols() -> list[str]:
+    """Sorted names of the protocol classes with counts-kernel registrations."""
+    _ensure_default_registrations()
+    return sorted(cls.__name__ for cls in _COUNTS_REGISTRY)
+
+
 def choose_engine(
     protocol: Any, trials: int, n: int, *, workers: int | None = None
 ) -> str:
     """Pick the best engine name for a workload.
 
-    The policy mirrors the measured trade-offs of the engine benchmarks:
+    The policy mirrors the measured trade-offs of the engine benchmarks,
+    tiered by population size and trial count:
 
     * a protocol without a vectorised counterpart can only run on the
       ``"sequential"`` engine;
     * small populations (``n <=`` :data:`SMALL_POPULATION_THRESHOLD`) run on
       the exact ``"array"`` engine — at that scale exactness is free;
+    * huge populations (``n >=`` :data:`LARGE_POPULATION_THRESHOLD`) of
+      protocols with a counts kernel run on the ``"counts"`` engine, whose
+      per-step cost is independent of ``n`` (a multi-trial point loops or
+      shards counts instances — still far cheaper than any per-agent
+      stacking at this scale);
     * multi-trial workloads of vectorisable protocols run fastest on the
       ``"ensemble"`` engine (trials in stacked passes);
     * a single large trial runs on the ``"batched"`` engine.
@@ -175,7 +366,9 @@ def choose_engine(
     and because the balanced layout guarantees every shard of a
     multi-trial point holds at least two trials (a single-trial shard
     exists only when ``trials == 1``), the per-shard choice provably
-    coincides with the per-point choice for every workload; the
+    coincides with the per-point choice for every workload.  The counts
+    tier keeps that equivalence trivially: its trigger depends only on the
+    protocol and ``n``, which every shard of a point shares.  The
     equivalence is pinned by the registry tests.  The parameter is
     validated and kept so callers state their execution context
     explicitly and alternative shard layouts can change the policy
@@ -195,9 +388,162 @@ def choose_engine(
         return "sequential"
     if n <= SMALL_POPULATION_THRESHOLD:
         return "array"
+    if n >= LARGE_POPULATION_THRESHOLD and has_counts_kernel(protocol):
+        return "counts"
     if trials > 1:
         return "ensemble"
     return "batched"
+
+
+# ------------------------------------------------------------------ builders
+
+
+def _build_sequential(
+    protocol: Any,
+    population: int | Population,
+    *,
+    rng: RandomSource | None,
+    seed: int | None,
+    resize_schedule: tuple[tuple[int, int], ...],
+    adversary: SizeAdversary | None,
+    recorders: Iterable[Recorder],
+    snapshot_stats: bool,
+    initial_arrays: dict[str, np.ndarray] | None,
+    sub_batches: int,
+    trials: int | None,
+) -> Engine:
+    if isinstance(protocol, VectorizedProtocol):
+        raise ConfigurationError(
+            "the sequential engine needs a scalar Protocol, got the "
+            f"vectorized {type(protocol).__name__}"
+        )
+    if adversary is not None and resize_schedule:
+        raise ConfigurationError("pass either adversary or resize_schedule, not both")
+    if adversary is None and resize_schedule:
+        adversary = ResizeSchedule.from_pairs(resize_schedule)
+    return Simulator(
+        protocol,
+        population,
+        rng=rng,
+        seed=seed,
+        adversary=adversary,
+        recorders=recorders,
+        snapshot_stats=snapshot_stats,
+    )
+
+
+def _build_array(protocol, population, *, rng, seed, resize_schedule, initial_arrays, **_):
+    return ArraySimulator(
+        vectorized_for(protocol),
+        population,
+        rng=rng,
+        seed=seed,
+        resize_schedule=resize_schedule,
+        initial_arrays=initial_arrays,
+    )
+
+
+def _build_batched(
+    protocol, population, *, rng, seed, resize_schedule, initial_arrays, sub_batches, **_
+):
+    return BatchedSimulator(
+        vectorized_for(protocol),
+        population,
+        rng=rng,
+        seed=seed,
+        resize_schedule=resize_schedule,
+        initial_arrays=initial_arrays,
+        sub_batches=sub_batches,
+    )
+
+
+def _build_ensemble(
+    protocol,
+    population,
+    *,
+    rng,
+    seed,
+    resize_schedule,
+    initial_arrays,
+    sub_batches,
+    trials,
+    **_,
+):
+    return EnsembleSimulator(
+        vectorized_for(protocol),
+        population,
+        trials=1 if trials is None else trials,
+        rng=rng,
+        seed=seed,
+        resize_schedule=resize_schedule,
+        initial_arrays=initial_arrays,
+        sub_batches=sub_batches,
+    )
+
+
+def _build_counts(
+    protocol, population, *, rng, seed, resize_schedule, initial_arrays, sub_batches, **_
+):
+    kernel = counts_kernel_for(protocol)
+    initial_state = None
+    if initial_arrays is not None:
+        initial_state = kernel.state_from_arrays(initial_arrays)
+    return CountsSimulator(
+        kernel,
+        population,
+        rng=rng,
+        seed=seed,
+        resize_schedule=resize_schedule,
+        sub_batches=sub_batches,
+        initial_state=initial_state,
+    )
+
+
+register_engine(
+    EngineInfo(
+        name="sequential",
+        builder=_build_sequential,
+        description="exact interleaving over object state (recorders, adversaries)",
+        exact=True,
+        supports_recorders=True,
+        supports_adversary=True,
+        requires_int_population=False,
+    )
+)
+register_engine(
+    EngineInfo(
+        name="array",
+        builder=_build_array,
+        description="exact interleaving over struct-of-arrays state",
+        exact=True,
+        supports_initial_arrays=True,
+    )
+)
+register_engine(
+    EngineInfo(
+        name="batched",
+        builder=_build_batched,
+        description="approximate synchronous-rounds batching, one trial",
+        supports_initial_arrays=True,
+    )
+)
+register_engine(
+    EngineInfo(
+        name="ensemble",
+        builder=_build_ensemble,
+        description="approximate batching stacked across all trials at once",
+        supports_trials=True,
+        supports_initial_arrays=True,
+    )
+)
+register_engine(
+    EngineInfo(
+        name="counts",
+        builder=_build_counts,
+        description="count-vector multiset dynamics; per-step cost independent of n",
+        supports_initial_arrays=True,
+    )
+)
 
 
 def make_engine(
@@ -220,14 +566,17 @@ def make_engine(
     Parameters
     ----------
     engine:
-        One of :data:`ENGINE_NAMES`: ``"sequential"`` (exact, object
-        state), ``"array"`` (exact, struct-of-arrays state), ``"batched"``
-        (approximate, vectorised) or ``"ensemble"`` (approximate,
-        vectorised across all trials of an experiment at once).
+        A registered engine name (see :func:`engine_names`):
+        ``"sequential"`` (exact, object state), ``"array"`` (exact,
+        struct-of-arrays state), ``"batched"`` (approximate, vectorised),
+        ``"ensemble"`` (approximate, vectorised across all trials of an
+        experiment at once) or ``"counts"`` (count-vector multiset
+        dynamics, per-step cost independent of ``n``).
     protocol:
         A scalar :class:`repro.engine.protocol.Protocol` (looked up in the
-        registry for the array/batched engines) or a
-        :class:`VectorizedProtocol` (used directly; rejected by the
+        registries for the array/batched/counts engines) or a
+        :class:`VectorizedProtocol` (used directly by the array engines and
+        mapped to its counts kernel by the counts engine; rejected by the
         sequential engine).
     population:
         Initial population size; the sequential engine also accepts a
@@ -235,96 +584,68 @@ def make_engine(
     resize_schedule:
         ``(parallel_time, target_size)`` adversary events, translated into
         a :class:`repro.engine.adversary.ResizeSchedule` for the sequential
-        engine and passed through natively to the array engines.
+        engine and passed through natively to the array/counts engines
+        (the counts engine applies them as hypergeometric subsampling /
+        initial-state re-injection on the count vector).
     adversary / recorders / snapshot_stats:
         Sequential-engine extras (richer than the shared snapshot hooks);
         ``snapshot_stats=False`` skips the per-snapshot output statistics
         for callers that only consume recorders.  ``adversary`` and
-        ``recorders`` are rejected for the array/batched engines.
+        ``recorders`` are rejected for engines whose capability flags do
+        not list them.
     initial_arrays / sub_batches:
-        Array-engine extras; rejected for the sequential engine.
+        Array-engine extras; rejected for the sequential engine.  The
+        counts engine converts ``initial_arrays`` into its count state
+        (integer-valued planes only).
     trials:
         Number of stacked trials for the ensemble engine (defaults to 1);
-        rejected for every other engine — they run one trial per instance
-        and are looped by :class:`repro.engine.runner.TrialRunner`.
+        rejected for every engine without ``supports_trials`` — they run
+        one trial per instance and are looped by
+        :class:`repro.engine.runner.TrialRunner`.
     """
     resize_schedule = tuple(resize_schedule)
-    if engine != "ensemble" and trials is not None:
+    info = _ENGINE_TABLE.get(engine)
+    if info is None:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; available engines: {', '.join(_ENGINE_TABLE)}"
+        )
+    if trials is not None and not info.supports_trials:
         raise ConfigurationError(
             "trials is only supported by the ensemble engine; the "
             f"{engine!r} engine runs one trial per instance"
         )
-    if engine == "sequential":
-        if isinstance(protocol, VectorizedProtocol):
-            raise ConfigurationError(
-                "the sequential engine needs a scalar Protocol, got the "
-                f"vectorized {type(protocol).__name__}"
-            )
-        if initial_arrays is not None:
-            raise ConfigurationError(
-                "initial_arrays is only supported by the array/batched engines; "
-                "pass a pre-built Population to the sequential engine instead"
-            )
-        if adversary is not None and resize_schedule:
-            raise ConfigurationError("pass either adversary or resize_schedule, not both")
-        if adversary is None and resize_schedule:
-            adversary = ResizeSchedule.from_pairs(resize_schedule)
-        return Simulator(
-            protocol,
-            population,
-            rng=rng,
-            seed=seed,
-            adversary=adversary,
-            recorders=recorders,
-            snapshot_stats=snapshot_stats,
+    if adversary is not None and not info.supports_adversary:
+        raise ConfigurationError(
+            f"the {engine} engine takes resize_schedule pairs, not a "
+            f"SizeAdversary; got {type(adversary).__name__}"
         )
-    if engine in ("array", "batched", "ensemble"):
-        if adversary is not None:
-            raise ConfigurationError(
-                f"the {engine} engine takes resize_schedule pairs, not a "
-                f"SizeAdversary; got {type(adversary).__name__}"
-            )
-        if list(recorders):
-            raise ConfigurationError(
-                f"the {engine} engine does not support Recorder observers; "
-                "use Engine.add_snapshot_hook() instead"
-            )
-        if not isinstance(population, int):
-            raise ConfigurationError(
-                f"the {engine} engine needs an integer population size, got "
-                f"{type(population).__name__}; use initial_arrays for custom "
-                "initial configurations"
-            )
-        vectorized = vectorized_for(protocol)
-        if engine == "array":
-            return ArraySimulator(
-                vectorized,
-                population,
-                rng=rng,
-                seed=seed,
-                resize_schedule=resize_schedule,
-                initial_arrays=initial_arrays,
-            )
-        if engine == "ensemble":
-            return EnsembleSimulator(
-                vectorized,
-                population,
-                trials=1 if trials is None else trials,
-                rng=rng,
-                seed=seed,
-                resize_schedule=resize_schedule,
-                initial_arrays=initial_arrays,
-                sub_batches=sub_batches,
-            )
-        return BatchedSimulator(
-            vectorized,
-            population,
-            rng=rng,
-            seed=seed,
-            resize_schedule=resize_schedule,
-            initial_arrays=initial_arrays,
-            sub_batches=sub_batches,
+    recorders = list(recorders)
+    if recorders and not info.supports_recorders:
+        raise ConfigurationError(
+            f"the {engine} engine does not support Recorder observers; "
+            "use Engine.add_snapshot_hook() instead"
         )
-    raise ConfigurationError(
-        f"unknown engine {engine!r}; available engines: {', '.join(ENGINE_NAMES)}"
+    if initial_arrays is not None and not info.supports_initial_arrays:
+        raise ConfigurationError(
+            "initial_arrays is only supported by the array/batched engines; "
+            "pass a pre-built Population to the sequential engine instead"
+        )
+    if info.requires_int_population and not isinstance(population, int):
+        raise ConfigurationError(
+            f"the {engine} engine needs an integer population size, got "
+            f"{type(population).__name__}; use initial_arrays for custom "
+            "initial configurations"
+        )
+    return info.builder(
+        protocol,
+        population,
+        rng=rng,
+        seed=seed,
+        resize_schedule=resize_schedule,
+        adversary=adversary,
+        recorders=recorders,
+        snapshot_stats=snapshot_stats,
+        initial_arrays=initial_arrays,
+        sub_batches=sub_batches,
+        trials=trials,
     )

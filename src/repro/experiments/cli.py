@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.engine.errors import ConfigurationError, EngineError
-from repro.engine.registry import ENGINE_NAMES
+from repro.engine.registry import engine_names
 from repro.experiments.base import ExperimentResult
 from repro.experiments.baseline_comparison import run_baseline_comparison
 from repro.experiments.config import list_presets
@@ -93,11 +93,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         default=None,
-        choices=ENGINE_NAMES + ("auto",),
+        choices=engine_names() + ("auto",),
         help=(
-            "Execution engine (sequential, array, batched, ensemble) or 'auto' "
-            "to pick the best engine per workload; omit to use each scenario's "
-            "default."
+            "Execution engine (one of: "
+            + ", ".join(engine_names())
+            + ") or 'auto' to pick the best engine per workload; omit to use "
+            "each scenario's default."
         ),
     )
     parser.add_argument(

@@ -5,14 +5,16 @@ agent estimate of ``log2 n`` over parallel time, aggregated over independent
 runs — and differ only in the workload (population size, decimation event,
 initial estimate).  :func:`run_estimate_trace` runs one such workload on a
 selectable engine (``"sequential"`` / ``"array"`` / ``"batched"`` /
-``"ensemble"``, see :mod:`repro.engine.registry`) and aggregates across
-trials exactly like the paper does over its 96 runs: the reported minimum is
-the minimum over all runs' minima, the maximum the maximum over all maxima,
-and the median the median of the runs' medians.
+``"ensemble"`` / ``"counts"``, see :mod:`repro.engine.registry`) and
+aggregates across trials exactly like the paper does over its 96 runs: the
+reported minimum is the minimum over all runs' minima, the maximum the
+maximum over all maxima, and the median the median of the runs' medians.
 
 The batched engine is the default; the ensemble engine additionally stacks
 all trials of a data point into one ``(trials, n)`` engine and removes the
-per-trial Python loop entirely — the fastest way to regenerate a figure.
+per-trial Python loop entirely — the fastest way to regenerate a figure at
+the paper's populations.  The counts engine drops the per-agent state for
+a count vector, making huge populations (n = 10^7 and beyond) affordable.
 The exact engines are available for small-n cross-validation and for
 workloads where the interleaving matters.
 """
@@ -81,7 +83,8 @@ def _build_trace_engine(
     All engines run the same protocol family — the scalar
     :class:`DynamicSizeCounting` on the sequential engine, the
     struct-of-arrays :class:`VectorizedDynamicCounting` on the exact array
-    and approximate batched/ensemble engines — so only the workload
+    and approximate batched/ensemble engines (and, mapped to its counts
+    kernel by the registry, on the counts engine) — so only the workload
     translation (initial estimate to population/arrays) lives here; the
     engine dispatch itself is :func:`repro.engine.registry.make_engine`.
     """
@@ -178,12 +181,13 @@ def run_estimate_trace(
         Fidelity knob of the batched engine (ignored by the exact engines).
     engine:
         Engine name: ``"sequential"``, ``"array"``, ``"batched"``
-        (default), ``"ensemble"``, or ``None``/``"auto"`` to pick the best
-        engine for the workload via
+        (default), ``"ensemble"``, ``"counts"``, or ``None``/``"auto"`` to
+        pick the best engine for the workload via
         :func:`repro.engine.registry.choose_engine`.  All engines report the
         same snapshot series; the exact engines are practical only for small
-        ``n``, and the ensemble engine runs trials in stacked passes
-        instead of the per-trial loop.
+        ``n``, the ensemble engine runs trials in stacked passes instead of
+        the per-trial loop, and the counts engine makes huge populations
+        (``n >= 10^7``) affordable.
     workers:
         Sharded execution (see :mod:`repro.engine.parallel`): ``None``
         (default) keeps the serial path, ``"auto"`` uses the capped CPU

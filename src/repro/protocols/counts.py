@@ -1,0 +1,269 @@
+"""Counts-level kernels for the toolbox protocols.
+
+Multiset (count-vector) counterparts of :mod:`repro.protocols.vectorized`
+for the :class:`repro.engine.counts_engine.CountsSimulator`: epidemics,
+junta election and approximate majority re-expressed on interaction-count
+cells, so they scale to populations of 10^7-10^9 agents.
+
+These protocols have tiny, fixed state lattices, so the kernels are mostly
+bookkeeping; the only randomness beyond the engine's pair sampling is the
+junta protocol's coin flips, which become one binomial split per climbing
+cell.  The two-way kernels (infection, junta, majority) rely on the
+engine's without-replacement pairing: all interactions of a sub-batch
+touch disjoint agents, which is exactly what lets both endpoint updates
+apply at the count level without write conflicts.
+
+The mapping from protocol classes to these kernels lives in
+:mod:`repro.engine.registry` next to the vectorized registrations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.engine.counts_engine import CountsState, PackedCountsKernel
+from repro.engine.errors import ConfigurationError
+from repro.engine.rng import RandomSource
+from repro.protocols.majority import ApproximateMajority
+
+__all__ = [
+    "MaxEpidemicCountsKernel",
+    "InfectionEpidemicCountsKernel",
+    "JuntaElectionCountsKernel",
+    "ApproximateMajorityCountsKernel",
+]
+
+#: Default bound (exclusive) on the spread value of the max epidemic: the
+#: seeded peaks of the figures stay far below it, and a single ~2^21 field
+#: packs trivially.
+MAX_EPIDEMIC_VALUE_CAP = 2**21
+
+
+def _single_state(
+    kernel: PackedCountsKernel, n: int, values: Mapping[str, int]
+) -> CountsState:
+    columns = {
+        name: np.array([values[name]], dtype=np.int64) for name, _ in kernel.fields
+    }
+    return kernel.state_from_columns(columns, np.array([n], dtype=np.int64))
+
+
+class MaxEpidemicCountsKernel(PackedCountsKernel):
+    """Max-propagation epidemic on counts: ``u' = max(u, v)``.
+
+    Mirrors :class:`repro.protocols.vectorized.VectorizedMaxEpidemic`
+    restricted to integer values (the counts engine enumerates integer
+    lattices; every workload in this repo spreads integer peaks).
+    """
+
+    name = "counts-max-epidemic"
+
+    def __init__(
+        self,
+        initial_value: int = 0,
+        one_way: bool = True,
+        value_cap: int = MAX_EPIDEMIC_VALUE_CAP,
+    ) -> None:
+        if not 0 <= int(initial_value) < value_cap:
+            raise ConfigurationError(
+                f"initial_value must lie in [0, {value_cap}), got {initial_value}"
+            )
+        self.initial_value = int(initial_value)
+        self.one_way = bool(one_way)
+        self.two_way = not self.one_way
+        self.fields = (("value", int(value_cap)),)
+        self._check_packing()
+
+    def initial_state(self, n: int, rng: RandomSource) -> CountsState:
+        return _single_state(self, n, {"value": self.initial_value})
+
+    def output_values(self, state: CountsState) -> np.ndarray:
+        return state.columns["value"].astype(np.float64)
+
+    def transition(self, u, v, multiplicity, rng):
+        peak = {"value": np.maximum(u["value"], v["value"])}
+        if self.two_way:
+            return peak, multiplicity, peak, multiplicity
+        return peak, multiplicity, None, None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "initial_value": self.initial_value,
+            "one_way": self.one_way,
+        }
+
+
+class InfectionEpidemicCountsKernel(PackedCountsKernel):
+    """Binary SI epidemic on counts (0 = susceptible, 1 = infected).
+
+    Mirrors :class:`repro.protocols.vectorized.VectorizedInfectionEpidemic`.
+    """
+
+    name = "counts-infection-epidemic"
+    fields = (("infected", 2),)
+
+    def __init__(self, one_way: bool = False) -> None:
+        self.one_way = bool(one_way)
+        self.two_way = not self.one_way
+        self._check_packing()
+
+    def initial_state(self, n: int, rng: RandomSource) -> CountsState:
+        return _single_state(self, n, {"infected": 0})
+
+    def output_values(self, state: CountsState) -> np.ndarray:
+        return state.columns["infected"].astype(np.float64)
+
+    def transition(self, u, v, multiplicity, rng):
+        both = {"infected": np.maximum(u["infected"], v["infected"])}
+        if self.two_way:
+            return both, multiplicity, both, multiplicity
+        return both, multiplicity, None, None
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "one_way": self.one_way}
+
+
+class JuntaElectionCountsKernel(PackedCountsKernel):
+    """Coin-level junta election on counts.
+
+    Mirrors :class:`repro.protocols.vectorized.VectorizedJuntaElection`.
+    The initiator's coin flips become one binomial split per climbing cell
+    (heads keep climbing — and step up below the cap — tails drop out);
+    the epidemic ``max_seen`` merge writes both endpoints, so the kernel is
+    two-way.
+    """
+
+    name = "counts-junta-election"
+    two_way = True
+
+    def __init__(self, max_level: int = 60) -> None:
+        if max_level < 1:
+            raise ConfigurationError(f"max_level must be positive, got {max_level}")
+        self.max_level = int(max_level)
+        self.fields = (
+            ("level", self.max_level + 1),
+            ("climbing", 2),
+            ("max_seen", self.max_level + 1),
+        )
+        self._check_packing()
+
+    def initial_state(self, n: int, rng: RandomSource) -> CountsState:
+        return _single_state(self, n, {"level": 0, "climbing": 1, "max_seen": 0})
+
+    def output_values(self, state: CountsState) -> np.ndarray:
+        member = (state.columns["climbing"] == 0) & (
+            state.columns["level"] >= state.columns["max_seen"]
+        )
+        return member.astype(np.float64)
+
+    def transition(self, u, v, multiplicity, rng):
+        level, climbing, seen = u["level"], u["climbing"], u["max_seen"]
+        v_level, v_climbing, v_seen = v["level"], v["climbing"], v["max_seen"]
+
+        heads = np.zeros_like(multiplicity)
+        climbers = np.flatnonzero(climbing == 1)
+        if climbers.size:
+            heads[climbers] = rng.generator.binomial(multiplicity[climbers], 0.5)
+        tails = multiplicity - heads
+
+        # Heads below the cap climb and keep climbing; heads at the cap and
+        # all tails stop (non-climbing cells carry their whole multiplicity
+        # through the tails branch with ``climbing`` already 0).
+        up = (climbing == 1) & (level < self.max_level)
+        heads_level = np.where(up, level + 1, level)
+        heads_climbing = np.where(up, 1, 0)
+        top_heads = np.maximum(
+            np.maximum(heads_level, seen), np.maximum(v_level, v_seen)
+        )
+        top_tails = np.maximum(np.maximum(level, seen), np.maximum(v_level, v_seen))
+
+        u_fields = {
+            "level": np.concatenate([heads_level, level]),
+            "climbing": np.concatenate([heads_climbing, np.zeros_like(level)]),
+            "max_seen": np.concatenate([top_heads, top_tails]),
+        }
+        v_fields = {
+            "level": np.concatenate([v_level, v_level]),
+            "climbing": np.concatenate([v_climbing, v_climbing]),
+            "max_seen": np.concatenate([top_heads, top_tails]),
+        }
+        mult = np.concatenate([heads, tails])
+        return u_fields, mult, v_fields, mult
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "class": type(self).__name__, "max_level": self.max_level}
+
+
+class ApproximateMajorityCountsKernel(PackedCountsKernel):
+    """Three-state approximate majority on counts.
+
+    Mirrors :class:`repro.protocols.vectorized.VectorizedApproximateMajority`.
+    The packed lattice stores ``code = opinion + 1`` (the engine's keys are
+    non-negative); outputs and the per-agent ``opinion`` plane keep the
+    scalar protocol's ``+1 / -1 / 0`` encoding.
+    """
+
+    name = "counts-approximate-majority"
+    two_way = True
+    fields = (("opinion", 3),)
+
+    def __init__(self, initial_opinion: str = ApproximateMajority.UNDECIDED) -> None:
+        codes = {
+            ApproximateMajority.A: 1,
+            ApproximateMajority.B: -1,
+            ApproximateMajority.UNDECIDED: 0,
+        }
+        if initial_opinion not in codes:
+            raise ConfigurationError(f"invalid initial opinion {initial_opinion!r}")
+        self.initial_opinion = initial_opinion
+        self._initial_code = codes[initial_opinion] + 1
+        self._check_packing()
+
+    def initial_state(self, n: int, rng: RandomSource) -> CountsState:
+        return _single_state(self, n, {"opinion": self._initial_code})
+
+    def state_from_arrays(self, arrays: Mapping[str, np.ndarray]) -> CountsState:
+        opinion = np.asarray(arrays["opinion"], dtype=np.int64)
+        return super().state_from_arrays({"opinion": opinion + 1})
+
+    def state_from_opinion_counts(
+        self, a: int, b: int, undecided: int = 0
+    ) -> CountsState:
+        """Counts state for a given initial (A, B, undecided) split."""
+        if min(a, b, undecided) < 0 or a + b + undecided < 2:
+            raise ConfigurationError(
+                "opinion counts must be non-negative and sum to >= 2, "
+                f"got a={a}, b={b}, undecided={undecided}"
+            )
+        columns = {"opinion": np.array([2, 0, 1], dtype=np.int64)}
+        counts = np.array([a, b, undecided], dtype=np.int64)
+        return self.state_from_columns(columns, counts)
+
+    def output_values(self, state: CountsState) -> np.ndarray:
+        return (state.columns["opinion"] - 1).astype(np.float64)
+
+    def transition(self, u, v, multiplicity, rng):
+        u_op = u["opinion"] - 1
+        v_op = v["opinion"] - 1
+        recruit_u = (u_op == 0) & (v_op != 0)
+        recruit_v = (v_op == 0) & (u_op != 0)
+        cancel = (u_op != 0) & (v_op != 0) & (u_op == -v_op)
+        new_u = np.where(recruit_u, v_op, u_op)
+        new_v = np.where(recruit_v, u_op, np.where(cancel, 0, v_op))
+        return (
+            {"opinion": new_u + 1},
+            multiplicity,
+            {"opinion": new_v + 1},
+            multiplicity,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "initial_opinion": self.initial_opinion,
+        }

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.params import ProtocolParameters
 from repro.engine.errors import ConfigurationError, UnsupportedEngineError
 from repro.engine.parallel import execute_shards, resolve_workers
-from repro.engine.registry import ENGINE_NAMES, choose_engine
+from repro.engine.registry import choose_engine, engine_names
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, SweepSpec
 
@@ -90,10 +90,10 @@ def _validate_engine(spec: ScenarioSpec, engine: str | None) -> None:
     """Reject bad engine requests before any simulation work starts."""
     if engine is None or engine == "auto":
         return
-    if engine not in ENGINE_NAMES:
+    if engine not in engine_names():
         raise ConfigurationError(
             f"unknown engine {engine!r}; available engines: "
-            f"{', '.join(ENGINE_NAMES)} (or 'auto')"
+            f"{', '.join(engine_names())} (or 'auto')"
         )
     if not spec.supports_engine(engine):
         raise UnsupportedEngineError(

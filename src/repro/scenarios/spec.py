@@ -35,7 +35,7 @@ from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.params import ProtocolParameters, empirical_parameters
 from repro.engine.adversary import ResizeSchedule
 from repro.engine.errors import ConfigurationError
-from repro.engine.registry import ENGINE_NAMES
+from repro.engine.registry import engine_names
 
 if TYPE_CHECKING:  # pragma: no cover - the experiments layer imports this
     # module at definition time, so the runtime dependency must stay one-way.
@@ -164,7 +164,8 @@ class ScenarioSpec:
     keep_series:
         Whether the per-point aggregated traces are kept on the result.
     engines:
-        Engine names this scenario supports; requesting any other engine
+        Engine names this scenario supports (defaults to every registered
+        engine at spec-construction time); requesting any other engine
         raises :class:`repro.engine.errors.UnsupportedEngineError`.
     engine:
         Pinned default engine.  ``None`` (the default) means the runner
@@ -202,7 +203,7 @@ class ScenarioSpec:
     protocol_factory: Callable[[ProtocolParameters], Any] = default_protocol_factory
     params_factory: Callable[[], ProtocolParameters] = empirical_parameters
     keep_series: bool = False
-    engines: tuple[str, ...] = ENGINE_NAMES
+    engines: tuple[str, ...] = field(default_factory=engine_names)
     engine: str | None = None
     executor: (
         Callable[
@@ -218,11 +219,11 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("scenario name must be non-empty")
-        unknown = set(self.engines) - set(ENGINE_NAMES)
+        unknown = set(self.engines) - set(engine_names())
         if unknown:
             raise ConfigurationError(
                 f"scenario {self.name!r} lists unknown engines: {sorted(unknown)}; "
-                f"available: {', '.join(ENGINE_NAMES)}"
+                f"available: {', '.join(engine_names())}"
             )
         if not self.engines:
             raise ConfigurationError(f"scenario {self.name!r} must support some engine")

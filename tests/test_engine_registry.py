@@ -326,3 +326,191 @@ class TestUnifiedEngineApi:
         with pytest.raises(NotImplementedError) as excinfo:
             simulator.run(1)
         assert "interact_one" in str(excinfo.value)
+
+
+class TestEngineTable:
+    """The engine-registry table behind make_engine/choose_engine."""
+
+    def test_engine_names_accessor_matches_table(self):
+        from repro.engine.registry import engine_names
+
+        assert engine_names() == ENGINE_NAMES
+        assert engine_names() == (
+            "sequential",
+            "array",
+            "batched",
+            "ensemble",
+            "counts",
+        )
+
+    def test_engine_info_exposes_capability_flags(self):
+        from repro.engine.registry import engine_info
+
+        counts = engine_info("counts")
+        assert counts.name == "counts"
+        assert counts.exact is False
+        assert counts.supports_trials is False
+        assert counts.supports_initial_arrays is True
+        sequential = engine_info("sequential")
+        assert sequential.exact is True
+        assert sequential.supports_recorders is True
+
+    def test_engine_info_unknown_name_lists_registered(self):
+        from repro.engine.registry import engine_info
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            engine_info("warp")
+        for name in ENGINE_NAMES:
+            assert name in str(excinfo.value)
+
+    def test_register_engine_extends_make_engine_and_listing(self):
+        from repro.engine import registry
+        from repro.engine.registry import EngineInfo, engine_names, register_engine
+
+        built = {}
+
+        def build(protocol, population, **kwargs):
+            built["population"] = population
+            return make_engine("batched", protocol, population, seed=1)
+
+        register_engine(
+            EngineInfo(
+                name="custom-test-engine",
+                builder=build,
+                description="registration test double",
+                exact=False,
+            )
+        )
+        try:
+            assert "custom-test-engine" in engine_names()
+            assert "custom-test-engine" in registry.ENGINE_NAMES
+            engine = make_engine(
+                "custom-test-engine", DynamicSizeCounting(), 40, seed=1
+            )
+            assert built["population"] == 40
+            assert isinstance(engine, BatchedSimulator)
+            # The unknown-engine message picks up the registration too.
+            with pytest.raises(ConfigurationError) as excinfo:
+                make_engine("warp", DynamicSizeCounting(), 10, seed=1)
+            assert "custom-test-engine" in str(excinfo.value)
+        finally:
+            registry._ENGINE_TABLE.pop("custom-test-engine", None)
+            registry.ENGINE_NAMES = tuple(registry._ENGINE_TABLE)
+
+
+class TestCountsKernelLookup:
+    def test_dynamic_counting_dispatch_carries_params(self):
+        from repro.core.counts import DynamicCountingCountsKernel
+        from repro.engine.registry import counts_kernel_for
+
+        params = ProtocolParameters(tau1=7, tau2=5, tau3=3, tau_prime=30, grv_samples=8)
+        kernel = counts_kernel_for(DynamicSizeCounting(params))
+        assert isinstance(kernel, DynamicCountingCountsKernel)
+        assert kernel.params is params
+
+    def test_phase_clock_and_vectorized_dispatch_to_counting_kernel(self):
+        from repro.core.counts import DynamicCountingCountsKernel
+        from repro.engine.registry import counts_kernel_for
+
+        assert isinstance(
+            counts_kernel_for(UniformPhaseClock()), DynamicCountingCountsKernel
+        )
+        assert isinstance(
+            counts_kernel_for(VectorizedDynamicCounting()), DynamicCountingCountsKernel
+        )
+
+    def test_toolbox_dispatch_carries_flags(self):
+        from repro.protocols.counts import (
+            ApproximateMajorityCountsKernel,
+            InfectionEpidemicCountsKernel,
+            JuntaElectionCountsKernel,
+            MaxEpidemicCountsKernel,
+        )
+        from repro.engine.registry import counts_kernel_for
+
+        epidemic = counts_kernel_for(MaxEpidemic(initial_value=3, one_way=False))
+        assert isinstance(epidemic, MaxEpidemicCountsKernel)
+        assert epidemic.initial_value == 3
+        assert epidemic.two_way is True
+
+        infection = counts_kernel_for(InfectionEpidemic(one_way=True))
+        assert isinstance(infection, InfectionEpidemicCountsKernel)
+        assert infection.two_way is False
+
+        junta = counts_kernel_for(JuntaElection(max_level=12))
+        assert isinstance(junta, JuntaElectionCountsKernel)
+        assert junta.max_level == 12
+
+        majority = counts_kernel_for(ApproximateMajority(initial_opinion="A"))
+        assert isinstance(majority, ApproximateMajorityCountsKernel)
+        assert majority.initial_opinion == "A"
+
+    def test_kernel_instance_passes_through(self):
+        from repro.protocols.counts import InfectionEpidemicCountsKernel
+        from repro.engine.registry import counts_kernel_for, has_counts_kernel
+
+        kernel = InfectionEpidemicCountsKernel()
+        assert counts_kernel_for(kernel) is kernel
+        assert has_counts_kernel(kernel)
+
+    def test_unknown_protocol_raises_with_listing(self):
+        from repro.engine.registry import counts_kernel_for, has_counts_kernel
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            counts_kernel_for(DotyEftekhariCounting())
+        assert "DotyEftekhariCounting" in str(excinfo.value)
+        assert "DynamicSizeCounting" in str(excinfo.value)
+        assert not has_counts_kernel(DotyEftekhariCounting())
+
+    def test_unpackable_parameters_disable_the_counts_tier(self):
+        """The theory preset's huge constants overflow the packed int64 key
+        space; the lookup raises and has_counts_kernel turns False, steering
+        auto-selection away from the counts engine."""
+        from repro.core.params import theory_parameters
+        from repro.engine.registry import counts_kernel_for, has_counts_kernel
+
+        protocol = DynamicSizeCounting(theory_parameters())
+        with pytest.raises(ConfigurationError, match="pack"):
+            counts_kernel_for(protocol)
+        assert not has_counts_kernel(protocol)
+        assert choose_engine(protocol, trials=1, n=5_000_000) == "batched"
+        assert choose_engine(protocol, trials=8, n=5_000_000) == "ensemble"
+
+
+class TestChooseEngineCountsTier:
+    def test_large_population_prefers_counts(self):
+        from repro.engine.registry import LARGE_POPULATION_THRESHOLD
+
+        protocol = DynamicSizeCounting()
+        assert (
+            choose_engine(protocol, trials=1, n=LARGE_POPULATION_THRESHOLD) == "counts"
+        )
+        # The counts tier outranks the ensemble tier: at this scale looping
+        # counts instances beats any per-agent stacking.
+        assert (
+            choose_engine(protocol, trials=96, n=LARGE_POPULATION_THRESHOLD) == "counts"
+        )
+
+    def test_below_threshold_keeps_historical_tiers(self):
+        from repro.engine.registry import LARGE_POPULATION_THRESHOLD
+
+        protocol = DynamicSizeCounting()
+        below = LARGE_POPULATION_THRESHOLD - 1
+        assert choose_engine(protocol, trials=1, n=below) == "batched"
+        assert choose_engine(protocol, trials=8, n=below) == "ensemble"
+
+    def test_counts_tier_for_toolbox_protocols(self):
+        assert choose_engine(MaxEpidemic(), trials=4, n=2_000_000) == "counts"
+        assert choose_engine(JuntaElection(), trials=1, n=2_000_000) == "counts"
+
+    def test_sharded_choice_matches_serial_choice(self):
+        """Per-shard decision equivalence: the engine chosen for a sharded
+        run (workers set) equals the serial per-point choice on every tier,
+        counts included — its trigger depends only on the protocol and n,
+        which every shard of a point shares."""
+        protocol = DynamicSizeCounting()
+        grid = [(1, 50), (1, 10_000), (8, 10_000), (1, 2_000_000), (8, 2_000_000)]
+        for trials, n in grid:
+            serial = choose_engine(protocol, trials=trials, n=n)
+            for workers in (1, 2, 4):
+                assert choose_engine(protocol, trials=trials, n=n, workers=workers) == serial

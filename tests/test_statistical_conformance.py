@@ -10,9 +10,13 @@ agree.  This module checks two of them on a small counting workload:
   is within tolerance of ``log2 n`` (horizon sentinel if never), and
 * **estimate error** — ``|median estimate - log2 n|`` at the horizon,
 
-across sequential vs array vs batched vs ensemble engines, and across
-``workers=1`` vs ``workers>1`` and the sharded vs single-stack ensemble
-paths.
+across sequential vs array vs batched vs ensemble vs counts engines, and
+across ``workers=1`` vs ``workers>1`` and the sharded vs single-stack
+ensemble paths.  A second battery checks the counts engine against the
+batched engine on every protocol that ships a counts kernel (epidemics,
+junta election, approximate majority), on a population-drop workload, and
+for its count-vector invariants (non-negative, sums to the population
+size).
 
 Every run is fully seeded, so the sample sets — and therefore the test
 verdicts — are deterministic: there is no flakiness to tolerate, and the
@@ -37,8 +41,16 @@ import numpy as np
 import pytest
 
 from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.core.vectorized import VectorizedDynamicCounting
 from repro.engine.registry import make_engine
+from repro.engine.rng import RandomSource
 from repro.engine.runner import run_engine_trials
+from repro.protocols.vectorized import (
+    VectorizedApproximateMajority,
+    VectorizedInfectionEpidemic,
+    VectorizedJuntaElection,
+    VectorizedMaxEpidemic,
+)
 
 # --------------------------------------------------------------- statistics
 
@@ -144,6 +156,7 @@ SAMPLES = {
     "batched": ("batched", 303, None),
     "ensemble": ("ensemble", 404, 2),
     "ensemble-single-stack": ("ensemble", 505, None),
+    "counts": ("counts", 606, None),
 }
 
 
@@ -206,6 +219,9 @@ _PAIRS = [
     ("array", "ensemble"),
     ("batched", "ensemble"),
     ("ensemble", "ensemble-single-stack"),
+    ("sequential", "counts"),
+    ("batched", "counts"),
+    ("ensemble", "counts"),
 ]
 
 
@@ -246,7 +262,9 @@ class TestWorkerCountConformance:
     """workers=1 vs workers>1 is stronger than distributional agreement:
     the sharded layer is bit-deterministic, so the samples are *equal*."""
 
-    @pytest.mark.parametrize("engine", ["sequential", "array", "batched", "ensemble"])
+    @pytest.mark.parametrize(
+        "engine", ["sequential", "array", "batched", "ensemble", "counts"]
+    )
     def test_worker_counts_yield_identical_samples(self, engine):
         series_by_workers = {
             workers: run_engine_trials(
@@ -266,3 +284,184 @@ class TestWorkerCountConformance:
         ea = _estimate_errors(series_by_workers[1])
         eb = _estimate_errors(series_by_workers[3])
         assert ea.tolist() == eb.tolist()
+
+
+# ------------------------------- counts kernels across toolbox protocols
+
+#: Workload for the per-protocol counts-vs-batched battery: small enough to
+#: run the batched engine 24 times per protocol, large enough that the
+#: compared statistics have real spread.
+COUNTS_N = 96
+COUNTS_TRIALS = 24
+COUNTS_HORIZON = 30
+COUNTS_NEVER = float(COUNTS_HORIZON + 10)
+
+#: Protocols that ship a counts kernel, with the initial configuration the
+#: battery seeds them with (``None`` uses the protocol default).
+COUNTS_PROTOCOLS = ("max-epidemic", "infection", "junta", "majority")
+
+
+def _counts_battery_protocol(key):
+    if key == "max-epidemic":
+        return VectorizedMaxEpidemic(initial_value=0, one_way=True)
+    if key == "infection":
+        return VectorizedInfectionEpidemic(one_way=False)
+    if key == "junta":
+        return VectorizedJuntaElection(max_level=20)
+    if key == "majority":
+        return VectorizedApproximateMajority()
+    raise KeyError(key)
+
+
+def _counts_battery_arrays(key, n):
+    if key == "max-epidemic":
+        value = np.zeros(n, dtype=np.float64)
+        value[0] = 5.0  # one seeded peak; the epidemic spreads it
+        return {"value": value}
+    if key == "infection":
+        infected = np.zeros(n, dtype=np.float64)
+        infected[0] = 1.0  # patient zero
+        return {"infected": infected}
+    if key == "junta":
+        return None  # everyone starts climbing from level 0
+    if key == "majority":
+        # A 60/36 split: A should win, but the margin keeps the race real.
+        return VectorizedApproximateMajority().arrays_from_counts(60, 36)
+    raise KeyError(key)
+
+
+def _counts_battery_statistic(key, series):
+    """One scalar per trial, chosen so its distribution has spread."""
+    pairs = zip(series["parallel_time"], series["minimum"])
+    if key == "max-epidemic":  # time to full spread of the seeded peak
+        return float(next((t for t, lo in pairs if lo >= 5.0), COUNTS_NEVER))
+    if key == "infection":  # time until every agent is infected
+        return float(next((t for t, lo in pairs if lo >= 1.0), COUNTS_NEVER))
+    if key == "junta":  # time until some agent believes it is in the junta
+        highs = zip(series["parallel_time"], series["maximum"])
+        return float(next((t for t, hi in highs if hi >= 1.0), COUNTS_NEVER))
+    if key == "majority":  # time until opinion A holds the median agent
+        medians = zip(series["parallel_time"], series["median"])
+        return float(next((t for t, med in medians if med >= 1.0), COUNTS_NEVER))
+    raise KeyError(key)
+
+
+def _counts_battery_factory(engine_name, rng, ensemble_trials, *, key):
+    """Module-level factory (partial-bound) for the per-protocol battery."""
+    return make_engine(
+        engine_name,
+        _counts_battery_protocol(key),
+        COUNTS_N,
+        rng=rng,
+        initial_arrays=_counts_battery_arrays(key, COUNTS_N),
+        trials=ensemble_trials if engine_name == "ensemble" else None,
+    )
+
+
+class TestCountsKernelProtocolConformance:
+    """Counts engine vs batched engine on every counts-kernel protocol.
+
+    The same honest-two-sample setup as the main battery: distinct base
+    seeds per engine, fully deterministic samples, KS at ``ALPHA``.
+    """
+
+    def _samples(self, key, engine, seed):
+        from functools import partial
+
+        series = run_engine_trials(
+            partial(_counts_battery_factory, key=key),
+            engine=engine,
+            trials=COUNTS_TRIALS,
+            seed=seed,
+            parallel_time=COUNTS_HORIZON,
+        )
+        return np.array([_counts_battery_statistic(key, s) for s in series])
+
+    @pytest.mark.parametrize("key", COUNTS_PROTOCOLS)
+    def test_counts_matches_batched(self, key):
+        counts = self._samples(key, "counts", 1600)
+        batched = self._samples(key, "batched", 1700)
+        d = ks_statistic(counts, batched)
+        assert d <= ks_critical(COUNTS_TRIALS, COUNTS_TRIALS, ALPHA), (
+            f"{key}: counts vs batched diverge, D={d:.3f}"
+        )
+
+    @pytest.mark.parametrize("key", COUNTS_PROTOCOLS)
+    def test_battery_statistic_is_informative(self, key):
+        """Sanity anchor: the compared statistic actually fires (it is not a
+        column of NEVER sentinels) on the counts engine."""
+        counts = self._samples(key, "counts", 1600)
+        assert (counts < COUNTS_NEVER).mean() >= 0.5
+
+
+class TestCountsResizeConformance:
+    """Counts engine vs batched engine on a population-drop workload.
+
+    The adversary cuts the population from 64 to 16 at t=20; the counts
+    engine realises the drop as hypergeometric subsampling of the count
+    vector, the batched engine by slicing agent rows.  The post-drop
+    estimate distributions must agree.
+    """
+
+    DROP_TIME = 20
+    DROP_TO = 16
+    HORIZON = 45
+
+    @staticmethod
+    def _factory(engine_name, rng, ensemble_trials):
+        return make_engine(
+            engine_name,
+            VectorizedDynamicCounting(),
+            N,
+            rng=rng,
+            resize_schedule=((TestCountsResizeConformance.DROP_TIME,
+                              TestCountsResizeConformance.DROP_TO),),
+            trials=ensemble_trials if engine_name == "ensemble" else None,
+        )
+
+    def _final_medians(self, engine, seed):
+        series = run_engine_trials(
+            self._factory,
+            engine=engine,
+            trials=COUNTS_TRIALS,
+            seed=seed,
+            parallel_time=self.HORIZON,
+        )
+        for s in series:  # the drop must actually have happened
+            assert s["population_size"][-1] == self.DROP_TO
+        return np.array([s["median"][-1] for s in series])
+
+    def test_post_drop_estimates_agree(self):
+        counts = self._final_medians("counts", 1800)
+        batched = self._final_medians("batched", 1900)
+        d = ks_statistic(counts, batched)
+        assert d <= ks_critical(COUNTS_TRIALS, COUNTS_TRIALS, ALPHA), (
+            f"post-drop estimate distributions diverge, D={d:.3f}"
+        )
+
+
+class TestCountsInvariants:
+    """Structural invariants of the count vector, checked at every snapshot:
+    counts never go negative and always sum to the current population size,
+    through shrinks and regrowths alike."""
+
+    def test_counts_nonnegative_and_conserved_under_resizes(self):
+        engine = make_engine(
+            "counts",
+            DynamicSizeCounting(),
+            200,
+            rng=RandomSource.from_seed(42),
+            resize_schedule=((5, 60), (12, 150)),
+        )
+        sizes = []
+
+        def check(eng, snapshot):
+            counts = eng.state.counts
+            assert counts.min() >= 0, "negative count in the state vector"
+            assert int(counts.sum()) == snapshot.population_size == eng.size
+            sizes.append(snapshot.population_size)
+
+        engine.add_snapshot_hook(check)
+        engine.run(20)
+        assert 60 in sizes, "shrink event never observed"
+        assert sizes[-1] == 150, "grow event not in effect at the horizon"
