@@ -14,13 +14,19 @@ from repro.bench.spec import BenchSpec, nominal_work
 from repro.bench.suite import BenchSuite, CaseResult
 from repro.bench.timing import calibration_seconds, measure
 from repro.engine.errors import ConfigurationError
+from repro.kernels import availability, compile_warmup
 from repro.scenarios.runner import run_scenario
 
 __all__ = ["run_case", "run_suite"]
 
 
 def run_case(spec: BenchSpec, *, warmup: int = 1, repeats: int = 3) -> CaseResult:
-    """Execute one benchmark case and return its measured result."""
+    """Execute one benchmark case and return its measured result.
+
+    A ``jit`` case gets :func:`repro.kernels.compile_warmup` as the one-shot
+    ``warmup_fn`` (when the compiled backend is available), so first-call
+    numba compilation lands in ``compile_seconds`` instead of a sample.
+    """
     work = nominal_work(spec)
 
     def workload() -> None:
@@ -29,9 +35,14 @@ def run_case(spec: BenchSpec, *, warmup: int = 1, repeats: int = 3) -> CaseResul
             effort=spec.effort,
             engine=spec.engine,
             workers=spec.workers,
+            jit=spec.jit,
         )
 
-    timing = measure(workload, warmup=warmup, repeats=repeats)
+    warmup_fn = None
+    if spec.jit and availability().enabled:
+        warmup_fn = compile_warmup
+
+    timing = measure(workload, warmup=warmup, repeats=repeats, warmup_fn=warmup_fn)
     return CaseResult(
         case_id=spec.case_id,
         scenario=spec.scenario,
@@ -40,6 +51,7 @@ def run_case(spec: BenchSpec, *, warmup: int = 1, repeats: int = 3) -> CaseResul
         effort=spec.effort,
         seconds=timing.seconds,
         work_interactions=work,
+        compile_seconds=timing.compile_seconds,
     )
 
 

@@ -43,6 +43,12 @@ ENGINE_AXIS: dict[str, tuple[str, ...]] = {
 #: tracking the sharded execution layer's overhead/scaling.
 WORKER_AXIS: dict[str, tuple[int, ...]] = {"fig3": (2,)}
 
+#: Scenarios that additionally get one ``jit=True`` case per listed engine,
+#: tracking the compiled kernel backend on the loop-bound workhorse.  On
+#: machines without numba these cases measure the (logged) NumPy fallback —
+#: honest numbers, and the case ids stay stable across environments.
+JIT_AXIS: dict[str, tuple[str, ...]] = {"fig3": ("batched", "ensemble")}
+
 
 @dataclass(frozen=True)
 class BenchSpec:
@@ -60,12 +66,17 @@ class BenchSpec:
         the serial path.
     effort:
         Preset effort level the scenario runs at.
+    jit:
+        Request the compiled kernel backend (:mod:`repro.kernels`) for the
+        run.  Best effort by design: without numba the case measures the
+        NumPy fallback, keeping the grid identical on every machine.
     """
 
     scenario: str
     engine: str | None = None
     workers: int | None = None
     effort: str = "quick"
+    jit: bool = False
 
     def __post_init__(self) -> None:
         if not self.scenario:
@@ -96,6 +107,9 @@ class BenchSpec:
             axes.append(f"engine={self.engine}")
         if self.workers is not None:
             axes.append(f"workers={self.workers}")
+        if self.jit:
+            # Appended last so pre-jit case ids are byte-identical.
+            axes.append("jit=on")
         middle = f"[{','.join(axes)}]" if axes else ""
         return f"{self.scenario}{middle}@{self.effort}"
 
@@ -136,8 +150,8 @@ def default_grid(
     """The registry-derived benchmark grid at one effort level.
 
     One case per registered scenario at its default engine, plus the
-    :data:`ENGINE_AXIS` / :data:`WORKER_AXIS` cases for the scenarios that
-    carry them.  ``scenarios`` restricts the grid to the named scenarios
+    :data:`ENGINE_AXIS` / :data:`WORKER_AXIS` / :data:`JIT_AXIS` cases for
+    the scenarios that carry them.  ``scenarios`` restricts the grid to the named scenarios
     (unknown names raise, so a typo fails fast instead of silently
     benchmarking nothing).
     """
@@ -166,6 +180,13 @@ def default_grid(
         for engine in ENGINE_AXIS.get(scenario.name, ()):
             if engine != default_engine and scenario.supports_engine(engine):
                 grid.append(BenchSpec(scenario=scenario.name, engine=engine, effort=effort))
+        for engine in JIT_AXIS.get(scenario.name, ()):
+            # The engine is pinned explicitly (even when it is the
+            # scenario default) so the case id names what it measures.
+            if scenario.supports_engine(engine):
+                grid.append(
+                    BenchSpec(scenario=scenario.name, engine=engine, jit=True, effort=effort)
+                )
         if scenario.executor is not None:
             continue  # bespoke executors always run serially
         for workers in WORKER_AXIS.get(scenario.name, ()):

@@ -28,6 +28,7 @@ from repro.engine.errors import ConfigurationError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SUITE_KIND",
     "SchemaVersionError",
     "CaseResult",
@@ -38,7 +39,15 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible change to the suite JSON layout.
-SCHEMA_VERSION = 1
+#: Version history: 1 — initial layout; 2 — cases gained an optional
+#: ``compile_seconds`` field (one-shot JIT compile cost, never part of the
+#: measured samples).
+SCHEMA_VERSION = 2
+
+#: Versions :meth:`BenchSuite.from_dict` still reads.  Version-1 suites load
+#: with ``compile_seconds=None`` on every case, so baselines committed
+#: before the compiled-kernel backend stay usable in ``compare``.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: ``kind`` marker distinguishing suite files from other BENCH_*.json.
 SUITE_KIND = "repro-bench-suite"
@@ -56,8 +65,10 @@ class CaseResult:
     measured sample so that consumers can recompute statistics;
     ``work_interactions`` is the nominal interaction count of the workload
     (see :func:`repro.bench.spec.nominal_work`) and ``0`` when no work
-    measure applies; ``extra`` carries free-form case diagnostics (per-point
-    speedups, worker scaling tables, ...).
+    measure applies; ``compile_seconds`` is the one-shot JIT compile cost
+    of the case's ``warmup_fn`` (``None`` for cases without one); ``extra``
+    carries free-form case diagnostics (per-point speedups, worker scaling
+    tables, ...).
     """
 
     case_id: str
@@ -67,12 +78,14 @@ class CaseResult:
     workers: int | None = None
     effort: str = "quick"
     work_interactions: int = 0
+    compile_seconds: float | None = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.case_id:
             raise ConfigurationError("a case result needs a case_id")
-        Timing(tuple(self.seconds))  # validates non-empty, non-negative
+        # Validates non-empty, non-negative samples and compile cost.
+        Timing(tuple(self.seconds), compile_seconds=self.compile_seconds)
         object.__setattr__(self, "seconds", tuple(float(s) for s in self.seconds))
 
     @property
@@ -106,11 +119,13 @@ class CaseResult:
             "min_seconds": self.min_seconds,
             "work_interactions": self.work_interactions,
             "interactions_per_second": self.interactions_per_second,
+            "compile_seconds": self.compile_seconds,
             "extra": dict(self.extra),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CaseResult":
+        compile_seconds = data.get("compile_seconds")
         return cls(
             case_id=data["case_id"],
             scenario=data["scenario"],
@@ -119,6 +134,7 @@ class CaseResult:
             effort=data.get("effort", "quick"),
             seconds=tuple(data["seconds"]),
             work_interactions=int(data.get("work_interactions", 0)),
+            compile_seconds=None if compile_seconds is None else float(compile_seconds),
             extra=dict(data.get("extra", {})),
         )
 
@@ -222,10 +238,11 @@ class BenchSuite:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], *, source: str = "<dict>") -> "BenchSuite":
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
             raise SchemaVersionError(
-                f"{source}: suite schema version {version!r} is not the "
-                f"supported version {SCHEMA_VERSION}; regenerate the suite "
+                f"{source}: suite schema version {version!r} is not a "
+                f"supported version ({supported}); regenerate the suite "
                 "with this checkout's `python -m repro.bench run`"
             )
         if data.get("kind") not in (None, SUITE_KIND):

@@ -31,15 +31,26 @@ __all__ = ["Timing", "measure", "calibration_seconds"]
 
 @dataclass(frozen=True)
 class Timing:
-    """All measured samples of one workload, in execution order."""
+    """All measured samples of one workload, in execution order.
+
+    ``compile_seconds`` is the wall time of the one-shot ``warmup_fn`` (the
+    JIT compile pass), when :func:`measure` was given one — kept separate
+    from the samples because it is a one-time cost that must never count
+    toward the workload.
+    """
 
     seconds: tuple[float, ...]
+    compile_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if not self.seconds:
             raise ConfigurationError("a Timing needs at least one measured sample")
         if any(s < 0 for s in self.seconds):
             raise ConfigurationError(f"negative wall-clock sample in {self.seconds}")
+        if self.compile_seconds is not None and self.compile_seconds < 0:
+            raise ConfigurationError(
+                f"negative compile_seconds: {self.compile_seconds}"
+            )
 
     @property
     def median(self) -> float:
@@ -53,18 +64,35 @@ class Timing:
 
 
 def measure(
-    fn: Callable[[], Any], *, warmup: int = 1, repeats: int = 3
+    fn: Callable[[], Any],
+    *,
+    warmup: int = 1,
+    repeats: int = 3,
+    warmup_fn: Callable[[], Any] | None = None,
 ) -> Timing:
     """Time ``fn`` with warmup/repeat control.
 
     ``warmup`` runs execute first and are discarded (they absorb import
     costs, allocator warmup and CPU frequency ramp); ``repeats`` runs are
     then measured with :func:`time.perf_counter`.
+
+    ``warmup_fn`` runs once before everything else, and its wall time is
+    recorded as :attr:`Timing.compile_seconds`.  It exists for backends
+    with expensive one-time setup that must be surfaced rather than hidden
+    in a discarded warmup run — the compiled kernels pass
+    :func:`repro.kernels.compile_warmup` here so first-call JIT
+    compilation never pollutes a measurement yet stays visible in the
+    suite JSON.
     """
     if warmup < 0:
         raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    compile_seconds = None
+    if warmup_fn is not None:
+        started = time.perf_counter()
+        warmup_fn()
+        compile_seconds = time.perf_counter() - started
     for _ in range(warmup):
         fn()
     samples = []
@@ -72,7 +100,7 @@ def measure(
         started = time.perf_counter()
         fn()
         samples.append(time.perf_counter() - started)
-    return Timing(seconds=tuple(samples))
+    return Timing(seconds=tuple(samples), compile_seconds=compile_seconds)
 
 
 #: Sizes of the calibration workload.  Fixed forever: changing them changes

@@ -122,6 +122,10 @@ class EngineInfo:
         Accepts ``initial_arrays`` struct-of-arrays initial configurations.
     requires_int_population:
         Only accepts an integer population size (no ``Population`` object).
+    supports_jit:
+        Accepts ``jit=True`` (the compiled kernel backend of
+        :mod:`repro.kernels`); only meaningful for engines that execute
+        vectorised per-interaction kernels.
     """
 
     name: str
@@ -133,6 +137,7 @@ class EngineInfo:
     supports_adversary: bool = False
     supports_initial_arrays: bool = False
     requires_int_population: bool = True
+    supports_jit: bool = False
 
 
 _ENGINE_TABLE: dict[str, EngineInfo] = {}
@@ -338,7 +343,12 @@ def registered_counts_protocols() -> list[str]:
 
 
 def choose_engine(
-    protocol: Any, trials: int, n: int, *, workers: int | None = None
+    protocol: Any,
+    trials: int,
+    n: int,
+    *,
+    workers: int | None = None,
+    jit: bool = False,
 ) -> str:
     """Pick the best engine name for a workload.
 
@@ -373,6 +383,16 @@ def choose_engine(
     validated and kept so callers state their execution context
     explicitly and alternative shard layouts can change the policy
     without touching call sites.
+
+    ``jit`` declares that the caller will pass ``jit=True`` to
+    :func:`make_engine`.  It does not change the tiering: the compiled
+    kernels accelerate exactly the engines this policy already prefers for
+    large per-agent workloads (``"batched"`` / ``"ensemble"``), and the
+    tiers where they don't apply (``"sequential"``, ``"array"``,
+    ``"counts"``) are chosen for exactness or asymptotics that compilation
+    cannot buy back.  Like ``workers``, the parameter keeps call sites
+    explicit so a future backend with different crossovers can shift the
+    policy centrally.
 
     Experiments that pin an engine for reproducibility of published outputs
     bypass this helper; everything else (new scenarios, ``--engine auto``)
@@ -411,6 +431,7 @@ def _build_sequential(
     initial_arrays: dict[str, np.ndarray] | None,
     sub_batches: int,
     trials: int | None,
+    jit: bool,
 ) -> Engine:
     if isinstance(protocol, VectorizedProtocol):
         raise ConfigurationError(
@@ -443,11 +464,30 @@ def _build_array(protocol, population, *, rng, seed, resize_schedule, initial_ar
     )
 
 
+def _jit_wrapped(protocol: Any, jit: bool) -> VectorizedProtocol:
+    """Resolve the vectorised kernel, upgrading to the compiled one on request."""
+    vectorized = vectorized_for(protocol)
+    if not jit:
+        return vectorized
+    from repro.kernels import jit_wrap
+
+    return jit_wrap(vectorized)
+
+
 def _build_batched(
-    protocol, population, *, rng, seed, resize_schedule, initial_arrays, sub_batches, **_
+    protocol,
+    population,
+    *,
+    rng,
+    seed,
+    resize_schedule,
+    initial_arrays,
+    sub_batches,
+    jit,
+    **_,
 ):
     return BatchedSimulator(
-        vectorized_for(protocol),
+        _jit_wrapped(protocol, jit),
         population,
         rng=rng,
         seed=seed,
@@ -467,10 +507,11 @@ def _build_ensemble(
     initial_arrays,
     sub_batches,
     trials,
+    jit,
     **_,
 ):
     return EnsembleSimulator(
-        vectorized_for(protocol),
+        _jit_wrapped(protocol, jit),
         population,
         trials=1 if trials is None else trials,
         rng=rng,
@@ -525,6 +566,7 @@ register_engine(
         builder=_build_batched,
         description="approximate synchronous-rounds batching, one trial",
         supports_initial_arrays=True,
+        supports_jit=True,
     )
 )
 register_engine(
@@ -534,6 +576,7 @@ register_engine(
         description="approximate batching stacked across all trials at once",
         supports_trials=True,
         supports_initial_arrays=True,
+        supports_jit=True,
     )
 )
 register_engine(
@@ -560,6 +603,7 @@ def make_engine(
     initial_arrays: dict[str, np.ndarray] | None = None,
     sub_batches: int = 8,
     trials: int | None = None,
+    jit: bool = False,
 ) -> Engine:
     """Build an engine by name for the given protocol and population.
 
@@ -602,6 +646,12 @@ def make_engine(
         rejected for every engine without ``supports_trials`` — they run
         one trial per instance and are looped by
         :class:`repro.engine.runner.TrialRunner`.
+    jit:
+        Upgrade the vectorised kernels to the compiled backend of
+        :mod:`repro.kernels` (best effort: when numba is unavailable or
+        ``REPRO_DISABLE_JIT`` is set, the engine silently runs the NumPy
+        reference kernels — see :func:`repro.kernels.availability`).
+        Rejected for engines without ``supports_jit``.
     """
     resize_schedule = tuple(resize_schedule)
     info = _ENGINE_TABLE.get(engine)
@@ -624,6 +674,11 @@ def make_engine(
         raise ConfigurationError(
             f"the {engine} engine does not support Recorder observers; "
             "use Engine.add_snapshot_hook() instead"
+        )
+    if jit and not info.supports_jit:
+        raise ConfigurationError(
+            f"the {engine} engine does not support the compiled kernel "
+            "backend (jit=True); use the batched or ensemble engine"
         )
     if initial_arrays is not None and not info.supports_initial_arrays:
         raise ConfigurationError(
@@ -648,4 +703,5 @@ def make_engine(
         initial_arrays=initial_arrays,
         sub_batches=sub_batches,
         trials=trials,
+        jit=jit,
     )

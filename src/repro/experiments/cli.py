@@ -40,6 +40,7 @@ from repro.experiments.fig5_initial_estimate import run_fig5
 from repro.experiments.holding_table import run_holding_table
 from repro.experiments.memory_table import run_memory_table
 from repro.experiments.phase_clock_experiment import run_phase_clock_experiment
+from repro.kernels import availability as kernels_availability
 from repro.scenarios.registry import get_scenario, has_scenario, iter_scenarios, scenario_names
 from repro.scenarios.runner import resolve_preset, run_scenario, run_sweep
 from repro.scenarios.spec import SweepSpec
@@ -110,6 +111,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "Shard trials (and sweep points) over this many worker processes; "
             "'auto' uses the CPU count (capped).  Results are bit-identical "
             "for any worker count; omit for the serial path."
+        ),
+    )
+    parser.add_argument(
+        "--jit",
+        action="store_true",
+        help=(
+            "Use the compiled (numba) kernels on engines that support them; "
+            "falls back to the NumPy reference kernels when numba is not "
+            "installed or REPRO_DISABLE_JIT is set (see `list` for the "
+            "current availability)."
         ),
     )
 
@@ -237,6 +248,14 @@ def _print_result(
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    status = kernels_availability()
+    jit_line = (
+        f"compiled kernels: available ({status.reason})"
+        if status.enabled
+        else f"compiled kernels: fallback to NumPy ({status.reason})"
+    )
+    print(jit_line)
+    print()
     efforts = list_presets()
     for spec in iter_scenarios():
         if args.tag is not None and args.tag not in spec.tags:
@@ -299,7 +318,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         started = time.time()
         try:
             result = run_scenario(
-                name, effort=args.effort, engine=args.engine, workers=args.workers
+                name,
+                effort=args.effort,
+                engine=args.engine,
+                workers=args.workers,
+                jit=args.jit,
             )
         except EngineError as exc:
             # Covers misconfiguration and invalid schedules alike: every
@@ -326,7 +349,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         started = time.time()
         results = run_sweep(
-            sweep, effort=args.effort, engine=args.engine, workers=args.workers
+            sweep,
+            effort=args.effort,
+            engine=args.engine,
+            workers=args.workers,
+            jit=args.jit,
         )
     except EngineError as exc:
         return _fail(str(exc))

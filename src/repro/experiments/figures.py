@@ -30,7 +30,7 @@ from repro.core.params import ProtocolParameters, empirical_parameters
 from repro.core.vectorized import VectorizedDynamicCounting
 from repro.engine.api import Engine
 from repro.engine.parallel import ShardTiming, resolve_workers
-from repro.engine.registry import choose_engine, make_engine
+from repro.engine.registry import choose_engine, engine_info, make_engine
 from repro.engine.rng import RandomSource
 from repro.engine.runner import aggregate_series, run_engine_trials
 
@@ -77,6 +77,7 @@ def _build_trace_engine(
     initial_estimate: float | None,
     sub_batches: int,
     trials: int | None = None,
+    jit: bool = False,
 ) -> Engine:
     """Build one engine for the estimate-trace workload.
 
@@ -112,6 +113,9 @@ def _build_trace_engine(
         initial_arrays=initial_arrays,
         sub_batches=sub_batches,
         trials=trials if engine == "ensemble" else None,
+        # Guarded per engine so a jit request composes with auto-selection:
+        # points that resolve to array/counts simply ignore it.
+        jit=jit and engine_info(engine).supports_jit,
     )
 
 
@@ -125,6 +129,7 @@ def _trace_engine_factory(
     resize_schedule: tuple[tuple[int, int], ...],
     initial_estimate: float | None,
     sub_batches: int,
+    jit: bool = False,
 ) -> Engine:
     """Picklable engine factory for :func:`run_engine_trials`.
 
@@ -141,6 +146,7 @@ def _trace_engine_factory(
         initial_estimate,
         sub_batches,
         trials=ensemble_trials,
+        jit=jit,
     )
 
 
@@ -157,6 +163,7 @@ def run_estimate_trace(
     sub_batches: int = 8,
     engine: str | None = "batched",
     workers: int | str | None = None,
+    jit: bool = False,
 ) -> EstimateTrace:
     """Run ``trials`` independent simulations of one workload and aggregate.
 
@@ -196,6 +203,11 @@ def run_estimate_trace(
         counts (and, for the looped engines, identical to the serial
         path); per-shard wall-clock timings land in the returned trace's
         ``shard_timings``.
+    jit:
+        Request the compiled kernel backend of :mod:`repro.kernels` when
+        the resolved engine supports it; engines without the capability,
+        and machines without numba, transparently run the NumPy reference
+        kernels.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
@@ -203,7 +215,9 @@ def run_estimate_trace(
     resize_schedule = tuple(resize_schedule)
     workers = resolve_workers(workers)
     if engine is None or engine == "auto":
-        engine = choose_engine(DynamicSizeCounting(params), trials, n, workers=workers)
+        engine = choose_engine(
+            DynamicSizeCounting(params), trials, n, workers=workers, jit=jit
+        )
 
     per_trial_min: list[list[float]] = []
     per_trial_med: list[list[float]] = []
@@ -220,6 +234,7 @@ def run_estimate_trace(
             resize_schedule=resize_schedule,
             initial_estimate=initial_estimate,
             sub_batches=sub_batches,
+            jit=jit,
         ),
         engine=engine,
         trials=trials,

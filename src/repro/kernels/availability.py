@@ -1,0 +1,98 @@
+"""The single probe deciding whether compiled (Numba) kernels may be used.
+
+Everything that cares about the compiled backend — the engine registry's
+``jit=`` wiring, the experiments CLI ``list`` output, the benchmark skip
+logic — asks :func:`availability` instead of importing :mod:`numba`
+directly, so the fallback decision is made exactly once and for exactly one
+reason.
+
+The import probe runs once per process and is cached (importing numba is
+expensive; a missing numba cannot appear mid-process).  The
+``REPRO_DISABLE_JIT`` environment variable, by contrast, is read fresh on
+every call so tests and operators can flip the compiled path off without
+restarting.  Falling back is silent-but-logged: each distinct reason is
+logged once at INFO on the ``repro.kernels`` logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass
+
+__all__ = ["DISABLE_ENV", "JitAvailability", "availability"]
+
+#: Set to any non-empty value other than ``"0"`` to force the pure-NumPy
+#: reference kernels even when numba is installed.
+DISABLE_ENV = "REPRO_DISABLE_JIT"
+
+_LOGGER = logging.getLogger("repro.kernels")
+
+#: Cached result of the (expensive) numba import probe:
+#: ``(importable, reason, version)``.
+_IMPORT_PROBE: tuple[bool, str, str | None] | None = None
+
+#: Fallback reasons already logged, so each is reported exactly once.
+_LOGGED_REASONS: set[str] = set()
+
+
+@dataclass(frozen=True)
+class JitAvailability:
+    """Outcome of the compiled-kernel probe.
+
+    Attributes
+    ----------
+    enabled:
+        Whether the compiled kernels may be used right now.
+    reason:
+        Human-readable explanation (shown by ``repro.experiments.cli list``
+        and recorded by the benchmarks when the compiled path is skipped).
+    numba_version:
+        The installed numba version, or ``None`` when not importable.
+    """
+
+    enabled: bool
+    reason: str
+    numba_version: str | None = None
+
+
+def _probe_import() -> tuple[bool, str, str | None]:
+    global _IMPORT_PROBE
+    if _IMPORT_PROBE is None:
+        try:
+            import numba
+        except Exception as exc:  # ImportError or a broken installation
+            _IMPORT_PROBE = (
+                False,
+                f"numba is not importable ({type(exc).__name__}: {exc})",
+                None,
+            )
+        else:
+            version = getattr(numba, "__version__", "unknown")
+            _IMPORT_PROBE = (True, f"numba {version} available", version)
+    return _IMPORT_PROBE
+
+
+def _log_once(reason: str) -> None:
+    if reason not in _LOGGED_REASONS:
+        _LOGGED_REASONS.add(reason)
+        _LOGGER.info("compiled kernels disabled: %s (using NumPy reference)", reason)
+
+
+def availability() -> JitAvailability:
+    """Whether the compiled kernels may be used, and why (not).
+
+    ``REPRO_DISABLE_JIT`` wins over an installed numba; the import probe is
+    cached per process.  The first call per distinct fallback reason logs it
+    on ``logging.getLogger("repro.kernels")``.
+    """
+    disabled = os.environ.get(DISABLE_ENV, "")
+    if disabled and disabled != "0":
+        importable, _, version = _probe_import()
+        reason = f"disabled via {DISABLE_ENV}={disabled}"
+        _log_once(reason)
+        return JitAvailability(False, reason, version if importable else None)
+    importable, reason, version = _probe_import()
+    if not importable:
+        _log_once(reason)
+    return JitAvailability(importable, reason, version)

@@ -129,6 +129,7 @@ def run_scenario(
     preset: ExperimentPreset | None = None,
     engine: str | None = None,
     workers: int | str | None = None,
+    jit: bool = False,
 ) -> ExperimentResult:
     """Run one scenario and return its :class:`ExperimentResult`.
 
@@ -154,6 +155,13 @@ def run_scenario(
         workloads pinned to the sequential engine) always run serially;
         requesting workers for them is recorded in the result metadata but
         has no effect.
+    jit:
+        Request the compiled kernel backend (:mod:`repro.kernels`) for
+        every point that runs on an engine supporting it.  Best effort
+        end to end: points on other engines, and machines where the
+        backend is unavailable, run the NumPy reference kernels — the
+        request and the availability outcome are recorded in the result
+        metadata.
     """
     # Imported here: the experiments layer imports repro.scenarios at
     # definition time, so the reverse dependency must stay lazy.
@@ -173,6 +181,8 @@ def run_scenario(
         result = spec.executor(spec, preset, params, resolved)
         if workers is not None:
             result.metadata.setdefault("workers", "serial-only (bespoke executor)")
+        if jit:
+            result.metadata.setdefault("jit", "ignored (bespoke executor)")
         return result
 
     points = tuple(spec.points(preset, params))
@@ -201,6 +211,7 @@ def run_scenario(
             initial_estimate=point.initial_estimate,
             engine=point_engine,
             workers=workers,
+            jit=jit,
         )
         row: dict[str, Any] = {}
         for metric in spec.metrics:
@@ -221,6 +232,11 @@ def run_scenario(
     if workers is not None:
         metadata["workers"] = workers
         metadata["shard_timings"] = shard_timings
+    if jit:
+        from repro.kernels import availability
+
+        status = availability()
+        metadata["jit"] = "compiled" if status.enabled else f"fallback: {status.reason}"
     return ExperimentResult(
         experiment=spec.id,
         description=spec.description_for(preset),
@@ -240,6 +256,7 @@ def _run_sweep_combo(payload: dict[str, Any]) -> "ExperimentResult":
         preset=payload["preset"],
         engine=payload["engine"],
         workers=payload["workers"],
+        jit=payload["jit"],
     )
 
 
@@ -250,6 +267,7 @@ def run_sweep(
     preset: ExperimentPreset | None = None,
     engine: str | None = None,
     workers: int | str | None = None,
+    jit: bool = False,
 ) -> list[tuple[str, ExperimentResult]]:
     """Run every combination of a sweep grid; returns ``(label, result)`` pairs.
 
@@ -285,7 +303,7 @@ def run_sweep(
         results = []
         for label, combo_preset in expanded:
             result = run_scenario(
-                spec, preset=combo_preset, engine=engine, workers=workers
+                spec, preset=combo_preset, engine=engine, workers=workers, jit=jit
             )
             result.metadata["sweep"] = label
             results.append((label, result))
@@ -299,6 +317,7 @@ def run_sweep(
             # Combinations are the unit of parallelism; each runs serially
             # inside its worker so results match workers=1 bit for bit.
             "workers": None,
+            "jit": jit,
         }
         for _, combo_preset in expanded
     ]

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.spec import ENGINE_AXIS, WORKER_AXIS, BenchSpec, default_grid, nominal_work
+from repro.bench.spec import (
+    ENGINE_AXIS,
+    JIT_AXIS,
+    WORKER_AXIS,
+    BenchSpec,
+    default_grid,
+    nominal_work,
+)
 from repro.engine.errors import ConfigurationError
 from repro.scenarios.registry import register, scenario_names, unregister
 from repro.scenarios.spec import ScenarioSpec
@@ -21,6 +28,15 @@ class TestBenchSpec:
     def test_case_id_single_axis(self):
         assert BenchSpec("fig3", workers=4).case_id == "fig3[workers=4]@quick"
         assert BenchSpec("fig3", engine="auto").case_id == "fig3[engine=auto]@quick"
+
+    def test_case_id_jit_axis_is_appended_last(self):
+        spec = BenchSpec("fig3", engine="batched", jit=True)
+        assert spec.case_id == "fig3[engine=batched,jit=on]@quick"
+        spec = BenchSpec("fig3", engine="ensemble", workers=2, jit=True)
+        assert spec.case_id == "fig3[engine=ensemble,workers=2,jit=on]@quick"
+
+    def test_jit_off_leaves_case_id_unchanged(self):
+        assert BenchSpec("fig3", jit=False).case_id == "fig3@quick"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -61,6 +77,12 @@ class TestDefaultGrid:
         for scenario, workers in WORKER_AXIS.items():
             for count in workers:
                 assert f"{scenario}[workers={count}]@quick" in ids
+
+    def test_jit_axis_present(self):
+        ids = {spec.case_id for spec in default_grid("quick")}
+        for scenario, engines in JIT_AXIS.items():
+            for engine in engines:
+                assert f"{scenario}[engine={engine},jit=on]@quick" in ids
 
     def test_scenario_filter(self):
         grid = default_grid("quick", scenarios=["oscillate"])

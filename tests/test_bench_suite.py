@@ -54,6 +54,16 @@ class TestCaseResult:
         case = make_case(extra={"per_point": {"10": 1.5}})
         assert CaseResult.from_dict(case.to_dict()) == case
 
+    def test_compile_seconds_round_trip(self):
+        case = make_case(compile_seconds=1.25)
+        restored = CaseResult.from_dict(case.to_dict())
+        assert restored == case
+        assert restored.compile_seconds == 1.25
+
+    def test_negative_compile_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_case(compile_seconds=-1.0)
+
 
 class TestBenchSuite:
     def test_json_round_trip(self, tmp_path):
@@ -82,6 +92,20 @@ class TestBenchSuite:
         assert "commit" in data["git"]
         assert data["schema_version"] == SCHEMA_VERSION
         assert data["kind"] == "repro-bench-suite"
+
+    def test_v1_suite_still_loads(self, tmp_path):
+        # Pre-compile_seconds baselines (schema v1) stay comparable: the
+        # field was additive, so old files load with compile_seconds=None.
+        suite = BenchSuite(cases=(make_case(),))
+        data = suite.to_dict()
+        data["schema_version"] = 1
+        for case in data["cases"]:
+            case.pop("compile_seconds", None)
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(data))
+        loaded = load_suite(path)
+        assert loaded.cases[0].compile_seconds is None
+        assert loaded.cases[0].case_id == "fig3@quick"
 
     def test_schema_version_mismatch_rejected(self, tmp_path):
         suite = BenchSuite(cases=(make_case(),))

@@ -27,6 +27,13 @@ class TestTiming:
         with pytest.raises(ConfigurationError):
             Timing(seconds=(0.1, -0.1))
 
+    def test_negative_compile_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timing(seconds=(0.1,), compile_seconds=-0.5)
+
+    def test_compile_seconds_defaults_to_none(self):
+        assert Timing(seconds=(0.1,)).compile_seconds is None
+
 
 class TestMeasure:
     def test_warmup_runs_are_not_measured(self):
@@ -50,6 +57,23 @@ class TestMeasure:
     def test_samples_are_positive(self):
         timing = measure(lambda: sum(range(1000)), warmup=0, repeats=2)
         assert all(s >= 0 for s in timing.seconds)
+
+    def test_warmup_fn_runs_once_before_everything(self):
+        # The one-shot warmup (JIT compilation) runs before warmup runs and
+        # samples; its wall time is reported separately, never as a sample.
+        events = []
+        timing = measure(
+            lambda: events.append("run"),
+            warmup=2,
+            repeats=3,
+            warmup_fn=lambda: events.append("compile"),
+        )
+        assert events == ["compile", "run", "run", "run", "run", "run"]
+        assert len(timing.seconds) == 3
+        assert timing.compile_seconds is not None and timing.compile_seconds >= 0
+
+    def test_without_warmup_fn_compile_seconds_is_none(self):
+        assert measure(lambda: None, warmup=0, repeats=1).compile_seconds is None
 
 
 def test_calibration_is_positive_and_repeatable():
