@@ -9,12 +9,14 @@ CSV output can be plotted with any external tool.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 __all__ = [
     "format_table",
+    "csv_text",
     "write_csv",
     "read_csv",
     "write_json",
@@ -73,19 +75,34 @@ def series_to_rows(series: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
     return [{key: series[key][index] for key in series} for index in range(count)]
 
 
-def write_csv(path: str | Path, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> Path:
+def csv_text(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Rows of dictionaries rendered as one CSV document (in memory).
+
+    This is the single CSV encoder: :func:`write_csv` persists exactly this
+    text, and the serving layer streams it over HTTP, so an artifact fetched
+    from the result API is byte-identical to the file on disk.
+    """
+    if not rows:
+        return ""
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=keys, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> Path:
     """Write rows of dictionaries to ``path`` as CSV; returns the path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    if not rows:
-        target.write_text("")
-        return target
-    keys = list(columns) if columns is not None else list(rows[0].keys())
     with target.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=keys, extrasaction="ignore")
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
+        handle.write(csv_text(rows, columns))
     return target
 
 

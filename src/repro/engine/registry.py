@@ -32,6 +32,7 @@ Example
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -57,6 +58,7 @@ __all__ = [
     "register_engine",
     "engine_names",
     "engine_info",
+    "engine_capabilities",
     "register_vectorized",
     "has_vectorized",
     "vectorized_for",
@@ -168,6 +170,23 @@ def engine_info(name: str) -> EngineInfo:
         raise ConfigurationError(
             f"unknown engine {name!r}; available engines: {', '.join(_ENGINE_TABLE)}"
         ) from None
+
+
+def engine_capabilities() -> list[dict[str, Any]]:
+    """Every registered engine's capability flags as plain JSON-encodable data.
+
+    One dict per :class:`EngineInfo`, in registration order, with the
+    ``builder`` callable dropped — the machine-readable counterpart of the
+    engine table, consumed by ``repro.serve``'s ``/healthz`` endpoint and by
+    anything else that needs to introspect what a deployment can execute
+    without touching engine classes.
+    """
+    capabilities = []
+    for info in _ENGINE_TABLE.values():
+        record = dataclasses.asdict(info)
+        del record["builder"]
+        capabilities.append(record)
+    return capabilities
 
 
 # ------------------------------------------------------- vectorized registry

@@ -22,6 +22,7 @@ one-line error instead of a traceback halfway through a sweep.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -153,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "--tag", default=None, help="Only show scenarios carrying this tag."
     )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "Machine-readable output: one JSON record per scenario (the same "
+            "formatter that backs the serving layer's GET /scenarios)."
+        ),
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="Run a scenario over a parameter grid."
@@ -248,6 +257,12 @@ def _print_result(
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        # Shared with GET /scenarios: one formatter, two transports.
+        from repro.scenarios.listing import scenario_listing
+
+        print(json.dumps(scenario_listing(tag=args.tag), indent=2, sort_keys=True))
+        return 0
     status = kernels_availability()
     jit_line = (
         f"compiled kernels: available ({status.reason})"

@@ -24,13 +24,16 @@ from repro.scenarios.registry import (
     scenario_names,
     unregister,
 )
+from repro.scenarios.listing import scenario_listing
 from repro.scenarios.runner import run_scenario, run_sweep
-from repro.scenarios.spec import ScenarioPoint, ScenarioSpec, SweepSpec
+from repro.scenarios.spec import ScenarioPoint, ScenarioSpec, SweepSpec, canonical_json
 
 __all__ = [
     "ScenarioPoint",
     "ScenarioSpec",
     "SweepSpec",
+    "canonical_json",
+    "scenario_listing",
     "get_scenario",
     "has_scenario",
     "iter_scenarios",

@@ -1,0 +1,48 @@
+"""Machine-readable scenario listing shared by the CLI and the serving layer.
+
+``repro-experiments list --json`` and ``GET /scenarios`` must agree on what a
+scenario *is* — one formatter, two transports.  Each entry is plain
+JSON-encodable data: the spec's declarative fields, the efforts its presets
+register, and the spec-level cache key so API clients can tell when a
+redeploy changed a scenario's behaviour (the key is an ingredient of every
+run-level cache key, see :mod:`repro.serve.keys`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.scenarios.registry import iter_scenarios
+
+__all__ = ["scenario_listing"]
+
+
+def scenario_listing(*, tag: str | None = None) -> list[dict[str, Any]]:
+    """One JSON-encodable record per registered scenario, sorted by name.
+
+    ``tag`` filters to scenarios carrying that tag (the CLI's ``--tag``).
+    """
+    # Lazy: repro.experiments imports repro.scenarios at definition time, so
+    # the reverse dependency must not run at import time.
+    from repro.experiments.config import list_presets
+
+    efforts = list_presets()
+    entries = []
+    for spec in iter_scenarios():
+        if tag is not None and tag not in spec.tags:
+            continue
+        entries.append(
+            {
+                "name": spec.name,
+                "experiment_id": spec.id,
+                "description": spec.description,
+                "tags": list(spec.tags),
+                "engine": spec.engine,
+                "engines": list(spec.engines),
+                "efforts": list(efforts.get(spec.id, [])),
+                "sharding": "trial-shards" if spec.executor is None else "serial-only",
+                "keep_series": spec.keep_series,
+                "cache_key": spec.cache_key(),
+            }
+        )
+    return entries

@@ -19,7 +19,7 @@ mid-run traceback.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.params import ProtocolParameters
 from repro.engine.errors import ConfigurationError, UnsupportedEngineError
@@ -84,6 +84,40 @@ def resolve_params(spec: ScenarioSpec, preset: "ExperimentPreset") -> ProtocolPa
                 f"invalid protocol parameter overrides {overrides!r}: {exc}"
             ) from exc
     return params
+
+
+def _jit_status(jit: bool) -> str:
+    """Resolved jit mode: ``"off"``, ``"compiled"`` or ``"fallback: <why>"``."""
+    if not jit:
+        return "off"
+    from repro.kernels import availability
+
+    status = availability()
+    return "compiled" if status.enabled else f"fallback: {status.reason}"
+
+
+def _execution_metadata(
+    *,
+    requested_engine: str | None,
+    engines_used: Sequence[str],
+    workers: int | None,
+    jit: bool,
+) -> dict[str, Any]:
+    """The fully resolved execution config stamped on every result.
+
+    Auto-resolved knobs (``engine=None``/``"auto"``, ``workers="auto"``)
+    are recorded *after* resolution so cached artifacts are self-describing:
+    the block alone reproduces the run without re-deriving the auto policy.
+    """
+    engines = list(dict.fromkeys(engines_used))
+    return {
+        "requested_engine": requested_engine,
+        "engine": engines[0] if len(engines) == 1 else "mixed",
+        "engines": engines,
+        "workers": workers,
+        "jit_requested": jit,
+        "jit": _jit_status(jit),
+    }
 
 
 def _validate_engine(spec: ScenarioSpec, engine: str | None) -> None:
@@ -170,6 +204,7 @@ def run_scenario(
 
     spec = _resolve_spec(spec_or_name)
     _validate_engine(spec, engine)
+    requested_workers = workers
     workers = resolve_workers(workers)
     preset = resolve_preset(spec, effort, preset)
     params = resolve_params(spec, preset)
@@ -183,6 +218,15 @@ def run_scenario(
             result.metadata.setdefault("workers", "serial-only (bespoke executor)")
         if jit:
             result.metadata.setdefault("jit", "ignored (bespoke executor)")
+        execution = _execution_metadata(
+            requested_engine=engine,
+            engines_used=[resolved],
+            workers=None,  # bespoke executors always run serially
+            jit=False,  # ... and never reach the vectorised kernels
+        )
+        execution["workers_requested"] = requested_workers
+        execution["jit_requested"] = jit
+        result.metadata["execution"] = execution
         return result
 
     points = tuple(spec.points(preset, params))
@@ -223,20 +267,25 @@ def run_scenario(
             shard_timings[point.series_label] = trace.shard_timings
 
     engine_label = engines_used[0] if len(set(engines_used)) == 1 else "auto"
+    execution = _execution_metadata(
+        requested_engine=engine,
+        engines_used=engines_used,
+        workers=workers,
+        jit=jit,
+    )
+    execution["workers_requested"] = requested_workers
     metadata: dict[str, Any] = {
         "preset": preset.name,
         "params": params.describe(),
         "engine": engine_label,
         "scenario": spec.name,
+        "execution": execution,
     }
     if workers is not None:
         metadata["workers"] = workers
         metadata["shard_timings"] = shard_timings
     if jit:
-        from repro.kernels import availability
-
-        status = availability()
-        metadata["jit"] = "compiled" if status.enabled else f"fallback: {status.reason}"
+        metadata["jit"] = execution["jit"]
     return ExperimentResult(
         experiment=spec.id,
         description=spec.description_for(preset),
@@ -329,5 +378,8 @@ def run_sweep(
         result.metadata["sweep"] = label
         result.metadata["workers"] = resolved_workers
         result.metadata["sweep_seconds"] = timing.seconds
+        # Each combination ran serially inside its worker; the sweep-level
+        # fan-out is the resolved parallelism for this result.
+        result.metadata["execution"]["sweep_workers"] = resolved_workers
         results.append((label, result))
     return results

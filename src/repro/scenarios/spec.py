@@ -27,7 +27,9 @@ into a family of runs.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
@@ -45,6 +47,7 @@ __all__ = [
     "ScenarioPoint",
     "ScenarioSpec",
     "SweepSpec",
+    "canonical_json",
     "default_points",
     "default_protocol_factory",
 ]
@@ -55,6 +58,82 @@ _PRESET_FIELDS = ("parallel_time", "trials", "seed")
 #: ``ProtocolParameters`` fields a sweep axis may target (routed into
 #: ``preset.extra["params_overrides"]`` and applied by ``run_scenario``).
 _PARAM_FIELDS = tuple(f.name for f in dataclasses.fields(ProtocolParameters))
+
+
+# ------------------------------------------------------- canonical encoding
+
+
+def _canonicalize(value: Any) -> Any:
+    """Normalise a value for :func:`canonical_json`.
+
+    Mappings become plain dicts with string keys (ordering is erased by the
+    sorted dump), sequences become lists, sets are sorted, and floats that
+    hold an exact integer collapse to that integer so ``5`` and ``5.0`` (or
+    ``seed=20240508`` vs ``seed=20240508.0`` coming in over JSON) encode —
+    and therefore hash — identically.  Non-finite floats are rejected: they
+    have no canonical JSON spelling.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ConfigurationError(
+                f"non-finite float {value!r} has no canonical encoding"
+            )
+        return int(value) if value.is_integer() else value
+    if isinstance(value, Mapping):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"canonical encoding needs string keys, got {key!r}"
+                )
+            out[key] = _canonicalize(value[key])
+        return out
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonicalize(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    raise ConfigurationError(
+        f"value {value!r} of type {type(value).__name__} has no canonical "
+        "JSON encoding"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Stable JSON encoding: field-order and float-repr invariant.
+
+    Two values that differ only in dict insertion order, tuple-vs-list
+    container type, or integral-float-vs-int spelling produce byte-identical
+    output; any semantic difference produces different output.  This is the
+    encoding under every cache key in :mod:`repro.serve` — changing it
+    invalidates all content-addressed artifacts, which is why
+    ``tests/test_serve_keys.py`` pins golden hashes.
+    """
+    return json.dumps(
+        _canonicalize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def _callable_id(fn: Any) -> str | None:
+    """Stable identity of a spec callable: ``module:qualname``.
+
+    Callables cannot be value-encoded, but a registered scenario's behaviour
+    is pinned by *which* functions it composes — the qualified name captures
+    exactly that (two different metric extractors get different ids; the
+    same extractor is stable across processes).
+    """
+    if fn is None:
+        return None
+    module = getattr(fn, "__module__", None) or "<unknown>"
+    qualname = getattr(fn, "__qualname__", None)
+    if qualname is None:
+        qualname = type(fn).__qualname__
+    return f"{module}:{qualname}"
 
 
 @dataclass(frozen=True)
@@ -253,6 +332,42 @@ class ScenarioSpec:
         """Return a copy with selected fields replaced."""
         return dataclasses.replace(self, **overrides)
 
+    def canonical_encoding(self) -> dict[str, Any]:
+        """Declarative identity of this spec as plain JSON-encodable data.
+
+        Value fields are carried verbatim; callable fields (points, metrics,
+        factories, executor) are carried by qualified name — the registered
+        code composing a scenario *is* part of its identity, so swapping a
+        metric extractor changes the encoding even when everything else
+        matches.
+        """
+        return {
+            "name": self.name,
+            "experiment_id": self.id,
+            "description": self.description,
+            "engine": self.engine,
+            "engines": list(self.engines),
+            "keep_series": self.keep_series,
+            "tags": list(self.tags),
+            "points": _callable_id(self.points),
+            "metrics": [_callable_id(metric) for metric in self.metrics],
+            "protocol_factory": _callable_id(self.protocol_factory),
+            "params_factory": _callable_id(self.params_factory),
+            "executor": _callable_id(self.executor),
+            "describe": _callable_id(self.describe),
+        }
+
+    def cache_key(self) -> str:
+        """SHA-256 over :meth:`canonical_encoding` (hex digest).
+
+        Equal specs produce equal keys regardless of how their field values
+        were spelled; any differing field produces a different key.  This is
+        the spec-level ingredient of the run-level
+        :func:`repro.serve.keys.canonical_cache_key`.
+        """
+        digest = hashlib.sha256(canonical_json(self.canonical_encoding()).encode("ascii"))
+        return digest.hexdigest()
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -290,6 +405,23 @@ class SweepSpec:
         if not normalized:
             raise ConfigurationError("a sweep needs at least one axis")
         return cls(scenario=scenario, axes=tuple(normalized))
+
+    def canonical_encoding(self) -> dict[str, Any]:
+        """Grid identity: the scenario name plus the ordered axes.
+
+        Axis *order* is preserved (it fixes the grid expansion order and
+        therefore the result ordering); within each axis the values are
+        carried verbatim.
+        """
+        return {
+            "scenario": self.scenario,
+            "axes": [[key, list(values)] for key, values in self.axes],
+        }
+
+    def cache_key(self) -> str:
+        """SHA-256 over :meth:`canonical_encoding` (hex digest)."""
+        digest = hashlib.sha256(canonical_json(self.canonical_encoding()).encode("ascii"))
+        return digest.hexdigest()
 
     def combinations(self) -> list[dict[str, Any]]:
         """All axis-value combinations, in deterministic grid order."""

@@ -1,0 +1,185 @@
+"""Bounded asynchronous job queue for simulation requests.
+
+Framework-free: a :class:`JobQueue` is a thread pool plus a job table.  Each
+job walks ``queued -> running -> done | failed`` with wall-clock timestamps
+at every transition and the execution time measured on a monotonic clock;
+failures capture the exception as a one-line error string (the traceback
+stays in the server log, not the API payload).
+
+Admission is bounded: at most ``max_pending`` jobs may sit in the queued
+state — beyond that :meth:`JobQueue.submit` raises :class:`QueueFullError`
+so the HTTP layer can push back with a 429 instead of buffering unbounded
+work.  Submitting a job id that is already queued, running or done returns
+the existing job (single-flight: two identical submissions share one
+computation); a *failed* id may be resubmitted and re-runs.
+
+Threads, not processes, carry the jobs: the heavy lifting inside a job is
+the NumPy/sharded-executor path of :func:`repro.scenarios.runner.run_scenario`,
+which releases the GIL in its hot loops and can itself fan out worker
+processes (``workers=``) — the queue only needs enough threads to overlap
+cache writes and bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+__all__ = ["Job", "JobQueue", "JobState", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`JobQueue.submit` when the pending bound is reached."""
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One unit of queued work and its lifecycle bookkeeping.
+
+    Attributes
+    ----------
+    id:
+        Caller-chosen identifier (the serving layer uses the run's cache
+        key, making the job table content-addressed too).
+    request:
+        JSON-encodable echo of what was asked for (shown by status APIs).
+    state / error:
+        Lifecycle state; ``error`` is set exactly when ``state`` is FAILED.
+    created / started / finished:
+        Wall-clock (``time.time``) transition timestamps; ``None`` until the
+        transition happens.
+    seconds:
+        Monotonic execution time of the work callable itself.
+    value:
+        Whatever the work callable returned (``None`` for failures).
+    """
+
+    id: str
+    request: dict[str, Any] = field(default_factory=dict)
+    state: JobState = JobState.QUEUED
+    error: str | None = None
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    seconds: float | None = None
+    value: Any = None
+
+    def status(self) -> dict[str, Any]:
+        """JSON-encodable snapshot (no result payload)."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "request": dict(self.request),
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "seconds": self.seconds,
+        }
+
+
+class JobQueue:
+    """Run jobs on a bounded worker pool; see the module docstring."""
+
+    def __init__(self, *, max_workers: int = 2, max_pending: int = 64) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be at least 1, got {max_pending}")
+        self.max_workers = max_workers
+        self.max_pending = max_pending
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+
+    def submit(
+        self,
+        job_id: str,
+        work: Callable[[], Any],
+        *,
+        request: dict[str, Any] | None = None,
+    ) -> Job:
+        """Enqueue ``work`` under ``job_id``; single-flight per id.
+
+        Returns the existing job when the id is already queued, running or
+        done.  A previously failed id is replaced and re-run.  Raises
+        :class:`QueueFullError` when ``max_pending`` jobs are already
+        waiting.
+        """
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.state is not JobState.FAILED:
+                return existing
+            pending = sum(
+                1 for job in self._jobs.values() if job.state is JobState.QUEUED
+            )
+            if pending >= self.max_pending:
+                raise QueueFullError(
+                    f"job queue is full ({pending} pending, bound "
+                    f"{self.max_pending}); retry later"
+                )
+            job = Job(id=job_id, request=dict(request or {}))
+            self._jobs[job_id] = job
+        self._pool.submit(self._run, job, work)
+        return job
+
+    def _run(self, job: Job, work: Callable[[], Any]) -> None:
+        job.started = time.time()
+        job.state = JobState.RUNNING
+        clock = time.perf_counter()
+        try:
+            value = work()
+        except Exception as exc:
+            job.seconds = time.perf_counter() - clock
+            job.finished = time.time()
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+        else:
+            job.seconds = time.perf_counter() - clock
+            job.finished = time.time()
+            job.value = value
+            job.state = JobState.DONE
+
+    def get(self, job_id: str) -> Job | None:
+        """The job for an id, or ``None`` when unknown."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> dict[str, int]:
+        """Current queue occupancy by state (for ``/healthz``)."""
+        with self._lock:
+            counts = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        counts["pending"] = counts[JobState.QUEUED.value]
+        return counts
+
+    def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.01) -> Job:
+        """Block until a job leaves the queued/running states (tests, CLIs)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.state in (JobState.DONE, JobState.FAILED):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id!r} still {job.state.value} after {timeout}s")
+            time.sleep(poll)
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._pool.shutdown(wait=wait, cancel_futures=True)

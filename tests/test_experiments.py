@@ -444,3 +444,51 @@ class TestScenarioCliCommands:
         )
         loaded = ExperimentResult.load(result.save(tmp_path))
         assert loaded.rows == result.rows
+
+
+class TestListJson:
+    """``list --json``: machine-readable output shared with GET /scenarios."""
+
+    def test_list_json_matches_shared_listing(self, capsys):
+        import json
+
+        from repro.scenarios.listing import scenario_listing
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == scenario_listing()
+
+    def test_list_json_tag_filter(self, capsys):
+        import json
+
+        assert main(["list", "--json", "--tag", "adversarial"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload]
+        assert "oscillate" in names
+        assert "fig2" not in names
+
+    def test_list_json_subprocess(self):
+        """The real entry point, end to end: spawn, parse, cross-check."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        from repro.scenarios.registry import scenario_names
+
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.cli", "list", "--json"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert [entry["name"] for entry in payload] == scenario_names()
+        for entry in payload:
+            assert {"name", "description", "tags", "engines", "efforts", "cache_key"} <= set(
+                entry
+            )
+            assert len(entry["cache_key"]) == 64

@@ -1,0 +1,153 @@
+"""JobQueue: lifecycle states, timings, error capture, bounds, single-flight."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.jobs import Job, JobQueue, JobState, QueueFullError
+
+
+@pytest.fixture
+def queue():
+    q = JobQueue(max_workers=2, max_pending=8)
+    yield q
+    q.shutdown(wait=False)
+
+
+class TestLifecycle:
+    def test_successful_job_walks_queued_running_done(self, queue):
+        job = queue.submit("job-ok", lambda: 41 + 1, request={"what": "sum"})
+        finished = queue.wait("job-ok")
+        assert finished is job
+        assert finished.state is JobState.DONE
+        assert finished.value == 42
+        assert finished.error is None
+        assert finished.request == {"what": "sum"}
+        assert finished.created <= finished.started <= finished.finished
+        assert finished.seconds is not None and finished.seconds >= 0.0
+
+    def test_failure_captures_error_and_timing(self, queue):
+        def boom():
+            raise ValueError("the reactor is leaking")
+
+        queue.submit("job-bad", boom)
+        job = queue.wait("job-bad")
+        assert job.state is JobState.FAILED
+        assert job.error == "ValueError: the reactor is leaking"
+        assert job.value is None
+        assert job.finished is not None and job.seconds is not None
+
+    def test_status_is_json_encodable(self, queue):
+        import json
+
+        queue.submit("job-status", lambda: None)
+        job = queue.wait("job-status")
+        payload = job.status()
+        assert json.loads(json.dumps(payload))["state"] == "done"
+        assert payload["id"] == "job-status"
+
+    def test_unknown_job_is_none_and_wait_raises(self, queue):
+        assert queue.get("nope") is None
+        with pytest.raises(KeyError):
+            queue.wait("nope", timeout=0.1)
+
+    def test_wait_times_out_on_stuck_job(self, queue):
+        release = threading.Event()
+        queue.submit("job-stuck", release.wait)
+        with pytest.raises(TimeoutError):
+            queue.wait("job-stuck", timeout=0.05)
+        release.set()
+        assert queue.wait("job-stuck").state is JobState.DONE
+
+
+class TestSingleFlight:
+    def test_same_id_attaches_to_inflight_job(self, queue):
+        release = threading.Event()
+        calls = []
+
+        def work():
+            calls.append(1)
+            release.wait()
+
+        first = queue.submit("job-dup", work)
+        second = queue.submit("job-dup", work)
+        assert second is first
+        release.set()
+        queue.wait("job-dup")
+        assert calls == [1], "one submission, one execution"
+
+    def test_done_id_returns_existing_job_without_rerun(self, queue):
+        calls = []
+        queue.submit("job-done", lambda: calls.append(1))
+        queue.wait("job-done")
+        again = queue.submit("job-done", lambda: calls.append(1))
+        assert again.state is JobState.DONE
+        assert calls == [1]
+
+    def test_failed_id_is_resubmittable_and_reruns(self, queue):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return "recovered"
+
+        queue.submit("job-retry", flaky)
+        assert queue.wait("job-retry").state is JobState.FAILED
+        queue.submit("job-retry", flaky)
+        job = queue.wait("job-retry")
+        assert job.state is JobState.DONE
+        assert job.value == "recovered"
+        assert len(attempts) == 2
+
+
+class TestBounds:
+    def test_pending_bound_rejects_excess_submissions(self):
+        queue = JobQueue(max_workers=1, max_pending=1)
+        release = threading.Event()
+        try:
+            queue.submit("job-a", release.wait)  # occupies the single worker
+            # Give the pool a moment to start job-a so it leaves QUEUED.
+            deadline = 100
+            while queue.get("job-a").state is JobState.QUEUED and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+            queue.submit("job-b", lambda: None)  # fills the pending slot
+            with pytest.raises(QueueFullError):
+                queue.submit("job-c", lambda: None)
+            release.set()
+            queue.wait("job-b")
+            # With the queue drained, admission opens again.
+            queue.submit("job-c", lambda: None)
+            assert queue.wait("job-c").state is JobState.DONE
+        finally:
+            release.set()
+            queue.shutdown(wait=False)
+
+    def test_depth_counts_states(self, queue):
+        release = threading.Event()
+        queue.submit("job-d1", release.wait)
+        queue.submit("job-d2", release.wait)
+        release.set()
+        queue.wait("job-d1")
+        queue.wait("job-d2")
+        depth = queue.depth()
+        assert depth["done"] == 2
+        assert depth["pending"] == 0 and depth["running"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_workers=0)
+        with pytest.raises(ValueError):
+            JobQueue(max_pending=0)
+
+
+def test_job_dataclass_defaults():
+    job = Job(id="j")
+    assert job.state is JobState.QUEUED
+    assert job.started is None and job.finished is None and job.seconds is None

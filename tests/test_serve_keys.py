@@ -1,0 +1,286 @@
+"""Canonical encoding and cache keys: invariance, distinctness, golden pins.
+
+The serving layer's correctness rests on one property: two requests get the
+same SHA-256 exactly when they denote the same computation.  These tests pin
+the three layers of that property — the canonical JSON encoding, the
+spec-level key, and the run-level key — plus golden hashes so an accidental
+encoding change (which would silently orphan every cached artifact) fails
+loudly here instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.errors import ConfigurationError
+from repro.engine.parallel import resolve_workers
+from repro.experiments.base import ExperimentPreset
+from repro.scenarios.spec import ScenarioSpec, SweepSpec, canonical_json
+from repro.serve.keys import (
+    canonical_cache_key,
+    normalize_engine_request,
+    run_encoding,
+)
+
+
+def metric_one(trace, point, preset, params):
+    return {"n": point.n}
+
+
+def metric_two(trace, point, preset, params):
+    return {"m": point.n}
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    data = dict(name="keys_spec", description="key test", metrics=(metric_one,))
+    data.update(overrides)
+    return ScenarioSpec(**data)
+
+
+def make_preset(**overrides) -> ExperimentPreset:
+    data = dict(
+        name="tiny", population_sizes=(80,), parallel_time=40, trials=2, seed=11
+    )
+    extra = overrides.pop("extra", {})
+    data.update(overrides)
+    return ExperimentPreset(extra=extra, **data)
+
+
+# ------------------------------------------------------------ canonical JSON
+
+
+class TestCanonicalJson:
+    def test_dict_order_is_erased(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_container_spelling_is_erased(self):
+        assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+        assert canonical_json({"x": (1, (2,))}) == canonical_json({"x": [1, [2]]})
+
+    def test_integral_floats_collapse_to_ints(self):
+        assert canonical_json(5.0) == canonical_json(5)
+        assert canonical_json({"seed": 20240508.0}) == canonical_json({"seed": 20240508})
+        # ... but a genuinely fractional float stays distinct.
+        assert canonical_json(5.5) != canonical_json(5)
+
+    def test_bools_are_not_ints(self):
+        assert canonical_json(True) != canonical_json(1)
+        assert canonical_json(False) != canonical_json(0)
+
+    def test_sets_are_sorted(self):
+        assert canonical_json({3, 1, 2}) == canonical_json([1, 2, 3])
+
+    def test_nonfinite_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                canonical_json(bad)
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({1: "x"})
+
+    def test_unencodable_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json(object())
+
+    @settings(max_examples=50)
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.recursive(
+                st.one_of(
+                    st.integers(-(10**9), 10**9),
+                    st.floats(allow_nan=False, allow_infinity=False, width=32),
+                    st.booleans(),
+                    st.text(max_size=8),
+                    st.none(),
+                ),
+                lambda inner: st.lists(inner, max_size=3)
+                | st.dictionaries(st.text(min_size=1, max_size=4), inner, max_size=3),
+                max_leaves=10,
+            ),
+            max_size=5,
+        )
+    )
+    def test_property_insertion_order_invariant(self, payload):
+        reordered = dict(reversed(list(payload.items())))
+        assert canonical_json(payload) == canonical_json(reordered)
+
+
+# ------------------------------------------------------------ spec-level key
+
+
+class TestSpecCacheKey:
+    def test_equal_specs_equal_keys(self):
+        assert make_spec().cache_key() == make_spec().cache_key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"description": "other"},
+            {"engine": "batched"},
+            {"engines": ("batched", "ensemble")},
+            {"keep_series": True},
+            {"tags": ("adversarial",)},
+            {"metrics": (metric_two,)},
+            {"metrics": (metric_one, metric_two)},
+            {"experiment_id": "other_id"},
+            {"name": "other_name"},
+        ],
+    )
+    def test_any_differing_field_changes_key(self, change):
+        assert make_spec(**change).cache_key() != make_spec().cache_key()
+
+    def test_encoding_is_json_encodable(self):
+        # The encoding must survive canonical_json without special-casing.
+        assert canonical_json(make_spec().canonical_encoding())
+
+
+# ------------------------------------------------------------- run-level key
+
+
+def run_key(**kwargs) -> str:
+    spec = kwargs.pop("spec", make_spec())
+    preset = kwargs.pop("preset", make_preset())
+    return canonical_cache_key(spec, preset, **kwargs)
+
+
+class TestRunCacheKey:
+    def test_identical_requests_identical_keys(self):
+        assert run_key() == run_key()
+
+    @pytest.mark.parametrize(
+        "preset_change",
+        [
+            {"population_sizes": (81,)},
+            {"parallel_time": 41},
+            {"trials": 3},
+            {"seed": 12},
+            {"name": "other"},
+            {"extra": {"keep": 50}},
+            {"extra": {"params_overrides": {"tau1": 3.0}}},
+        ],
+    )
+    def test_any_preset_field_changes_key(self, preset_change):
+        assert run_key(preset=make_preset(**preset_change)) != run_key()
+
+    def test_schedule_knobs_change_key(self):
+        base = run_key(preset=make_preset(extra={"period": 100}))
+        assert run_key(preset=make_preset(extra={"period": 200})) != base
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine": "batched"},
+            {"workers": 1},
+            {"workers": 2},
+            {"jit": True},
+            {"seed": 99},
+        ],
+    )
+    def test_execution_knobs_change_key(self, kwargs):
+        assert run_key(**kwargs) != run_key()
+
+    def test_sweep_changes_key_and_axes_matter(self):
+        sweep_a = SweepSpec.from_mapping("keys_spec", {"n": (32, 64)})
+        sweep_b = SweepSpec.from_mapping("keys_spec", {"n": (32, 128)})
+        assert run_key(sweep=sweep_a) != run_key()
+        assert run_key(sweep=sweep_a) != run_key(sweep=sweep_b)
+        assert run_key(sweep=sweep_a) == run_key(sweep=sweep_a)
+
+    def test_preset_extra_ordering_is_erased(self):
+        a = make_preset(extra={"keep": 50, "drop_time": 300})
+        b = make_preset(extra={"drop_time": 300, "keep": 50})
+        assert run_key(preset=a) == run_key(preset=b)
+
+    def test_float_spelling_is_erased(self):
+        a = make_preset(extra={"tau": 2.0})
+        b = make_preset(extra={"tau": 2})
+        assert run_key(preset=a) == run_key(preset=b)
+
+    def test_engine_request_normalization(self):
+        unpinned = make_spec()
+        assert normalize_engine_request(unpinned, None) == "auto"
+        assert run_key(spec=unpinned, engine=None) == run_key(spec=unpinned, engine="auto")
+        pinned = make_spec(engine="batched")
+        assert normalize_engine_request(pinned, None) == "batched"
+        # For a pinned spec, the default and an explicit "auto" are different
+        # computations and must not share a cache entry.
+        assert run_key(spec=pinned, engine=None) == run_key(spec=pinned, engine="batched")
+        assert run_key(spec=pinned, engine=None) != run_key(spec=pinned, engine="auto")
+
+    def test_workers_auto_keys_on_resolved_count(self):
+        resolved = resolve_workers("auto")
+        assert run_key(workers="auto") == run_key(workers=resolved)
+
+    def test_registered_name_and_spec_agree(self):
+        # canonical_cache_key accepts the registered name or the spec object.
+        from repro.scenarios.registry import get_scenario
+        from repro.scenarios.runner import resolve_preset
+
+        spec = get_scenario("fig2")
+        preset = resolve_preset(spec, "quick")
+        assert canonical_cache_key("fig2", preset) == canonical_cache_key(spec, preset)
+
+
+# ------------------------------------------------------------------- goldens
+
+#: Pinned canonical encodings: changing these strings means every deployed
+#: cache key changes (all cached artifacts orphan).  If a change is
+#: intentional, bump repro.serve.keys.KEY_SCHEMA_VERSION and re-pin.
+GOLDEN_ENCODINGS = {
+    "scalar-mix": (
+        {"b": [1, 2.5], "a": {"y": True, "x": None}, "c": 5.0},
+        '{"a":{"x":null,"y":true},"b":[1,2.5],"c":5}',
+    ),
+    "nested": (
+        {"outer": {"inner": (1, (2, 3))}, "tag": "x"},
+        '{"outer":{"inner":[1,[2,3]]},"tag":"x"}',
+    ),
+}
+
+#: SHA-256 of the canonical encodings above — the exact hashing contract.
+GOLDEN_HASHES = {
+    "scalar-mix": "e0769b07b7e55fe826917e5ce53bf5a7debd4688f37da92c1a1e40169c47ed23",
+    "nested": "acd75e5c58457ea5e00b14fafe930e7f9c692928d14cde207da67782f061ad46",
+}
+
+
+class TestGoldenPins:
+    @pytest.mark.parametrize("case", sorted(GOLDEN_ENCODINGS))
+    def test_encoding_pinned(self, case):
+        value, expected = GOLDEN_ENCODINGS[case]
+        assert canonical_json(value) == expected
+
+    @pytest.mark.parametrize("case", sorted(GOLDEN_HASHES))
+    def test_hash_pinned(self, case):
+        _, encoding = GOLDEN_ENCODINGS[case]
+        digest = hashlib.sha256(encoding.encode("ascii")).hexdigest()
+        assert digest == GOLDEN_HASHES[case]
+
+    def test_run_encoding_shape_pinned(self):
+        # The key's *shape* is part of the contract: a field appearing or
+        # disappearing must be a conscious KEY_SCHEMA_VERSION bump.
+        encoding = run_encoding(make_spec(), make_preset())
+        assert sorted(encoding) == [
+            "engine",
+            "jit",
+            "preset",
+            "scenario",
+            "schema",
+            "sweep",
+            "workers",
+        ]
+        assert encoding["schema"] == 1
+        assert sorted(encoding["preset"]) == [
+            "extra",
+            "name",
+            "parallel_time",
+            "population_sizes",
+            "seed",
+            "trials",
+        ]
