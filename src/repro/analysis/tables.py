@@ -84,7 +84,7 @@ def csv_text(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = 
     """
     if not rows:
         return ""
-    keys = list(columns) if columns is not None else list(rows[0].keys())
+    keys = list(columns) if columns is not None else _key_union(rows)
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=keys, extrasaction="ignore")
     writer.writeheader()
@@ -106,11 +106,32 @@ def write_csv(
     return target
 
 
-def rows_to_series(rows: Sequence[Mapping[str, Any]]) -> dict[str, list[Any]]:
-    """Transpose row dictionaries back into a column-oriented series."""
+def _key_union(rows: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Keys appearing in any row, in first-seen order.
+
+    Recorder rows can be ragged — :class:`repro.engine.recorder.
+    PhaseOccupancyRecorder` only adds a phase column once that phase is
+    occupied — so keying on ``rows[0]`` alone drops late columns.
+    """
+    keys: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            keys.setdefault(key, None)
+    return list(keys)
+
+
+def rows_to_series(
+    rows: Sequence[Mapping[str, Any]], *, fill: Any = float("nan")
+) -> dict[str, list[Any]]:
+    """Transpose row dictionaries back into a column-oriented series.
+
+    Takes the union of keys across all rows (first-seen order); cells a row
+    does not carry are filled with ``fill`` so every column has one entry
+    per row even when the rows are ragged.
+    """
     if not rows:
         return {}
-    return {key: [row[key] for row in rows] for key in rows[0]}
+    return {key: [row.get(key, fill) for row in rows] for key in _key_union(rows)}
 
 
 def _parse_cell(text: str) -> Any:

@@ -167,6 +167,10 @@ class DynamicCountingCountsKernel(PackedCountsKernel):
     def tick_total(self) -> int | None:
         return self._total_ticks
 
+    def restore_tick_total(self, total: int | None) -> None:
+        if total is not None:
+            self._total_ticks = int(total)
+
     # ------------------------------------------------------------- transition
 
     def transition(

@@ -38,8 +38,14 @@ from repro.engine.counts_engine import (
     multiset_sample,
     weighted_quantiles,
 )
+from repro.engine.checkpoint import (
+    CheckpointInterrupted,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.engine.ensemble_engine import EnsembleRunResult, EnsembleSimulator
 from repro.engine.errors import (
+    CheckpointError,
     ConfigurationError,
     EmptyPopulationError,
     EngineError,
@@ -98,6 +104,14 @@ from repro.engine.runner import (
     run_engine_trials,
 )
 from repro.engine.simulator import SimulationResult, Simulator
+from repro.engine.streaming import (
+    BoundedRowBuffer,
+    P2Quantile,
+    ReservoirBuffer,
+    RunningColumnStats,
+    RunningExtrema,
+    StreamingEstimateRecorder,
+)
 
 __all__ = [
     "AddAgentsAt",
@@ -105,9 +119,12 @@ __all__ = [
     "ArrayRunResult",
     "ArraySimulator",
     "BatchSnapshot",
+    "BoundedRowBuffer",
     "BatchedRunResult",
     "BatchedSimulator",
     "CallbackRecorder",
+    "CheckpointError",
+    "CheckpointInterrupted",
     "CountsKernel",
     "CountsSimulator",
     "CountsState",
@@ -135,6 +152,7 @@ __all__ = [
     "NullAdversary",
     "OneWayProtocol",
     "PhaseOccupancyRecorder",
+    "P2Quantile",
     "Population",
     "PopulationSizeRecorder",
     "Protocol",
@@ -142,17 +160,21 @@ __all__ = [
     "ProtocolEvent",
     "RandomSource",
     "Recorder",
+    "ReservoirBuffer",
     "RemoveAgentsAt",
     "RemoveAllButAt",
     "ResizeEvent",
     "ResizeSchedule",
     "RunResult",
+    "RunningColumnStats",
+    "RunningExtrema",
     "SeedTree",
     "ShardTiming",
     "SimulationResult",
     "Simulator",
     "SizeAdversary",
     "SnapshotStats",
+    "StreamingEstimateRecorder",
     "TrialOutcome",
     "TrialRunner",
     "TrialShard",
@@ -171,6 +193,7 @@ __all__ = [
     "merge_shard_results",
     "multiset_sample",
     "plan_shards",
+    "read_checkpoint",
     "register_counts_kernel",
     "register_engine",
     "register_vectorized",
@@ -181,4 +204,5 @@ __all__ = [
     "spawn_streams",
     "vectorized_for",
     "weighted_quantiles",
+    "write_checkpoint",
 ]

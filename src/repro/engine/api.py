@@ -29,7 +29,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.engine.errors import ConfigurationError, EmptyPopulationError
+from repro.engine.errors import CheckpointError, ConfigurationError, EmptyPopulationError
 from repro.engine.rng import RandomSource
 
 __all__ = [
@@ -308,6 +308,94 @@ class Engine(abc.ABC):
         self._on_run_finish()
         return self._build_result(snapshots, stopped_early)
 
+    # ------------------------------------------------------------ checkpoints
+
+    def checkpoint_payload(self, *, copy: bool = True) -> dict[str, Any]:
+        """In-memory checkpoint of the engine's complete mutable state.
+
+        The payload captures everything a freshly constructed, identically
+        configured engine needs to continue the run bit-identically: the
+        run-loop counters, the RNG bit-generator state, and the
+        engine-specific state from :meth:`_state_payload` (population /
+        state planes, adversary position, ...).  Persist it with
+        :meth:`save_checkpoint`, or embed it in a larger artifact (the
+        sharded executor stores one per shard).
+
+        With ``copy=False`` the payload *aliases* live engine state instead
+        of snapshotting it — it is only valid until the engine advances
+        again, so it must be serialized (or discarded) first.  The sharded
+        executor uses this to keep checkpoint cadence cheap: the payload is
+        pickled to disk immediately, and pickling makes its own copy.
+        """
+        return {
+            "engine": self.name,
+            "parallel_time": int(self.parallel_time),
+            "interactions_executed": int(self.interactions_executed),
+            "rng_state": self._rng_checkpoint_state(),
+            "state": self._state_payload(copy=copy),
+        }
+
+    def apply_checkpoint_payload(self, payload: dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`checkpoint_payload`.
+
+        ``self`` must be a freshly built engine with the *same
+        configuration* (protocol, population size, schedule, trial count)
+        as the one that produced the payload; the checkpoint replaces the
+        mutable state, not the configuration.  Raises
+        :class:`~repro.engine.errors.CheckpointError` when the payload
+        belongs to a different engine kind or fails shape validation.
+        """
+        if not isinstance(payload, dict) or "state" not in payload:
+            raise CheckpointError("malformed engine checkpoint payload")
+        if payload.get("engine") != self.name:
+            raise CheckpointError(
+                f"checkpoint was taken on engine {payload.get('engine')!r}, "
+                f"cannot restore into {self.name!r}"
+            )
+        self._restore_payload(payload["state"])
+        self._restore_rng_checkpoint_state(payload.get("rng_state"))
+        self.parallel_time = int(payload["parallel_time"])
+        self.interactions_executed = int(payload["interactions_executed"])
+
+    def save_checkpoint(self, path: Any) -> Any:
+        """Write :meth:`checkpoint_payload` to ``path`` (atomic, checksummed)."""
+        from repro.engine.checkpoint import write_checkpoint
+
+        return write_checkpoint(path, self.checkpoint_payload(), kind="engine")
+
+    def restore_checkpoint(self, path: Any) -> None:
+        """Restore from a file written by :meth:`save_checkpoint`."""
+        from repro.engine.checkpoint import read_checkpoint
+
+        self.apply_checkpoint_payload(read_checkpoint(path, kind="engine"))
+
+    def _rng_checkpoint_state(self) -> Any:
+        rng = getattr(self, "rng", None)
+        return None if rng is None else rng.generator.bit_generator.state
+
+    def _restore_rng_checkpoint_state(self, state: Any) -> None:
+        if state is None:
+            return
+        rng = getattr(self, "rng", None)
+        if rng is None:
+            raise CheckpointError(
+                f"checkpoint carries RNG state but engine {self.name!r} has no rng"
+            )
+        rng.generator.bit_generator.state = state
+
+    def _state_payload(self, *, copy: bool = True) -> dict[str, Any]:
+        """Engine-specific mutable state; overridden by every checkpointable engine.
+
+        ``copy=False`` may return views of live state (see
+        :meth:`checkpoint_payload`); implementations that cannot avoid the
+        copy are free to ignore the flag.
+        """
+        raise CheckpointError(f"engine {self.name!r} does not support checkpoints")
+
+    def _restore_payload(self, state: dict[str, Any]) -> None:
+        """Inverse of :meth:`_state_payload`."""
+        raise CheckpointError(f"engine {self.name!r} does not support checkpoints")
+
     # ------------------------------------------------------- subclass contract
 
     def _on_run_start(self) -> None:
@@ -456,6 +544,25 @@ class ArrayStateEngine(Engine):
                 )
             for key in self.arrays:
                 self.arrays[key] = np.concatenate([self.arrays[key], extra[key]])
+
+    # ------------------------------------------------------------ checkpoints
+
+    def _state_payload(self, *, copy: bool = True) -> dict[str, Any]:
+        return {
+            "arrays": {key: np.array(val, copy=copy) for key, val in self.arrays.items()},
+            "resize_cursor": int(self._resize_cursor),
+        }
+
+    def _restore_payload(self, state: dict[str, Any]) -> None:
+        arrays = state.get("arrays")
+        if not isinstance(arrays, dict) or set(arrays) != set(self.arrays):
+            found = sorted(arrays) if isinstance(arrays, dict) else arrays
+            raise CheckpointError(
+                f"checkpoint state planes {found!r} do not match this "
+                f"engine's planes {sorted(self.arrays)!r}"
+            )
+        self.arrays = {key: np.array(val, copy=True) for key, val in arrays.items()}
+        self._resize_cursor = int(state["resize_cursor"])
 
     # -------------------------------------------------------------- snapshots
 

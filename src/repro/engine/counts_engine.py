@@ -47,7 +47,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.engine.api import Engine, EngineSnapshot, RunResult
-from repro.engine.errors import ConfigurationError, EmptyPopulationError
+from repro.engine.errors import CheckpointError, ConfigurationError, EmptyPopulationError
 from repro.engine.rng import RandomSource
 
 __all__ = [
@@ -321,6 +321,14 @@ class CountsKernel(abc.ABC):
     def tick_total(self) -> int | None:
         """Cumulative protocol ticks (resets) applied so far, if tracked."""
         return None
+
+    def restore_tick_total(self, total: int | None) -> None:
+        """Restore the cumulative tick counter from an engine checkpoint.
+
+        No-op for kernels that do not track ticks (:meth:`tick_total`
+        returning ``None``); tracking kernels override this so a resumed
+        run reports the same total a continuous run would have.
+        """
 
     def describe(self) -> dict[str, Any]:
         return {"name": self.name, "class": type(self).__name__}
@@ -736,6 +744,36 @@ class CountsSimulator(Engine):
             np.concatenate(responder_rows),
             np.concatenate(count_rows),
         )
+
+    # ------------------------------------------------------------ checkpoints
+
+    def _state_payload(self, *, copy: bool = True) -> dict[str, Any]:
+        dup = (lambda arr: arr.copy()) if copy else (lambda arr: arr)
+        return {
+            "keys": dup(self.state.keys),
+            "counts": dup(self.state.counts),
+            "columns": {name: dup(col) for name, col in self.state.columns.items()},
+            "resize_cursor": int(self._resize_cursor),
+            "peak_states": int(self.peak_states),
+            "kernel_ticks": self.kernel.tick_total(),
+        }
+
+    def _restore_payload(self, state: dict[str, Any]) -> None:
+        columns = state.get("columns")
+        if not isinstance(columns, dict) or set(columns) != set(self.state.columns):
+            found = sorted(columns) if isinstance(columns, dict) else columns
+            raise CheckpointError(
+                f"checkpoint state columns {found!r} do not match this "
+                f"kernel's columns {sorted(self.state.columns)!r}"
+            )
+        self.state = CountsState(
+            keys=np.array(state["keys"], copy=True),
+            counts=np.array(state["counts"], copy=True),
+            columns={name: np.array(col, copy=True) for name, col in columns.items()},
+        )
+        self._resize_cursor = int(state["resize_cursor"])
+        self.peak_states = int(state["peak_states"])
+        self.kernel.restore_tick_total(state.get("kernel_ticks"))
 
     # -------------------------------------------------------------- snapshots
 

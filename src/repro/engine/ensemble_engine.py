@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.engine.api import ArrayStateEngine, EngineSnapshot, RunResult, matrix_quantiles, quantiles
 from repro.engine.batch_engine import VectorizedProtocol
-from repro.engine.errors import ConfigurationError
+from repro.engine.errors import CheckpointError, ConfigurationError
 from repro.engine.rng import RandomSource
 
 __all__ = ["EnsembleRunResult", "EnsembleSimulator"]
@@ -208,6 +208,24 @@ class EnsembleSimulator(ArrayStateEngine):
     def size(self) -> int:
         """Population size of each trial (rows always stay the same length)."""
         return next(iter(self.arrays.values())).shape[1]
+
+    # ------------------------------------------------------------ checkpoints
+
+    def _state_payload(self, *, copy: bool = True) -> dict:
+        # The per-run snapshot accumulators are deliberately absent: they
+        # are cleared at every run() start, so checkpoints must be taken
+        # between run() calls (the segmented executor stitches the series).
+        payload = super()._state_payload(copy=copy)
+        payload["trials"] = self.trials
+        return payload
+
+    def _restore_payload(self, state: dict) -> None:
+        trials = state.get("trials")
+        if trials != self.trials:
+            raise CheckpointError(
+                f"checkpoint stacks {trials!r} trials, this engine stacks {self.trials}"
+            )
+        super()._restore_payload(state)
 
     # -------------------------------------------------------------- adversary
 

@@ -46,6 +46,17 @@ class UnsupportedEngineError(ConfigurationError):
     """
 
 
+class CheckpointError(EngineError):
+    """Raised when a checkpoint cannot be written, read, or applied.
+
+    Covers on-disk corruption (bad magic, truncated payload, checksum
+    mismatch, unknown schema version) as well as restore-time mismatches
+    (a checkpoint taken from a differently configured engine).  Resuming
+    from a damaged checkpoint must fail loudly with this error — never
+    silently continue from wrong state.
+    """
+
+
 class ProtocolContractError(EngineError):
     """Raised when a protocol violates the engine's interaction contract.
 

@@ -41,6 +41,28 @@ class Population:
         self._stable_ids: list[int] = list(range(len(self._states)))
         self._next_id: int = len(self._states)
 
+    @classmethod
+    def restore(
+        cls, states: Iterable[Any], stable_ids: Iterable[int], next_id: int
+    ) -> "Population":
+        """Rebuild a population from checkpointed internals.
+
+        Inverts the ``(states(), stable_ids(), next id)`` triple captured by
+        the sequential engine's checkpoint, preserving the slot order and
+        the never-reuse guarantee of stable ids.
+        """
+        population = cls(states)
+        ids = [int(i) for i in stable_ids]
+        if len(ids) != len(population._states):
+            raise ValueError(
+                f"{len(ids)} stable ids for {len(population._states)} states"
+            )
+        if ids and int(next_id) <= max(ids):
+            raise ValueError("next_id must exceed every restored stable id")
+        population._stable_ids = ids
+        population._next_id = int(next_id)
+        return population
+
     # ------------------------------------------------------------------ size
 
     def __len__(self) -> int:

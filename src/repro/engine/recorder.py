@@ -84,9 +84,13 @@ class EstimateRecorder(Recorder):
     def on_snapshot(self, parallel_time, population, protocol) -> None:
         fn = self._output_fn or protocol.output
         values = [float(fn(state)) for state in population.states()]
-        if not values:
-            return
-        lo, med, hi = quantiles(values)
+        if values:
+            lo, med, hi = quantiles(values)
+        else:
+            # A momentarily empty population still gets a row: skipping it
+            # would desynchronize this series from the engine's snapshot
+            # timeline (rows and snapshots must stay 1:1).
+            lo = med = hi = float("nan")
         self.rows.append(
             SnapshotStats(
                 parallel_time=parallel_time,
@@ -179,22 +183,25 @@ class MemoryRecorder(Recorder):
 
     def on_snapshot(self, parallel_time, population, protocol) -> None:
         bits = [protocol.memory_bits(state) for state in population.states()]
-        if not bits:
-            return
+        nan = float("nan")
+        # NaN statistics (not a skipped row) when the population is
+        # momentarily empty, keeping the series dense on the snapshot
+        # timeline.
         self.rows.append(
             {
                 "parallel_time": float(parallel_time),
                 "population_size": float(population.size),
-                "max_bits": float(max(bits)),
-                "mean_bits": float(sum(bits) / len(bits)),
+                "max_bits": float(max(bits)) if bits else nan,
+                "mean_bits": float(sum(bits) / len(bits)) if bits else nan,
             }
         )
 
     def peak_bits(self) -> float:
         """Largest per-agent footprint observed over the whole run."""
-        if not self.rows:
-            return 0.0
-        return max(row["max_bits"] for row in self.rows)
+        peaks = [
+            row["max_bits"] for row in self.rows if row["max_bits"] == row["max_bits"]
+        ]
+        return max(peaks) if peaks else 0.0
 
 
 class CallbackRecorder(Recorder):

@@ -128,6 +128,13 @@ class EngineInfo:
         Accepts ``jit=True`` (the compiled kernel backend of
         :mod:`repro.kernels`); only meaningful for engines that execute
         vectorised per-interaction kernels.
+    supports_checkpoint:
+        Implements :meth:`repro.engine.api.Engine.checkpoint_payload` /
+        ``apply_checkpoint_payload`` (and therefore ``save_checkpoint`` /
+        ``restore_checkpoint``), so long-horizon runs can be interrupted
+        and resumed bit-identically.  All five built-in engines do; a
+        registered backend that cannot serialize its state must say so
+        here so the checkpointing executor rejects it up front.
     """
 
     name: str
@@ -140,6 +147,7 @@ class EngineInfo:
     supports_initial_arrays: bool = False
     requires_int_population: bool = True
     supports_jit: bool = False
+    supports_checkpoint: bool = False
 
 
 _ENGINE_TABLE: dict[str, EngineInfo] = {}
@@ -568,6 +576,7 @@ register_engine(
         supports_recorders=True,
         supports_adversary=True,
         requires_int_population=False,
+        supports_checkpoint=True,
     )
 )
 register_engine(
@@ -577,6 +586,7 @@ register_engine(
         description="exact interleaving over struct-of-arrays state",
         exact=True,
         supports_initial_arrays=True,
+        supports_checkpoint=True,
     )
 )
 register_engine(
@@ -586,6 +596,7 @@ register_engine(
         description="approximate synchronous-rounds batching, one trial",
         supports_initial_arrays=True,
         supports_jit=True,
+        supports_checkpoint=True,
     )
 )
 register_engine(
@@ -596,6 +607,7 @@ register_engine(
         supports_trials=True,
         supports_initial_arrays=True,
         supports_jit=True,
+        supports_checkpoint=True,
     )
 )
 register_engine(
@@ -604,6 +616,7 @@ register_engine(
         builder=_build_counts,
         description="count-vector multiset dynamics; per-step cost independent of n",
         supports_initial_arrays=True,
+        supports_checkpoint=True,
     )
 )
 

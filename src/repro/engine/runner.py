@@ -28,12 +28,22 @@ seed tree) and the shards run across the pool.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.engine.api import RunResult, matrix_quantiles
+from repro.engine.checkpoint import (
+    CheckpointInterrupted,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.engine.errors import CheckpointError, ConfigurationError
 from repro.engine.parallel import (
     ShardTiming,
     execute_shards,
@@ -165,6 +175,318 @@ def _run_ensemble_engine_shard(payload: dict[str, Any]) -> list[dict[str, list[f
     return [trial_result.series() for trial_result in result.trial_results]
 
 
+# --------------------------------------------------------------- checkpoints
+#
+# Long-horizon runs segment each shard's engine at multiples of
+# ``checkpoint_every`` parallel time: roughly every ``checkpoint_every``
+# of parallel time (mid-trial segment boundaries, plus trial boundaries
+# once the cadence has elapsed since the last write) the shard writes
+# one atomic, checksummed ``shard_<start>-<stop>.ckpt`` file (see
+# :mod:`repro.engine.checkpoint`) holding everything needed to continue —
+# the series of already-finished trials, the in-flight engine's
+# :meth:`~repro.engine.api.Engine.checkpoint_payload`, and the partial
+# segment series of the in-flight trial.  Because every random stream is
+# derived from a seed-tree *address* and engine counters persist across
+# ``run()`` calls, a resumed shard replays bit-identically to an
+# uninterrupted one.  The parent writes a ``manifest.json`` pinning the
+# workload; resuming against a different workload fails loudly with
+# :class:`~repro.engine.errors.CheckpointError` instead of silently mixing
+# runs.
+
+#: Name of the workload manifest inside a checkpoint directory.
+CHECKPOINT_MANIFEST = "manifest.json"
+
+
+def _shard_checkpoint_path(directory: str | Path, start: int, stop: int) -> Path:
+    """The checkpoint file of the shard covering trials ``[start, stop)``."""
+    return Path(directory) / f"shard_{start}-{stop}.ckpt"
+
+
+def _shard_workload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The workload fingerprint pinned into a shard checkpoint.
+
+    A checkpoint is a *same-workload* recovery mechanism, not a migration
+    format: every knob that shapes the shard's trajectory (engine, trial
+    range, horizon, cadences, root seed) is recorded and must match
+    exactly on resume.
+    """
+    return {
+        "engine": payload["engine"],
+        "start": int(payload["start"]),
+        "stop": int(payload["stop"]),
+        "parallel_time": int(payload["parallel_time"]),
+        "snapshot_every": int(payload["snapshot_every"]),
+        "checkpoint_every": int(payload["checkpoint_every"]),
+        "seed": payload["seed"],
+    }
+
+
+def _load_shard_checkpoint(
+    path: Path, expected_workload: Mapping[str, Any]
+) -> dict[str, Any] | None:
+    """Read one shard checkpoint; ``None`` when absent (fresh start).
+
+    A present-but-corrupt file and a workload mismatch both raise
+    :class:`~repro.engine.errors.CheckpointError` — a resume must never
+    silently fall back to recomputing (masking data loss) or continue a
+    different run's state.
+    """
+    if not path.exists():
+        return None
+    state = read_checkpoint(path, kind="shard")
+    if state.get("workload") != dict(expected_workload):
+        raise CheckpointError(
+            f"shard checkpoint {path.name} was taken for a different workload "
+            f"({state.get('workload')!r} != {dict(expected_workload)!r})"
+        )
+    return state
+
+
+def _write_shard_checkpoint(
+    path: Path,
+    state: dict[str, Any],
+    *,
+    writes: int,
+    interrupt_after: int | None,
+) -> int:
+    """Persist one shard checkpoint; returns the updated write count.
+
+    ``interrupt_after`` is the deterministic fault-injection knob: after
+    the N-th *completed* write this raises
+    :class:`~repro.engine.checkpoint.CheckpointInterrupted`, so tests and
+    CI can kill a run at an exactly reproducible point and resume from a
+    checkpoint that is guaranteed to be on disk.
+    """
+    write_checkpoint(path, state, kind="shard")
+    writes += 1
+    if interrupt_after is not None and writes >= interrupt_after:
+        raise CheckpointInterrupted(
+            f"injected interruption after checkpoint write {writes} ({path.name})"
+        )
+    return writes
+
+
+def _concat_series(
+    segments: Sequence[Mapping[str, list[float]]],
+) -> dict[str, list[float]]:
+    """Stitch per-segment series columns into one continuous series.
+
+    Engine counters persist across ``run()`` calls and each call returns
+    only its own snapshots, so concatenation reproduces exactly the series
+    of one uninterrupted run over the whole horizon.
+    """
+    if not segments:
+        return {}
+    return {
+        key: [value for segment in segments for value in segment[key]]
+        for key in segments[0]
+    }
+
+
+def _run_looped_engine_shard_checkpointed(
+    payload: dict[str, Any],
+) -> list[dict[str, list[float]]]:
+    """Checkpointed variant of :func:`_run_looped_engine_shard`.
+
+    Trials run in order; the engine of the in-flight trial is segmented at
+    multiples of ``checkpoint_every`` parallel time.  A checkpoint is
+    written at every mid-trial segment boundary, and at the first trial
+    boundary once at least ``checkpoint_every`` parallel time has accrued
+    since the last write — so when trials are shorter than the cadence,
+    write frequency still follows the cadence instead of the trial count.
+    The final ``done`` checkpoint is always written.  Streams are still
+    addressed ``tree.trial(t)`` and the restored RNG state overwrites
+    whatever the factory drew, so an interrupted-and-resumed shard is
+    bit-identical to an uninterrupted one.
+    """
+    tree: SeedTree = payload["tree"]
+    start, stop = payload["start"], payload["stop"]
+    parallel_time = payload["parallel_time"]
+    snapshot_every = payload["snapshot_every"]
+    checkpoint_every = payload["checkpoint_every"]
+    interrupt_after = payload.get("interrupt_after")
+    workload = _shard_workload(payload)
+    path = _shard_checkpoint_path(payload["checkpoint_dir"], start, stop)
+
+    completed: list[dict[str, list[float]]] = []
+    trial = start
+    engine_payload: dict[str, Any] | None = None
+    segments: list[dict[str, list[float]]] = []
+    resume_from = payload.get("resume_from")
+    if resume_from is not None:
+        state = _load_shard_checkpoint(
+            _shard_checkpoint_path(resume_from, start, stop), workload
+        )
+        if state is not None:
+            if state["done"]:
+                return state["completed"]
+            completed = state["completed"]
+            trial = state["trial"]
+            engine_payload = state["engine_payload"]
+            segments = state["segments"]
+
+    writes = 0
+    since_last_write = 0
+    while trial < stop:
+        simulator = payload["factory"](payload["engine"], tree.trial(trial).source(), None)
+        if engine_payload is not None:
+            simulator.apply_checkpoint_payload(engine_payload)
+            engine_payload = None
+        else:
+            segments = []
+        while simulator.parallel_time < parallel_time:
+            step = min(checkpoint_every, parallel_time - simulator.parallel_time)
+            result = simulator.run(step, snapshot_every=snapshot_every)
+            segments.append(result.series())
+            since_last_write += step
+            if simulator.parallel_time < parallel_time:
+                writes = _write_shard_checkpoint(
+                    path,
+                    {
+                        "workload": workload,
+                        "completed": completed,
+                        "trial": trial,
+                        # copy=False: the payload is pickled by the write
+                        # below, before the simulator advances again.
+                        "engine_payload": simulator.checkpoint_payload(copy=False),
+                        "segments": segments,
+                        "done": False,
+                    },
+                    writes=writes,
+                    interrupt_after=interrupt_after,
+                )
+                since_last_write = 0
+        completed.append(_concat_series(segments))
+        segments = []
+        trial += 1
+        if trial >= stop or since_last_write >= checkpoint_every:
+            writes = _write_shard_checkpoint(
+                path,
+                {
+                    "workload": workload,
+                    "completed": completed,
+                    "trial": trial,
+                    "engine_payload": None,
+                    "segments": [],
+                    "done": trial >= stop,
+                },
+                writes=writes,
+                interrupt_after=interrupt_after,
+            )
+            since_last_write = 0
+    return completed
+
+
+def _run_ensemble_engine_shard_checkpointed(
+    payload: dict[str, Any],
+) -> list[dict[str, list[float]]]:
+    """Checkpointed variant of :func:`_run_ensemble_engine_shard`.
+
+    The whole shard is one stacked engine, so the checkpoint carries the
+    stack's engine payload plus the per-segment lists of per-trial series;
+    the per-trial view is stitched only once the horizon is reached.
+    """
+    tree: SeedTree = payload["tree"]
+    start, stop = payload["start"], payload["stop"]
+    parallel_time = payload["parallel_time"]
+    snapshot_every = payload["snapshot_every"]
+    checkpoint_every = payload["checkpoint_every"]
+    interrupt_after = payload.get("interrupt_after")
+    workload = _shard_workload(payload)
+    path = _shard_checkpoint_path(payload["checkpoint_dir"], start, stop)
+
+    segments: list[list[dict[str, list[float]]]] = []
+    engine_payload: dict[str, Any] | None = None
+    resume_from = payload.get("resume_from")
+    if resume_from is not None:
+        state = _load_shard_checkpoint(
+            _shard_checkpoint_path(resume_from, start, stop), workload
+        )
+        if state is not None:
+            segments = state["segments"]
+            engine_payload = state["engine_payload"]
+            if state["done"]:
+                return [
+                    _concat_series([segment[i] for segment in segments])
+                    for i in range(stop - start)
+                ]
+
+    rng = tree.child(SHARD_NAMESPACE, start).source()
+    simulator = payload["factory"]("ensemble", rng, stop - start)
+    if engine_payload is not None:
+        simulator.apply_checkpoint_payload(engine_payload)
+    writes = 0
+    while simulator.parallel_time < parallel_time:
+        step = min(checkpoint_every, parallel_time - simulator.parallel_time)
+        result = simulator.run(step, snapshot_every=snapshot_every)
+        segments.append([tr.series() for tr in result.trial_results])
+        done = simulator.parallel_time >= parallel_time
+        writes = _write_shard_checkpoint(
+            path,
+            {
+                "workload": workload,
+                # copy=False: pickled by the write below, before the next segment.
+                "engine_payload": None if done else simulator.checkpoint_payload(copy=False),
+                "segments": segments,
+                "done": done,
+            },
+            writes=writes,
+            interrupt_after=interrupt_after,
+        )
+    return [
+        _concat_series([segment[i] for segment in segments])
+        for i in range(stop - start)
+    ]
+
+
+def _prepare_checkpoint_run(
+    checkpoint_dir: Path,
+    resume_from: Path | None,
+    manifest: dict[str, Any],
+) -> None:
+    """Create the checkpoint directory and pin/validate its manifest.
+
+    The manifest records the full workload; an existing manifest (in the
+    resume source or the target directory) that disagrees means the caller
+    is about to mix two different runs' checkpoints — a
+    :class:`~repro.engine.errors.CheckpointError`, never a silent restart.
+    """
+
+    def check(path: Path) -> None:
+        if not path.exists():
+            return
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"unreadable checkpoint manifest {path}: {exc}") from exc
+        if existing != manifest:
+            raise CheckpointError(
+                f"checkpoint manifest {path} does not match this workload "
+                f"({existing!r} != {manifest!r}); checkpoints are same-workload "
+                "recovery only"
+            )
+
+    if resume_from is not None:
+        check(resume_from / CHECKPOINT_MANIFEST)
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    target = checkpoint_dir / CHECKPOINT_MANIFEST
+    check(target)
+    if not target.exists():
+        fd, tmp = tempfile.mkstemp(
+            prefix=CHECKPOINT_MANIFEST + ".", suffix=".tmp", dir=checkpoint_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(manifest, indent=2, sort_keys=True))
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
 def run_engine_trials(
     engine_factory: Callable[[str, RandomSource, int | None], Any],
     *,
@@ -175,6 +497,10 @@ def run_engine_trials(
     snapshot_every: int = 1,
     workers: int | str | None = None,
     timing_sink: list[ShardTiming] | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume_from: str | Path | None = None,
+    interrupt_after: int | None = None,
 ) -> list[dict[str, list[float]]]:
     """Run ``trials`` repetitions of one workload and return per-trial series.
 
@@ -204,10 +530,74 @@ def run_engine_trials(
     ``workers=None`` run (statistically equivalent, pinned by the
     conformance tests).  ``timing_sink``, when given, receives one
     :class:`~repro.engine.parallel.ShardTiming` per executed shard.
+
+    Long-horizon runs opt into crash recovery with ``checkpoint_every=C``
+    (parallel time between checkpoints, a multiple of ``snapshot_every``)
+    and ``checkpoint_dir=D``: each shard persists an atomic, checksummed
+    ``shard_<start>-<stop>.ckpt`` roughly every ``C`` of parallel time (an
+    interrupted run loses at most about that much progress per shard), and
+    a ``manifest.json`` pins the workload.  ``resume_from=D`` continues an
+    interrupted run from those files (``checkpoint_dir`` defaults to the
+    resume directory); missing files mean a fresh start, corrupt files or
+    a workload mismatch raise :class:`~repro.engine.errors.
+    CheckpointError`.  A resumed run is bit-identical to an uninterrupted
+    one.  Checkpointing always uses the sharded execution path (serially
+    when ``workers`` is ``None``), so a checkpointed ensemble run matches
+    ``workers=1``, not the single-stack mode.  ``interrupt_after=N``
+    injects a deterministic :class:`~repro.engine.checkpoint.
+    CheckpointInterrupted` after the N-th checkpoint write (per shard) for
+    kill-and-resume tests.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     resolved = resolve_workers(workers)
+    checkpointing = (
+        checkpoint_every is not None
+        or checkpoint_dir is not None
+        or resume_from is not None
+    )
+    if checkpointing:
+        if checkpoint_every is None and resume_from is not None:
+            # Resuming re-reads the cadence from the run's own manifest, so
+            # `resume_from=dir` alone is enough to continue a run.
+            manifest_path = Path(resume_from) / CHECKPOINT_MANIFEST
+            if manifest_path.exists():
+                try:
+                    checkpoint_every = int(
+                        json.loads(manifest_path.read_text())["checkpoint_every"]
+                    )
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    raise CheckpointError(
+                        f"unreadable checkpoint manifest {manifest_path}: {exc}"
+                    ) from exc
+        if checkpoint_every is None:
+            raise ConfigurationError(
+                "checkpoint_every is required when checkpoint_dir is given "
+                "(or resume_from names a directory without a manifest)"
+            )
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be at least 1, got {checkpoint_every}"
+            )
+        if checkpoint_every % snapshot_every != 0:
+            raise ConfigurationError(
+                f"checkpoint_every ({checkpoint_every}) must be a multiple of "
+                f"snapshot_every ({snapshot_every}) so that checkpoint "
+                "boundaries land exactly on snapshot boundaries"
+            )
+        if checkpoint_dir is None:
+            if resume_from is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires checkpoint_dir (or resume_from)"
+                )
+            checkpoint_dir = resume_from
+        if resolved is None:
+            resolved = 1
+    elif interrupt_after is not None:
+        raise ConfigurationError(
+            "interrupt_after only applies to checkpointed runs "
+            "(pass checkpoint_every/checkpoint_dir)"
+        )
     if resolved is None:
         if engine == "ensemble":
             simulator = engine_factory(engine, RandomSource.from_seed(seed), trials)
@@ -222,9 +612,18 @@ def run_engine_trials(
 
     tree = SeedTree.from_seed(seed)
     shards = plan_shards(trials)
-    shard_fn = (
-        _run_ensemble_engine_shard if engine == "ensemble" else _run_looped_engine_shard
-    )
+    if checkpointing:
+        shard_fn = (
+            _run_ensemble_engine_shard_checkpointed
+            if engine == "ensemble"
+            else _run_looped_engine_shard_checkpointed
+        )
+    else:
+        shard_fn = (
+            _run_ensemble_engine_shard
+            if engine == "ensemble"
+            else _run_looped_engine_shard
+        )
     payloads = [
         {
             "factory": engine_factory,
@@ -237,6 +636,28 @@ def run_engine_trials(
         }
         for shard in shards
     ]
+    if checkpointing:
+        _prepare_checkpoint_run(
+            Path(checkpoint_dir),
+            None if resume_from is None else Path(resume_from),
+            {
+                "schema_version": 1,
+                "kind": "trial-run",
+                "engine": engine,
+                "trials": trials,
+                "seed": seed,
+                "parallel_time": parallel_time,
+                "snapshot_every": snapshot_every,
+                "checkpoint_every": checkpoint_every,
+                "shards": [[shard.start, shard.stop] for shard in shards],
+            },
+        )
+        for payload in payloads:
+            payload["checkpoint_every"] = checkpoint_every
+            payload["checkpoint_dir"] = str(checkpoint_dir)
+            payload["resume_from"] = None if resume_from is None else str(resume_from)
+            payload["seed"] = seed
+            payload["interrupt_after"] = interrupt_after
     per_shard, timings = execute_shards(
         shard_fn, payloads, workers=resolved, shards=shards
     )

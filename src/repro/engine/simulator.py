@@ -23,6 +23,7 @@ representation.  All engines implement the shared
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -37,6 +38,10 @@ from repro.engine.population import Population
 from repro.engine.protocol import InteractionContext, Protocol, ProtocolEvent
 from repro.engine.recorder import EstimateRecorder, Recorder
 from repro.engine.rng import RandomSource
+
+# Module-level alias: _state_payload's keyword-only ``copy`` flag shadows
+# the module name inside that method.
+_deepcopy = copy.deepcopy
 
 __all__ = ["SimulationResult", "Simulator"]
 
@@ -230,6 +235,29 @@ class Simulator(Engine):
             snapshots=snapshots,
             metadata={"protocol": self.protocol.describe(), "engine": self.name},
         )
+
+    # ------------------------------------------------------------ checkpoints
+
+    def _state_payload(self, *, copy: bool = True) -> dict[str, Any]:
+        # States may be mutable objects the protocol updates in place, and
+        # the adversary carries mutable one-shot/cursor positions — deep
+        # copies decouple the payload from the live run (skipped when the
+        # caller serializes the payload before the run advances).
+        deep = _deepcopy if copy else (lambda obj: obj)
+        return {
+            "states": deep(list(self.population.states())),
+            "stable_ids": list(self.population.stable_ids()),
+            "next_id": self.population._next_id,
+            "adversary": deep(self.adversary),
+            "outputs_numeric": self._outputs_numeric,
+        }
+
+    def _restore_payload(self, state: dict[str, Any]) -> None:
+        self.population = Population.restore(
+            copy.deepcopy(state["states"]), state["stable_ids"], state["next_id"]
+        )
+        self.adversary = copy.deepcopy(state["adversary"])
+        self._outputs_numeric = bool(state["outputs_numeric"])
 
     # ------------------------------------------------------------- inspection
 

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.engine.checkpoint import CheckpointInterrupted
 from repro.engine.errors import ConfigurationError, EngineError
 from repro.engine.registry import engine_names
 from repro.experiments.base import ExperimentResult
@@ -122,6 +123,46 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "falls back to the NumPy reference kernels when numba is not "
             "installed or REPRO_DISABLE_JIT is set (see `list` for the "
             "current availability)."
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        default=None,
+        type=int,
+        metavar="T",
+        help=(
+            "Checkpoint long runs every T parallel time units (a multiple of "
+            "the snapshot cadence); requires --checkpoint-dir or --resume-from."
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "Directory for crash-recovery checkpoints (one subdirectory per "
+            "scenario/point); defaults to --resume-from when resuming."
+        ),
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="DIR",
+        help=(
+            "Resume an interrupted run from the checkpoints in DIR; the "
+            "resumed run is bit-identical to an uninterrupted one.  The "
+            "checkpoint cadence is recovered from the run's own manifests."
+        ),
+    )
+    parser.add_argument(
+        "--interrupt-after",
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "Fault-injection testing knob: abort (exit code 3) after the N-th "
+            "checkpoint write per shard, leaving valid checkpoints on disk "
+            "for --resume-from."
         ),
     )
 
@@ -220,6 +261,20 @@ def _parse_axes(entries: list[str]) -> dict[str, tuple[Any, ...]]:
 def _fail(message: str) -> int:
     print(f"repro-experiments: error: {message}", file=sys.stderr)
     return 2
+
+
+def _checkpoint_subdir(root: str | None, name: str) -> str | None:
+    """Per-scenario checkpoint directory (so `run a b` never mixes files)."""
+    return None if root is None else str(Path(root) / name)
+
+
+def _interrupted(name: str, exc: CheckpointInterrupted) -> int:
+    print(
+        f"[{name}] run interrupted after a checkpoint write ({exc}); "
+        "continue it with --resume-from",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _shard_timing_lines(name: str, result: ExperimentResult) -> list[str]:
@@ -338,7 +393,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 workers=args.workers,
                 jit=args.jit,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=_checkpoint_subdir(args.checkpoint_dir, name),
+                resume_from=_checkpoint_subdir(args.resume_from, name),
+                interrupt_after=args.interrupt_after,
             )
+        except CheckpointInterrupted as exc:
+            return _interrupted(name, exc)
         except EngineError as exc:
             # Covers misconfiguration and invalid schedules alike: every
             # engine-level failure surfaces as a one-line error, not a
@@ -369,7 +430,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             engine=args.engine,
             workers=args.workers,
             jit=args.jit,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=_checkpoint_subdir(args.checkpoint_dir, args.scenario),
+            resume_from=_checkpoint_subdir(args.resume_from, args.scenario),
+            interrupt_after=args.interrupt_after,
         )
+    except CheckpointInterrupted as exc:
+        return _interrupted(args.scenario, exc)
     except EngineError as exc:
         return _fail(str(exc))
     for label, result in results:

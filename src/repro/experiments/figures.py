@@ -164,6 +164,10 @@ def run_estimate_trace(
     engine: str | None = "batched",
     workers: int | str | None = None,
     jit: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: Any = None,
+    resume_from: Any = None,
+    interrupt_after: int | None = None,
 ) -> EstimateTrace:
     """Run ``trials`` independent simulations of one workload and aggregate.
 
@@ -208,6 +212,12 @@ def run_estimate_trace(
         the resolved engine supports it; engines without the capability,
         and machines without numba, transparently run the NumPy reference
         kernels.
+    checkpoint_every / checkpoint_dir / resume_from / interrupt_after:
+        Crash recovery for long-horizon runs, forwarded verbatim to
+        :func:`repro.engine.runner.run_engine_trials`: checkpoint every
+        ``checkpoint_every`` parallel time units into ``checkpoint_dir``,
+        resume an interrupted run from ``resume_from``.  A resumed trace
+        is bit-identical to an uninterrupted one.
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
@@ -243,6 +253,10 @@ def run_estimate_trace(
         snapshot_every=snapshot_every,
         workers=workers,
         timing_sink=timing_sink,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+        interrupt_after=interrupt_after,
     )
 
     for series in trial_series:

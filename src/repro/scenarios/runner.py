@@ -19,12 +19,16 @@ mid-run traceback.
 from __future__ import annotations
 
 import dataclasses
+import json
+import re
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.params import ProtocolParameters
 from repro.engine.errors import ConfigurationError, UnsupportedEngineError
 from repro.engine.parallel import execute_shards, resolve_workers
 from repro.engine.registry import choose_engine, engine_names
+from repro.engine.runner import CHECKPOINT_MANIFEST
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, SweepSpec
 
@@ -156,6 +160,37 @@ def _engine_for_point(
     return chosen
 
 
+def _checkpoint_slug(label: str) -> str:
+    """A filesystem-safe directory name for one point/combination label."""
+    return re.sub(r"[^A-Za-z0-9._=,+-]+", "_", label) or "point"
+
+
+def _subdir(root: Any, label: str) -> str | None:
+    """The per-point/per-combo checkpoint directory under ``root``."""
+    if root is None:
+        return None
+    return str(Path(root) / _checkpoint_slug(label))
+
+
+def _sniff_checkpoint_every(resume_from: Any) -> int | None:
+    """Recover the checkpoint cadence from any manifest under ``resume_from``.
+
+    Lets ``resume_from`` alone continue a multi-point run: every point of
+    one scenario invocation shares the same cadence, so the first readable
+    per-point manifest pins it; points that never started fall back to it.
+    Returns ``None`` when no manifest exists yet (fresh start — the caller
+    must then supply ``checkpoint_every``).
+    """
+    if resume_from is None:
+        return None
+    for manifest in sorted(Path(resume_from).glob(f"*/{CHECKPOINT_MANIFEST}")):
+        try:
+            return int(json.loads(manifest.read_text())["checkpoint_every"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return None
+
+
 def run_scenario(
     spec_or_name: ScenarioSpec | str,
     *,
@@ -164,6 +199,10 @@ def run_scenario(
     engine: str | None = None,
     workers: int | str | None = None,
     jit: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: Any = None,
+    resume_from: Any = None,
+    interrupt_after: int | None = None,
 ) -> ExperimentResult:
     """Run one scenario and return its :class:`ExperimentResult`.
 
@@ -196,6 +235,18 @@ def run_scenario(
         backend is unavailable, run the NumPy reference kernels — the
         request and the availability outcome are recorded in the result
         metadata.
+    checkpoint_every / checkpoint_dir / resume_from / interrupt_after:
+        Crash recovery for long-horizon runs (see
+        :func:`repro.engine.runner.run_engine_trials`): each workload
+        point checkpoints into its own subdirectory of ``checkpoint_dir``
+        (named after the point's series label), and ``resume_from``
+        continues an interrupted invocation — completed points return
+        instantly from their final checkpoints, the interrupted point
+        resumes mid-run, and the rest run fresh.  ``resume_from`` alone is
+        enough: the cadence is recovered from the run's own manifests.
+        Bespoke-executor scenarios run uncheckpointed (recorded in the
+        result metadata).  A resumed result is bit-identical to an
+        uninterrupted one.
     """
     # Imported here: the experiments layer imports repro.scenarios at
     # definition time, so the reverse dependency must stay lazy.
@@ -208,6 +259,16 @@ def run_scenario(
     workers = resolve_workers(workers)
     preset = resolve_preset(spec, effort, preset)
     params = resolve_params(spec, preset)
+    checkpointing = (
+        checkpoint_every is not None
+        or checkpoint_dir is not None
+        or resume_from is not None
+    )
+    if checkpointing:
+        if checkpoint_dir is None:
+            checkpoint_dir = resume_from
+        if checkpoint_every is None:
+            checkpoint_every = _sniff_checkpoint_every(resume_from)
 
     if spec.executor is not None:
         resolved = _engine_for_point(
@@ -218,6 +279,10 @@ def run_scenario(
             result.metadata.setdefault("workers", "serial-only (bespoke executor)")
         if jit:
             result.metadata.setdefault("jit", "ignored (bespoke executor)")
+        if checkpointing:
+            result.metadata.setdefault(
+                "checkpointing", "ignored (bespoke executor)"
+            )
         execution = _execution_metadata(
             requested_engine=engine,
             engines_used=[resolved],
@@ -256,6 +321,10 @@ def run_scenario(
             engine=point_engine,
             workers=workers,
             jit=jit,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=_subdir(checkpoint_dir, point.series_label),
+            resume_from=_subdir(resume_from, point.series_label),
+            interrupt_after=interrupt_after,
         )
         row: dict[str, Any] = {}
         for metric in spec.metrics:
@@ -274,6 +343,12 @@ def run_scenario(
         jit=jit,
     )
     execution["workers_requested"] = requested_workers
+    if checkpointing:
+        execution["checkpoint_every"] = checkpoint_every
+        execution["checkpoint_dir"] = (
+            None if checkpoint_dir is None else str(checkpoint_dir)
+        )
+        execution["resumed_from"] = None if resume_from is None else str(resume_from)
     metadata: dict[str, Any] = {
         "preset": preset.name,
         "params": params.describe(),
@@ -306,6 +381,10 @@ def _run_sweep_combo(payload: dict[str, Any]) -> "ExperimentResult":
         engine=payload["engine"],
         workers=payload["workers"],
         jit=payload["jit"],
+        checkpoint_every=payload.get("checkpoint_every"),
+        checkpoint_dir=payload.get("checkpoint_dir"),
+        resume_from=payload.get("resume_from"),
+        interrupt_after=payload.get("interrupt_after"),
     )
 
 
@@ -317,6 +396,10 @@ def run_sweep(
     engine: str | None = None,
     workers: int | str | None = None,
     jit: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: Any = None,
+    resume_from: Any = None,
+    interrupt_after: int | None = None,
 ) -> list[tuple[str, ExperimentResult]]:
     """Run every combination of a sweep grid; returns ``(label, result)`` pairs.
 
@@ -333,12 +416,39 @@ def run_sweep(
     function of the grid — results are bit-identical for any
     ``workers >= 1`` and are returned in grid order with per-combination
     wall-clock seconds in ``metadata["sweep_seconds"]``.
+
+    The checkpoint knobs behave as in :func:`run_scenario`, one level up:
+    each grid combination checkpoints into its own subdirectory of
+    ``checkpoint_dir`` named after the combination label, so an
+    interrupted sweep resumed with ``resume_from`` skips completed
+    combinations via their final checkpoints and continues the
+    interrupted one mid-run.
     """
     spec = _resolve_spec(sweep.scenario)
     _validate_engine(spec, engine)
     resolved_workers = resolve_workers(workers)
     base = resolve_preset(spec, effort, preset)
     expanded = sweep.expand(base)
+    checkpointing = (
+        checkpoint_every is not None
+        or checkpoint_dir is not None
+        or resume_from is not None
+    )
+    if checkpointing:
+        if checkpoint_dir is None:
+            checkpoint_dir = resume_from
+        if checkpoint_every is None and resume_from is not None:
+            # Combination subdirs nest point subdirs: */*/manifest.json.
+            for manifest in sorted(
+                Path(resume_from).glob(f"*/*/{CHECKPOINT_MANIFEST}")
+            ):
+                try:
+                    checkpoint_every = int(
+                        json.loads(manifest.read_text())["checkpoint_every"]
+                    )
+                    break
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue
     for _, combo_preset in expanded:
         combo_params = resolve_params(spec, combo_preset)
         if spec.executor is None:
@@ -352,7 +462,15 @@ def run_sweep(
         results = []
         for label, combo_preset in expanded:
             result = run_scenario(
-                spec, preset=combo_preset, engine=engine, workers=workers, jit=jit
+                spec,
+                preset=combo_preset,
+                engine=engine,
+                workers=workers,
+                jit=jit,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=_subdir(checkpoint_dir, label),
+                resume_from=_subdir(resume_from, label),
+                interrupt_after=interrupt_after,
             )
             result.metadata["sweep"] = label
             results.append((label, result))
@@ -367,8 +485,12 @@ def run_sweep(
             # inside its worker so results match workers=1 bit for bit.
             "workers": None,
             "jit": jit,
+            "checkpoint_every": checkpoint_every,
+            "checkpoint_dir": _subdir(checkpoint_dir, label),
+            "resume_from": _subdir(resume_from, label),
+            "interrupt_after": interrupt_after,
         }
-        for _, combo_preset in expanded
+        for label, combo_preset in expanded
     ]
     combo_results, timings = execute_shards(
         _run_sweep_combo, payloads, workers=resolved_workers

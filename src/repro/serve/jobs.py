@@ -137,8 +137,14 @@ class JobQueue:
         return job
 
     def _run(self, job: Job, work: Callable[[], Any]) -> None:
-        job.started = time.time()
-        job.state = JobState.RUNNING
+        with self._lock:
+            # Shutdown may have swept this job to FAILED between the pool
+            # accepting the future and this thread picking it up; running
+            # it anyway would resurrect a job the API already reported dead.
+            if job.state is not JobState.QUEUED:
+                return
+            job.started = time.time()
+            job.state = JobState.RUNNING
         clock = time.perf_counter()
         try:
             value = work()
@@ -181,5 +187,18 @@ class JobQueue:
             time.sleep(poll)
 
     def shutdown(self, *, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for running jobs."""
+        """Stop accepting work and (optionally) wait for running jobs.
+
+        Jobs whose futures are cancelled before a worker picked them up
+        would otherwise sit in the queued state forever (their ``_run``
+        wrapper never executes); they are swept to FAILED with a
+        cancellation error so status APIs report them terminally.
+        """
         self._pool.shutdown(wait=wait, cancel_futures=True)
+        now = time.time()
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state is JobState.QUEUED:
+                    job.finished = now
+                    job.error = "CancelledError: job queue shut down before the job started"
+                    job.state = JobState.FAILED

@@ -23,6 +23,7 @@ milliseconds, never a simulation.
 from __future__ import annotations
 
 import dataclasses
+import shutil
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -136,11 +137,20 @@ class SimulationService:
         max_cache_bytes: int | None = None,
         max_workers: int = 2,
         max_pending: int = 64,
+        checkpoint_every: int | None = None,
         scenario_runner: Any = run_scenario,
         sweep_runner: Any = run_sweep,
     ) -> None:
         self.cache = ResultCache(cache_dir, max_bytes=max_cache_bytes)
         self.queue = JobQueue(max_workers=max_workers, max_pending=max_pending)
+        #: Opt-in crash recovery for long jobs: checkpoint every this many
+        #: parallel time units into ``<cache_dir>/checkpoints/<run id>``.
+        #: A re-submitted request (same id, content-addressed) resumes from
+        #: whatever a crashed predecessor left behind; the directory is
+        #: removed once the result lands in the cache.  Not part of the
+        #: cache key — checkpointing changes durability, never results.
+        self.checkpoint_every = checkpoint_every
+        self._checkpoint_root = Path(cache_dir) / "checkpoints"
         self._run_scenario = scenario_runner
         self._run_sweep = sweep_runner
         # Serialises the check-cache-then-enqueue step so two identical
@@ -197,6 +207,17 @@ class SimulationService:
         spec, preset, sweep, key = self.resolve(request)
 
         def work() -> CacheEntry:
+            checkpoints: dict[str, Any] = {}
+            ckpt_dir: Path | None = None
+            if self.checkpoint_every is not None:
+                # Content-addressed like the cache entry itself: a job that
+                # died mid-run resumes when the same request is re-submitted.
+                ckpt_dir = self._checkpoint_root / key
+                checkpoints = {
+                    "checkpoint_every": self.checkpoint_every,
+                    "checkpoint_dir": ckpt_dir,
+                    "resume_from": ckpt_dir if ckpt_dir.exists() else None,
+                }
             if sweep is not None:
                 labelled = self._run_sweep(
                     sweep,
@@ -204,16 +225,24 @@ class SimulationService:
                     engine=request.engine,
                     workers=request.workers,
                     jit=request.jit,
+                    **checkpoints,
                 )
-                return self.cache.put(key, labelled, kind="sweep")
-            result = self._run_scenario(
-                spec,
-                preset=preset,
-                engine=request.engine,
-                workers=request.workers,
-                jit=request.jit,
-            )
-            return self.cache.put(key, [(None, result)], kind="scenario")
+                entry = self.cache.put(key, labelled, kind="sweep")
+            else:
+                result = self._run_scenario(
+                    spec,
+                    preset=preset,
+                    engine=request.engine,
+                    workers=request.workers,
+                    jit=request.jit,
+                    **checkpoints,
+                )
+                entry = self.cache.put(key, [(None, result)], kind="scenario")
+            if ckpt_dir is not None:
+                # The result is durable in the cache; the recovery state is
+                # now dead weight.
+                shutil.rmtree(ckpt_dir, ignore_errors=True)
+            return entry
 
         with self._admission:
             if self.cache.get(key) is not None:

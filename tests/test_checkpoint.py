@@ -1,0 +1,325 @@
+"""Checkpoint/resume: container integrity, engine round-trips, determinism.
+
+The determinism matrix is the heart of the long-horizon contract: for every
+checkpoint-capable engine, at workers 1 and 4, a run interrupted by the
+deterministic fault-injection knob (``interrupt_after``) and resumed from
+its on-disk checkpoints must reproduce the uninterrupted run's per-trial
+snapshot series **bit-identically** — not approximately.  Corruption is the
+other half: a truncated or tampered checkpoint must fail loudly with
+``CheckpointError``, never resume silently wrong.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.engine.checkpoint import (
+    CheckpointInterrupted,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.engine.errors import CheckpointError, ConfigurationError
+from repro.engine.registry import engine_info, make_engine
+from repro.engine.rng import RandomSource
+from repro.engine.runner import run_engine_trials
+
+N = 32
+TRIALS = 10
+PARALLEL_TIME = 12
+SNAPSHOT_EVERY = 2
+CHECKPOINT_EVERY = 4
+SEED = 20240726
+
+ENGINES = ("sequential", "array", "batched", "ensemble", "counts")
+
+
+def _factory(engine_name, rng, ensemble_trials):
+    """Module-level engine factory so worker processes can unpickle it."""
+    return make_engine(
+        engine_name,
+        DynamicSizeCounting(),
+        N,
+        rng=rng,
+        trials=ensemble_trials if engine_name == "ensemble" else None,
+    )
+
+
+def _run(engine, workers, **knobs):
+    return run_engine_trials(
+        _factory,
+        engine=engine,
+        trials=TRIALS,
+        seed=SEED,
+        parallel_time=PARALLEL_TIME,
+        snapshot_every=SNAPSHOT_EVERY,
+        workers=workers,
+        **knobs,
+    )
+
+
+# ------------------------------------------------------------- container
+
+
+class TestCheckpointContainer:
+    def test_round_trip(self, tmp_path):
+        payload = {"answer": 42, "series": [1.0, float("nan"), 3.0]}
+        path = write_checkpoint(tmp_path / "x.ckpt", payload, kind="engine")
+        loaded = read_checkpoint(path, kind="engine")
+        assert loaded["answer"] == 42
+        assert loaded["series"][0] == 1.0 and loaded["series"][1] != loaded["series"][1]
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path / "x.ckpt", {"a": 1}, kind="engine")
+        with pytest.raises(CheckpointError, match="kind"):
+            read_checkpoint(path, kind="shard")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path / "x.ckpt", {"a": list(range(1000))}, kind="engine")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 7])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_corrupted_payload_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path / "x.ckpt", {"a": list(range(1000))}, kind="engine")
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # flip one payload byte; the sha256 must catch it
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(b"not-a-checkpoint\n{}\n")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_unpicklable_payload_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            write_checkpoint(tmp_path / "x.ckpt", {"fn": lambda: None}, kind="engine")
+        assert list(tmp_path.iterdir()) == []  # no partial file left behind
+
+
+# -------------------------------------------------------- engine round-trip
+
+
+class TestEngineCheckpoint:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_registry_advertises_support(self, engine):
+        assert engine_info(engine).supports_checkpoint
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_save_restore_continues_bit_identically(self, engine, tmp_path):
+        trials = 3 if engine == "ensemble" else None
+
+        def build():
+            return make_engine(
+                engine,
+                DynamicSizeCounting(),
+                N,
+                rng=RandomSource.from_seed(7),
+                trials=trials,
+            )
+
+        continuous = build()
+        baseline = continuous.run(10, snapshot_every=SNAPSHOT_EVERY).series()
+
+        first = build()
+        first.run(4, snapshot_every=SNAPSHOT_EVERY)
+        path = first.save_checkpoint(tmp_path / "engine.ckpt")
+
+        second = build()
+        second.restore_checkpoint(path)
+        tail = second.run(6, snapshot_every=SNAPSHOT_EVERY).series()
+        head_len = {key: len(baseline[key]) - len(tail[key]) for key in baseline}
+        stitched = {
+            key: baseline[key][: head_len[key]] + tail[key] for key in baseline
+        }
+        assert stitched == baseline
+
+    def test_restore_into_wrong_engine_rejected(self, tmp_path):
+        sequential = make_engine(
+            "sequential", DynamicSizeCounting(), N, rng=RandomSource.from_seed(7)
+        )
+        sequential.run(2)
+        path = sequential.save_checkpoint(tmp_path / "seq.ckpt")
+        array = make_engine(
+            "array", DynamicSizeCounting(), N, rng=RandomSource.from_seed(7)
+        )
+        with pytest.raises(CheckpointError, match="sequential"):
+            array.restore_checkpoint(path)
+
+
+# ----------------------------------------------------- determinism matrix
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_interrupted_resume_is_bit_identical(self, engine, workers, tmp_path):
+        baseline = _run(engine, workers)
+        with pytest.raises(CheckpointInterrupted):
+            _run(
+                engine,
+                workers,
+                checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=tmp_path,
+                interrupt_after=3,
+            )
+        assert list(tmp_path.glob("shard_*.ckpt")), "no checkpoint left on disk"
+        resumed = _run(engine, workers, resume_from=tmp_path)
+        assert resumed == baseline
+        # Resuming an already-finished run is idempotent.
+        assert _run(engine, workers, resume_from=tmp_path) == baseline
+
+    def test_serial_checkpointed_matches_workers_one(self, tmp_path):
+        # checkpointing forces the sharded path, so workers=None matches 1.
+        baseline = _run("sequential", 1)
+        with pytest.raises(CheckpointInterrupted):
+            _run(
+                "sequential",
+                None,
+                checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=tmp_path,
+                interrupt_after=2,
+            )
+        assert _run("sequential", None, resume_from=tmp_path) == baseline
+
+
+# ------------------------------------------------------------ fail loudly
+
+
+class TestCheckpointFailureModes:
+    def test_truncated_shard_checkpoint_fails_resume(self, tmp_path):
+        with pytest.raises(CheckpointInterrupted):
+            _run(
+                "sequential",
+                1,
+                checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=tmp_path,
+                interrupt_after=2,
+            )
+        victim = sorted(tmp_path.glob("shard_*.ckpt"))[0]
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            _run("sequential", 1, resume_from=tmp_path)
+
+    def test_workload_mismatch_fails_resume(self, tmp_path):
+        with pytest.raises(CheckpointInterrupted):
+            _run(
+                "sequential",
+                1,
+                checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=tmp_path,
+                interrupt_after=2,
+            )
+        with pytest.raises(CheckpointError, match="manifest"):
+            run_engine_trials(
+                _factory,
+                engine="sequential",
+                trials=TRIALS,
+                seed=SEED + 1,  # different run: must not mix checkpoints
+                parallel_time=PARALLEL_TIME,
+                snapshot_every=SNAPSHOT_EVERY,
+                workers=1,
+                resume_from=tmp_path,
+            )
+
+    def test_corrupt_manifest_fails_resume(self, tmp_path):
+        with pytest.raises(CheckpointInterrupted):
+            _run(
+                "sequential",
+                1,
+                checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=tmp_path,
+                interrupt_after=2,
+            )
+        (tmp_path / "manifest.json").write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            _run("sequential", 1, resume_from=tmp_path)
+
+    def test_cadence_must_be_multiple_of_snapshot_cadence(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="multiple"):
+            _run("sequential", 1, checkpoint_every=3, checkpoint_dir=tmp_path)
+
+    def test_checkpoint_every_requires_directory(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            _run("sequential", 1, checkpoint_every=CHECKPOINT_EVERY)
+
+    def test_interrupt_after_requires_checkpointing(self):
+        with pytest.raises(ConfigurationError, match="interrupt_after"):
+            _run("sequential", 1, interrupt_after=1)
+
+    def test_manifest_pins_full_workload(self, tmp_path):
+        with pytest.raises(CheckpointInterrupted):
+            _run(
+                "sequential",
+                1,
+                checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=tmp_path,
+                interrupt_after=2,
+            )
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["engine"] == "sequential"
+        assert manifest["trials"] == TRIALS
+        assert manifest["seed"] == SEED
+        assert manifest["parallel_time"] == PARALLEL_TIME
+        assert manifest["checkpoint_every"] == CHECKPOINT_EVERY
+
+
+class TestCheckpointCadenceBudget:
+    """Write frequency follows ``checkpoint_every``, not the trial count.
+
+    When trials are shorter than the cadence, the shard skips the
+    per-trial completion write until the budget has elapsed — otherwise a
+    cheap-trial workload pays one write per trial no matter how sparse a
+    cadence the caller asked for.
+    """
+
+    def test_writes_follow_cadence_across_short_trials(self, tmp_path, monkeypatch):
+        import repro.engine.runner as runner_module
+        from repro.engine.rng import SeedTree
+
+        written = []
+        real_write = runner_module.write_checkpoint
+
+        def counting_write(path, payload, *, kind):
+            written.append(dict(payload))
+            return real_write(path, payload, kind=kind)
+
+        monkeypatch.setattr(runner_module, "write_checkpoint", counting_write)
+
+        payload = {
+            "factory": _factory,
+            "engine": "sequential",
+            "tree": SeedTree.from_seed(SEED),
+            "start": 0,
+            "stop": 6,
+            "parallel_time": PARALLEL_TIME,
+            "snapshot_every": SNAPSHOT_EVERY,
+            "checkpoint_every": 2 * PARALLEL_TIME,
+            "checkpoint_dir": str(tmp_path),
+            "seed": SEED,
+        }
+        series = runner_module._run_looped_engine_shard_checkpointed(payload)
+
+        assert len(series) == 6
+        # Budget of 2 trials per write: after trials 2 and 4, plus the
+        # final done write — not one write per trial.
+        assert len(written) == 3
+        assert [state["trial"] for state in written] == [2, 4, 6]
+        assert [state["done"] for state in written] == [False, False, True]
+
+        # The sparse checkpoints resume to the same result.
+        resumed = runner_module._run_looped_engine_shard_checkpointed(
+            {**payload, "resume_from": str(tmp_path)}
+        )
+        assert resumed == series

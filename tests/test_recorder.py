@@ -111,3 +111,48 @@ class TestMemoryRecorder:
 
     def test_peak_bits_empty(self):
         assert MemoryRecorder().peak_bits() == 0.0
+
+
+class TestTimelineDensity:
+    """Rows and snapshots must stay 1:1 even through empty populations.
+
+    Skipping the empty-population snapshot desynchronized recorder rows
+    from the engine's snapshot timeline, misaligning every downstream
+    join on row index.
+    """
+
+    def test_estimate_recorder_emits_nan_row_when_empty(self):
+        recorder = EstimateRecorder()
+        protocol = MaxEpidemic()
+        recorder.on_snapshot(1, Population([1, 2]), protocol)
+        recorder.on_snapshot(2, Population([]), protocol)
+        recorder.on_snapshot(3, Population([3]), protocol)
+        assert len(recorder.rows) == 3
+        empty = recorder.rows[1]
+        assert empty.parallel_time == 2
+        assert empty.population_size == 0
+        assert math.isnan(empty.minimum)
+        assert math.isnan(empty.median)
+        assert math.isnan(empty.maximum)
+        # The series keeps one entry per snapshot, in timeline order.
+        assert recorder.series()["parallel_time"] == [1.0, 2.0, 3.0]
+
+    def test_memory_recorder_emits_nan_row_when_empty(self):
+        recorder = MemoryRecorder()
+        protocol = MaxEpidemic()
+        recorder.on_snapshot(1, Population([1, 255]), protocol)
+        recorder.on_snapshot(2, Population([]), protocol)
+        recorder.on_snapshot(3, Population([1023]), protocol)
+        assert len(recorder.rows) == 3
+        empty = recorder.rows[1]
+        assert empty["population_size"] == 0.0
+        assert math.isnan(empty["max_bits"])
+        assert math.isnan(empty["mean_bits"])
+
+    def test_peak_bits_ignores_nan_rows(self):
+        recorder = MemoryRecorder()
+        protocol = MaxEpidemic()
+        recorder.on_snapshot(1, Population([1, 3]), protocol)
+        recorder.on_snapshot(2, Population([]), protocol)
+        recorder.on_snapshot(3, Population([1023]), protocol)
+        assert recorder.peak_bits() == 10.0

@@ -151,3 +151,38 @@ def test_job_dataclass_defaults():
     job = Job(id="j")
     assert job.state is JobState.QUEUED
     assert job.started is None and job.finished is None and job.seconds is None
+
+
+class TestShutdownWithBacklog:
+    """Jobs stranded in the queue at shutdown must terminate, not hang.
+
+    With ``cancel_futures=True`` the executor never runs the queued
+    wrappers, so without the sweep those jobs stayed QUEUED forever and
+    ``wait()`` on them spun until timeout.
+    """
+
+    def test_stranded_jobs_fail_terminally(self):
+        queue = JobQueue(max_workers=1, max_pending=8)
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait()
+
+        queue.submit("running", blocker)
+        assert started.wait(5.0)
+        # These never reach a worker before shutdown.
+        queue.submit("stranded-1", lambda: None)
+        queue.submit("stranded-2", lambda: None)
+
+        queue.shutdown(wait=False)
+        for job_id in ("stranded-1", "stranded-2"):
+            job = queue.get(job_id)
+            assert job.state is JobState.FAILED
+            assert "shut down" in job.error
+            assert job.finished is not None
+
+        # The in-flight job is not swept: it finishes normally.
+        release.set()
+        assert queue.wait("running", timeout=5.0).state is JobState.DONE

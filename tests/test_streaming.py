@@ -1,0 +1,217 @@
+"""Streaming (constant-memory) metric reduction regression tests.
+
+Pins the documented accuracy contract of :mod:`repro.engine.streaming`:
+extrema/counts/means are exact, P² quantiles land within 2.5% of the value
+range on a 200k-sample mixture stream, and the bounded row buffer holds
+memory constant over horizons 100x beyond its capacity while keeping the
+retained rows evenly spaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_counting import DynamicSizeCounting
+from repro.engine.errors import ConfigurationError
+from repro.engine.recorder import EstimateRecorder
+from repro.engine.registry import make_engine
+from repro.engine.rng import RandomSource
+from repro.engine.streaming import (
+    BoundedRowBuffer,
+    P2Quantile,
+    ReservoirBuffer,
+    RunningColumnStats,
+    RunningExtrema,
+    StreamingEstimateRecorder,
+)
+
+
+def _mixture_stream(size: int = 200_000) -> np.ndarray:
+    """A bimodal mixture — deliberately not friendly to quantile trackers."""
+    rng = np.random.default_rng(42)
+    left = rng.normal(0.0, 1.0, size // 2)
+    right = rng.normal(8.0, 2.5, size - size // 2)
+    values = np.concatenate([left, right])
+    rng.shuffle(values)
+    return values
+
+
+class TestRunningExtrema:
+    def test_exact_and_nan_safe(self):
+        tracker = RunningExtrema()
+        for value in (3.0, float("nan"), -1.5, 7.0, float("nan")):
+            tracker.update(value)
+        summary = tracker.summary()
+        assert summary["count"] == 3.0
+        assert summary["nan_count"] == 2.0
+        assert summary["minimum"] == -1.5
+        assert summary["maximum"] == 7.0
+
+    def test_empty_reports_nan(self):
+        summary = RunningExtrema().summary()
+        assert summary["minimum"] != summary["minimum"]
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_probability(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                P2Quantile(bad)
+
+    def test_small_samples_are_exact(self):
+        probe = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            probe.update(value)
+        assert probe.value() == 3.0
+
+    @pytest.mark.parametrize("p", (0.25, 0.5, 0.75, 0.9))
+    def test_mixture_stream_within_documented_tolerance(self, p):
+        values = _mixture_stream()
+        probe = P2Quantile(p)
+        for value in values:
+            probe.update(value)
+        exact = float(np.quantile(values, p))
+        value_range = float(values.max() - values.min())
+        assert abs(probe.value() - exact) < 0.025 * value_range
+
+    def test_nan_observations_skipped(self):
+        values = [1.0, 2.0, float("nan"), 3.0, 4.0, 5.0, float("nan"), 6.0]
+        probe = P2Quantile(0.5)
+        for value in values:
+            probe.update(value)
+        assert 2.0 <= probe.value() <= 5.0
+
+
+class TestRunningColumnStats:
+    def test_mean_and_variance_match_numpy(self):
+        values = _mixture_stream(5000)
+        stats = RunningColumnStats()
+        for value in values:
+            stats.update(value)
+        summary = stats.summary()
+        assert summary["count"] == float(len(values))
+        assert summary["mean"] == pytest.approx(float(values.mean()), rel=1e-9)
+        assert summary["variance"] == pytest.approx(float(values.var(ddof=1)), rel=1e-9)
+        assert summary["minimum"] == float(values.min())
+        assert summary["maximum"] == float(values.max())
+        assert summary["q0.5"] == pytest.approx(float(np.median(values)), abs=0.2)
+
+
+class TestReservoirBuffer:
+    def test_capacity_bound_and_census(self):
+        reservoir = ReservoirBuffer(64, seed=3)
+        for value in range(10_000):
+            reservoir.push(value)
+        assert len(reservoir.items) == 64
+        assert reservoir.seen == 10_000
+
+    def test_deterministic_by_seed(self):
+        def fill(seed):
+            reservoir = ReservoirBuffer(16, seed=seed)
+            for value in range(1000):
+                reservoir.push(value)
+            return reservoir.items
+
+        assert fill(7) == fill(7)
+        assert fill(7) != fill(8)
+
+
+class TestBoundedRowBuffer:
+    def test_memory_constant_over_100x_horizon(self):
+        capacity = 64
+        buffer = BoundedRowBuffer(capacity)
+        horizon = capacity * 100
+        for index in range(horizon):
+            buffer.append(index)
+        assert len(buffer) <= capacity
+        assert buffer.appended == horizon
+        rows = buffer.rows
+        # Retained rows are the every-stride-th appends, starting at 0.
+        assert rows == list(range(0, buffer.stride * len(rows), buffer.stride))
+        assert buffer.stride & (buffer.stride - 1) == 0  # power of two
+
+    def test_no_decimation_below_capacity(self):
+        buffer = BoundedRowBuffer(100)
+        for index in range(100):
+            buffer.append(index)
+        assert buffer.rows == list(range(100))
+        assert buffer.stride == 1
+
+    def test_capacity_floor(self):
+        with pytest.raises(ConfigurationError):
+            BoundedRowBuffer(1)
+
+
+class _EmptyPopulation:
+    size = 0
+
+    def states(self):
+        return []
+
+
+class TestStreamingEstimateRecorder:
+    def test_recorder_channel_matches_exact_recorder(self):
+        exact = EstimateRecorder()
+        streaming = StreamingEstimateRecorder(capacity=4096)
+        engine = make_engine(
+            "sequential",
+            DynamicSizeCounting(),
+            24,
+            rng=RandomSource.from_seed(11),
+            recorders=[exact, streaming],
+        )
+        engine.run(20)
+        # Below capacity nothing is decimated: identical rows and series.
+        assert streaming.series() == exact.series()
+        assert streaming.snapshot_count == len(exact.rows)
+
+    def test_hook_channel_works_on_array_engines(self):
+        streaming = StreamingEstimateRecorder(capacity=64)
+        engine = make_engine(
+            "batched", DynamicSizeCounting(), 64, rng=RandomSource.from_seed(5)
+        )
+        engine.add_snapshot_hook(streaming)
+        result = engine.run(30)
+        assert streaming.snapshot_count == len(result.snapshots)
+        summary = streaming.summary()
+        assert summary["maximum"]["maximum"] == max(
+            snapshot.maximum for snapshot in result.snapshots
+        )
+        assert summary["minimum"]["minimum"] == min(
+            snapshot.minimum for snapshot in result.snapshots
+        )
+
+    def test_summary_exact_over_decimated_horizon(self):
+        streaming = StreamingEstimateRecorder(capacity=16, reservoir=32)
+        values = _mixture_stream(5000)
+        from repro.engine.api import EngineSnapshot
+
+        for index, value in enumerate(values):
+            streaming.observe(
+                EngineSnapshot(
+                    parallel_time=index,
+                    population_size=10,
+                    minimum=float(value) - 1.0,
+                    median=float(value),
+                    maximum=float(value) + 1.0,
+                )
+            )
+        assert len(streaming.rows) <= 16
+        assert streaming.snapshot_count == len(values)
+        assert streaming.decimation_stride > 1
+        summary = streaming.summary()
+        # Extrema/mean are exact over the FULL stream despite decimation.
+        assert summary["median"]["minimum"] == float(values.min())
+        assert summary["median"]["maximum"] == float(values.max())
+        assert summary["median"]["mean"] == pytest.approx(float(values.mean()))
+        assert streaming.reservoir is not None
+        assert len(streaming.reservoir.items) == 32
+
+    def test_empty_population_still_gets_a_row(self):
+        streaming = StreamingEstimateRecorder()
+        streaming.on_snapshot(3, _EmptyPopulation(), DynamicSizeCounting())
+        (row,) = streaming.rows
+        assert row.parallel_time == 3
+        assert row.median != row.median  # NaN, not a skipped row
+        assert streaming.snapshot_count == 1

@@ -1,0 +1,62 @@
+"""Ragged-row regressions for :mod:`repro.analysis.tables`.
+
+Recorder rows can be ragged — :class:`repro.engine.recorder.
+PhaseOccupancyRecorder` only adds a phase column once that phase is
+occupied — and both the CSV encoder and the row/series transposers must
+take the union of keys across *all* rows, not just the first one.  Keying
+on ``rows[0]`` silently dropped every late-appearing column, which
+desynchronized saved artifacts from the in-memory result.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import csv_text, read_csv, rows_to_series, write_csv
+from repro.experiments.base import ExperimentResult
+
+RAGGED = [
+    {"parallel_time": 0.0, "population_size": 4.0, "phase_A": 4},
+    {"parallel_time": 1.0, "population_size": 4.0, "phase_A": 2, "phase_B": 2},
+    {"parallel_time": 2.0, "population_size": 4.0, "phase_B": 4},
+]
+
+
+class TestRaggedRows:
+    def test_csv_text_keeps_late_columns(self):
+        header = csv_text(RAGGED).splitlines()[0]
+        assert header == "parallel_time,population_size,phase_A,phase_B"
+
+    def test_rows_to_series_unions_keys_and_fills(self):
+        series = rows_to_series(RAGGED)
+        assert set(series) == {"parallel_time", "population_size", "phase_A", "phase_B"}
+        # Every column has one entry per row; absent cells are NaN-filled.
+        assert all(len(column) == len(RAGGED) for column in series.values())
+        assert series["phase_B"][1:] == [2, 4]
+        assert math.isnan(series["phase_B"][0])
+        assert math.isnan(series["phase_A"][2])
+
+    def test_rows_to_series_custom_fill(self):
+        series = rows_to_series(RAGGED, fill=0)
+        assert series["phase_B"] == [0, 2, 4]
+
+    def test_csv_round_trip_preserves_all_columns(self, tmp_path):
+        path = write_csv(tmp_path / "ragged.csv", RAGGED)
+        loaded = read_csv(path)
+        assert [set(row) for row in loaded] == [set(RAGGED[0]) | {"phase_B"}] * 3
+        assert loaded[2]["phase_B"] == 4
+        assert loaded[0]["phase_B"] == ""  # absent cell, not a dropped column
+
+    def test_experiment_result_save_load_keeps_ragged_series(self, tmp_path):
+        result = ExperimentResult(
+            experiment="ragged-demo",
+            description="late-appearing phase columns",
+            rows=[{"n": 4, "converged": True}],
+            series={"occupancy": rows_to_series(RAGGED)},
+        )
+        loaded = ExperimentResult.load(result.save(tmp_path))
+        assert set(loaded.series["occupancy"]) == set(result.series["occupancy"])
+        occupancy = loaded.series["occupancy"]
+        assert occupancy["phase_B"][1:] == [2, 4]
+        assert math.isnan(occupancy["phase_B"][0])
+        assert loaded.rows == result.rows
