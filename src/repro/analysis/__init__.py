@@ -24,6 +24,12 @@ from repro.analysis.geometric import (
     probability_max_in_bounds,
 )
 from repro.analysis.memory import MemorySummary, memory_reference_bits, summarize_memory
+from repro.analysis.stats import (
+    chi_square_critical,
+    chi_square_homogeneity,
+    ks_critical,
+    ks_statistic,
+)
 from repro.analysis.synchronization import (
     Burst,
     SynchronyReport,
@@ -50,6 +56,8 @@ __all__ = [
     "SynchronyReport",
     "TheoremBounds",
     "analyze_synchrony",
+    "chi_square_critical",
+    "chi_square_homogeneity",
     "chvp_lower_bound_value",
     "chvp_upper_bound_time",
     "deviation_series",
@@ -60,6 +68,8 @@ __all__ = [
     "geometric_cdf",
     "geometric_pmf",
     "initiation_bounds",
+    "ks_critical",
+    "ks_statistic",
     "lemma_4_1_bounds",
     "lemma_4_1_failure_probability",
     "lemma_4_5_schedule",

@@ -53,6 +53,7 @@ from repro.engine.errors import (
     ProtocolContractError,
     UnknownAgentError,
 )
+from repro.engine.options import ExecutionOptions, execution_metadata, jit_status
 from repro.engine.parallel import (
     DEFAULT_SHARD_SIZE,
     MAX_AUTO_WORKERS,
@@ -146,6 +147,7 @@ __all__ = [
     "EnsembleSpec",
     "EstimateRecorder",
     "EventRecorder",
+    "ExecutionOptions",
     "InteractionContext",
     "InvalidScheduleError",
     "MemoryRecorder",
@@ -186,8 +188,10 @@ __all__ = [
     "engine_info",
     "engine_names",
     "execute_shards",
+    "execution_metadata",
     "has_counts_kernel",
     "has_vectorized",
+    "jit_status",
     "make_engine",
     "make_rng",
     "merge_shard_results",

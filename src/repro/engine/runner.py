@@ -44,6 +44,7 @@ from repro.engine.checkpoint import (
     write_checkpoint,
 )
 from repro.engine.errors import CheckpointError, ConfigurationError
+from repro.engine.options import ExecutionOptions
 from repro.engine.parallel import (
     ShardTiming,
     execute_shards,
@@ -495,6 +496,7 @@ def run_engine_trials(
     seed: int | None,
     parallel_time: int,
     snapshot_every: int = 1,
+    options: "ExecutionOptions | None" = None,
     workers: int | str | None = None,
     timing_sink: list[ShardTiming] | None = None,
     checkpoint_every: int | None = None,
@@ -547,7 +549,27 @@ def run_engine_trials(
     injects a deterministic :class:`~repro.engine.checkpoint.
     CheckpointInterrupted` after the N-th checkpoint write (per shard) for
     kill-and-resume tests.
+
+    ``options`` bundles the execution knobs this layer consumes (workers +
+    the four checkpoint fields) as an
+    :class:`~repro.engine.options.ExecutionOptions`; passing the object
+    together with a conflicting legacy keyword raises a
+    :class:`~repro.engine.errors.ConfigurationError`.  The bundle's
+    effort/preset/engine/jit fields do not apply here — the workload is the
+    explicit ``engine``/``engine_factory`` pair.
     """
+    if options is not None:
+        opts = ExecutionOptions.merge(
+            options,
+            workers=workers,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            interrupt_after=interrupt_after,
+        )
+        workers = opts.workers
+        checkpoint_every, checkpoint_dir = opts.checkpoint_every, opts.checkpoint_dir
+        resume_from, interrupt_after = opts.resume_from, opts.interrupt_after
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     resolved = resolve_workers(workers)

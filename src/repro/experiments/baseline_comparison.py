@@ -160,6 +160,8 @@ BASELINE = register(
         engine="sequential",
         describe=_describe,
         tags=("paper", "baseline", "adversarial"),
+        schedule_kind="decimation",
+        knobs=("drop_time", "keep"),
     )
 )
 

@@ -10,6 +10,7 @@ over parameter grids::
     repro-experiments run all --effort quick
     repro-experiments run oscillate --engine auto
     repro-experiments sweep fig4 --set keep=50,200 --set drop_time=300
+    repro-experiments fuzz --seed 7 --count 25
 
 The historical single-experiment invocations keep working as aliases
 (``repro-experiments fig4 --effort quick`` is ``run fig4 ...``).
@@ -30,6 +31,7 @@ from typing import Any, Callable
 
 from repro.engine.checkpoint import CheckpointInterrupted
 from repro.engine.errors import ConfigurationError, EngineError
+from repro.engine.options import ExecutionOptions
 from repro.engine.registry import engine_names
 from repro.experiments.base import ExperimentResult
 from repro.experiments.baseline_comparison import run_baseline_comparison
@@ -63,7 +65,7 @@ EXPERIMENT_RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     "baseline": run_baseline_comparison,
 }
 
-_COMMANDS = ("run", "list", "sweep")
+_COMMANDS = ("run", "list", "sweep", "fuzz")
 
 
 def _parse_workers(text: str) -> int | str:
@@ -204,6 +206,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help=(
+            "Generate random valid scenarios and assert cross-engine "
+            "statistical conformance on each (seeded, deterministic)."
+        ),
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="Base seed; the same seed reproduces the same cases."
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=25, help="Number of generated scenarios (default 25)."
+    )
+    fuzz_parser.add_argument(
+        "--trials",
+        type=int,
+        default=16,
+        metavar="N",
+        help="Per-engine repetitions feeding each two-sample KS test (default 16).",
+    )
+    fuzz_parser.add_argument(
+        "--engines",
+        default=None,
+        metavar="A,B[,...]",
+        help="Comma-separated engines to compare (default: batched,ensemble,counts).",
+    )
+    fuzz_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_only",
+        help="Only print the generated cases (name, family, workload, cache key); no simulation.",
+    )
+
     sweep_parser = subparsers.add_parser(
         "sweep", help="Run a scenario over a parameter grid."
     )
@@ -334,10 +369,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         engine = spec.engine if spec.engine is not None else "auto"
         tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
         sharding = "trial-shards" if spec.executor is None else "serial-only"
+        schedule = f"  schedule: {spec.schedule_kind}" if spec.schedule_kind else ""
         print(f"{spec.name}: {spec.description}{tags}")
         print(
             f"    efforts: {available or '(custom preset required)'}  "
-            f"engine: {engine}  workers: {sharding}"
+            f"engine: {engine}  workers: {sharding}{schedule}"
         )
     return 0
 
@@ -389,14 +425,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             result = run_scenario(
                 name,
-                effort=args.effort,
-                engine=args.engine,
-                workers=args.workers,
-                jit=args.jit,
-                checkpoint_every=args.checkpoint_every,
-                checkpoint_dir=_checkpoint_subdir(args.checkpoint_dir, name),
-                resume_from=_checkpoint_subdir(args.resume_from, name),
-                interrupt_after=args.interrupt_after,
+                options=ExecutionOptions(
+                    effort=args.effort,
+                    engine=args.engine,
+                    workers=args.workers,
+                    jit=args.jit,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_dir=_checkpoint_subdir(args.checkpoint_dir, name),
+                    resume_from=_checkpoint_subdir(args.resume_from, name),
+                    interrupt_after=args.interrupt_after,
+                ),
             )
         except CheckpointInterrupted as exc:
             return _interrupted(name, exc)
@@ -426,14 +464,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         started = time.time()
         results = run_sweep(
             sweep,
-            effort=args.effort,
-            engine=args.engine,
-            workers=args.workers,
-            jit=args.jit,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=_checkpoint_subdir(args.checkpoint_dir, args.scenario),
-            resume_from=_checkpoint_subdir(args.resume_from, args.scenario),
-            interrupt_after=args.interrupt_after,
+            options=ExecutionOptions(
+                effort=args.effort,
+                engine=args.engine,
+                workers=args.workers,
+                jit=args.jit,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=_checkpoint_subdir(args.checkpoint_dir, args.scenario),
+                resume_from=_checkpoint_subdir(args.resume_from, args.scenario),
+                interrupt_after=args.interrupt_after,
+            ),
         )
     except CheckpointInterrupted as exc:
         return _interrupted(args.scenario, exc)
@@ -458,6 +498,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.scenarios.fuzz import DEFAULT_ENGINES, check_conformance, generate_cases
+
+    if args.count < 1:
+        return _fail(f"--count must be at least 1, got {args.count}")
+    engines = (
+        tuple(e.strip() for e in args.engines.split(",") if e.strip())
+        if args.engines is not None
+        else DEFAULT_ENGINES
+    )
+    for engine in engines:
+        if engine not in engine_names():
+            return _fail(
+                f"unknown engine {engine!r}; available: {', '.join(engine_names())}"
+            )
+    cases = generate_cases(args.seed, args.count)
+    if args.list_only:
+        for case in cases:
+            print(
+                f"{case.name}: {case.family}  n={case.n} horizon={case.horizon} "
+                f"events={len(case.schedule)}  key={case.cache_key()[:16]}"
+            )
+        return 0
+    started = time.time()
+    failures = 0
+    for case in cases:
+        report = check_conformance(case, engines=engines, trials=args.trials)
+        verdict = "ok" if report.ok else "FAIL"
+        print(
+            f"[{case.name}] {case.family}  n={case.n} horizon={case.horizon}  {verdict}"
+        )
+        for pair in report.failures():
+            failures += 1
+            print(
+                f"    {pair.engine_a} vs {pair.engine_b} on {pair.statistic}: "
+                f"KS={pair.ks:.4f} > critical={pair.critical:.4f}",
+                file=sys.stderr,
+            )
+    elapsed = time.time() - started
+    print(
+        f"[fuzz] seed={args.seed}: {len(cases)} case(s), "
+        f"{len(cases) * len(engines)} engine runs, "
+        f"{failures} conformance failure(s) in {elapsed:.1f}s"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -466,6 +553,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_sweep(args)
 
 

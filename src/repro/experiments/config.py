@@ -172,6 +172,29 @@ PRESETS: dict[str, dict[str, ExperimentPreset]] = {
             "paper", (1_000_000,), 5_000, 48, period=600, floor=500
         ),
     },
+    # ------------------------------------------------------------------
+    # Trace-driven and multi-phase scenarios (repro.scenarios.catalog):
+    # population dynamics replayed from bundled CSV load curves, and a
+    # phased outage/recovery timeline.
+    # ------------------------------------------------------------------
+    # A flash crowd: calm baseline, a 10x spike, then decay back down.
+    "flash_crowd": {
+        "quick": _fig_preset("quick", (2_000,), 600, 3, trace="flash_crowd"),
+        "default": _fig_preset("default", (20_000,), 2_400, 8, trace="flash_crowd"),
+        "paper": _fig_preset("paper", (100_000,), 5_000, 48, trace="flash_crowd"),
+    },
+    # A day of load: overnight trough, daytime peak, back to baseline.
+    "diurnal": {
+        "quick": _fig_preset("quick", (2_000,), 600, 3, trace="diurnal"),
+        "default": _fig_preset("default", (20_000,), 2_400, 8, trace="diurnal"),
+        "paper": _fig_preset("paper", (100_000,), 5_000, 48, trace="diurnal"),
+    },
+    # Steady state -> sudden outage to n/outage_divisor -> full recovery.
+    "failover": {
+        "quick": _fig_preset("quick", (2_000,), 600, 3, outage_divisor=10),
+        "default": _fig_preset("default", (20_000,), 2_400, 8, outage_divisor=10),
+        "paper": _fig_preset("paper", (100_000,), 5_000, 48, outage_divisor=10),
+    },
 }
 
 

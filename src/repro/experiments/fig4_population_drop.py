@@ -109,6 +109,8 @@ FIG4 = register(
         engine="batched",
         describe=_describe,
         tags=("paper", "adversarial"),
+        schedule_kind="decimation",
+        knobs=("drop_time", "keep"),
     )
 )
 

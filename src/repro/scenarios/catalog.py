@@ -15,8 +15,20 @@ but the paper never plots:
 * ``repeated_decimation`` — Fig. 4's decimation applied again and again,
   halving the population down to a floor.
 
-All four run the paper's protocol on any engine; with no engine pinned, the
-runner auto-selects via :func:`repro.engine.registry.choose_engine`
+Alongside the synthetic family, three scenarios model *realistic*
+population dynamics:
+
+* ``flash_crowd`` — a bundled CSV load curve (calm baseline, a sudden 10x
+  spike, decay back down) replayed via :class:`repro.scenarios.traces.Trace`.
+* ``diurnal`` — a bundled day-of-load curve (overnight trough, daytime
+  peak), also trace-driven.
+* ``failover`` — a multi-phase timeline (steady -> outage -> recovery)
+  built from :class:`repro.scenarios.phases.Phase` segments; the phase
+  boundaries land in the result metadata and per-phase tracking errors in
+  the result rows.
+
+All of them run the paper's protocol on any engine; with no engine pinned,
+the runner auto-selects via :func:`repro.engine.registry.choose_engine`
 (typically the stacked ensemble engine).  Their presets live in
 :data:`repro.experiments.config.PRESETS` under the scenario name.
 """
@@ -29,17 +41,29 @@ from repro.core.params import ProtocolParameters
 from repro.scenarios import schedules
 from repro.scenarios.metrics import (
     base_fields,
+    phase_stats,
     schedule_fields,
     steady_window_stats,
     tracking_stats,
 )
+from repro.scenarios.phases import Phase, chain_phases, phase_boundaries
 from repro.scenarios.registry import scenario
 from repro.scenarios.spec import ScenarioPoint, ScenarioSpec
+from repro.scenarios.traces import bundled_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only
     from repro.experiments.base import ExperimentPreset
 
-__all__ = ["oscillate", "boom_bust", "churn", "repeated_decimation"]
+__all__ = [
+    "oscillate",
+    "boom_bust",
+    "churn",
+    "repeated_decimation",
+    "flash_crowd",
+    "diurnal",
+    "failover",
+    "failover_phases",
+]
 
 _ADVERSARIAL_METRICS = (base_fields, schedule_fields, tracking_stats, steady_window_stats)
 
@@ -82,6 +106,8 @@ def oscillate() -> ScenarioSpec:
         metrics=_ADVERSARIAL_METRICS,
         keep_series=True,
         tags=("adversarial",),
+        schedule_kind="oscillation",
+        knobs=("period", "shrink_factor"),
     )
 
 
@@ -115,6 +141,8 @@ def boom_bust() -> ScenarioSpec:
         metrics=_ADVERSARIAL_METRICS,
         keep_series=True,
         tags=("adversarial",),
+        schedule_kind="growth_crash",
+        knobs=("crash_divisor", "growth_factor", "growth_steps", "period"),
     )
 
 
@@ -146,6 +174,8 @@ def churn() -> ScenarioSpec:
         metrics=_ADVERSARIAL_METRICS,
         keep_series=True,
         tags=("adversarial",),
+        schedule_kind="random_churn",
+        knobs=("low_divisor", "period"),
     )
 
 
@@ -177,4 +207,107 @@ def repeated_decimation() -> ScenarioSpec:
         metrics=_ADVERSARIAL_METRICS,
         keep_series=True,
         tags=("adversarial",),
+        schedule_kind="repeated_decimation",
+        knobs=("factor", "floor", "period"),
+    )
+
+
+def _trace_points(
+    preset: "ExperimentPreset", default_trace: str
+) -> tuple[ScenarioPoint, ...]:
+    """One point per population size, replaying the preset's trace."""
+    trace = bundled_trace(str(preset.extra.get("trace", default_trace)))
+    return tuple(
+        _point(
+            preset,
+            n,
+            trace.resample(horizon=preset.parallel_time, n=n),
+        )
+        for n in preset.population_sizes
+    )
+
+
+@scenario
+def flash_crowd() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        return _trace_points(preset, "flash_crowd")
+
+    return ScenarioSpec(
+        name="flash_crowd",
+        description="Trace-driven flash crowd: calm baseline, sudden 10x spike, decay",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS,
+        keep_series=True,
+        tags=("adversarial", "trace"),
+        schedule_kind="trace",
+        knobs=("trace",),
+    )
+
+
+@scenario
+def diurnal() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        return _trace_points(preset, "diurnal")
+
+    return ScenarioSpec(
+        name="diurnal",
+        description="Trace-driven diurnal load curve: overnight trough, daytime peak",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS,
+        keep_series=True,
+        tags=("adversarial", "trace"),
+        schedule_kind="trace",
+        knobs=("trace",),
+    )
+
+
+def failover_phases(
+    n: int, *, horizon: int, outage_divisor: int = 10
+) -> tuple[Phase, ...]:
+    """The failover timeline: steady -> outage (n/divisor) -> recovery (n).
+
+    The horizon is split roughly in thirds; the outage phase starts with a
+    crash to ``n // outage_divisor`` agents and the recovery phase restores
+    the full population.
+    """
+    steady = max(1, horizon // 3)
+    outage = max(1, horizon // 3)
+    recovery = max(1, horizon - steady - outage)
+    return (
+        Phase("steady", steady),
+        Phase("outage", outage, start_size=max(2, n // outage_divisor)),
+        Phase("recovery", recovery, start_size=n),
+    )
+
+
+@scenario
+def failover() -> ScenarioSpec:
+    def points(preset: ExperimentPreset, params: ProtocolParameters):
+        outage_divisor = int(preset.extra.get("outage_divisor", 10))
+        built = []
+        for n in preset.population_sizes:
+            phases = failover_phases(
+                n, horizon=preset.parallel_time, outage_divisor=outage_divisor
+            )
+            built.append(
+                ScenarioPoint(
+                    n=n,
+                    seed=preset.seed + n,
+                    parallel_time=preset.parallel_time,
+                    trials=preset.trials,
+                    resize_schedule=chain_phases(phases),
+                    info={"phases": phase_boundaries(phases)},
+                )
+            )
+        return tuple(built)
+
+    return ScenarioSpec(
+        name="failover",
+        description="Multi-phase failover: steady state, outage to n/outage_divisor, recovery",
+        points=points,
+        metrics=_ADVERSARIAL_METRICS + (phase_stats,),
+        keep_series=True,
+        tags=("adversarial", "multi_phase"),
+        schedule_kind="multi_phase",
+        knobs=("outage_divisor",),
     )

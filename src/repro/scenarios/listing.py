@@ -39,6 +39,7 @@ def scenario_listing(*, tag: str | None = None) -> list[dict[str, Any]]:
                 "tags": list(spec.tags),
                 "engine": spec.engine,
                 "engines": list(spec.engines),
+                "schedule_kind": spec.schedule_kind,
                 "efforts": list(efforts.get(spec.id, [])),
                 "sharding": "trial-shards" if spec.executor is None else "serial-only",
                 "keep_series": spec.keep_series,

@@ -25,6 +25,7 @@ __all__ = [
     "steady_window_stats",
     "tracking_stats",
     "schedule_fields",
+    "phase_stats",
 ]
 
 
@@ -100,6 +101,44 @@ def tracking_stats(
             math.log2(final_size) + offset if final_size >= 2 else float("nan")
         ),
     }
+
+
+def phase_stats(
+    trace: EstimateTrace,
+    point: ScenarioPoint,
+    preset: ExperimentPreset,
+    params: ProtocolParameters,
+) -> Mapping[str, Any]:
+    """Per-phase tracking error for multi-phase points.
+
+    Reads the phase boundaries a multi-phase scenario records in
+    ``point.info["phases"]`` (see :func:`repro.scenarios.phases.chain_phases`)
+    and reports, for each phase, the mean and maximum absolute deviation of
+    the median estimate from the moving target ``log2(size_t) +
+    log2(grv_samples)`` over that phase's snapshots.  Points without phase
+    info contribute no columns.
+    """
+    phases = point.info.get("phases")
+    if not phases:
+        return {}
+    offset = math.log2(max(1, params.grv_samples))
+    columns: dict[str, Any] = {}
+    for boundary in phases:
+        name, start, stop = boundary["name"], boundary["start"], boundary["stop"]
+        deviations = [
+            abs(median - (math.log2(size) + offset))
+            for time, median, size in zip(
+                trace.parallel_time, trace.median, trace.population_size
+            )
+            if start <= time < stop and size >= 2
+        ]
+        columns[f"phase_{name}_mean_error"] = (
+            sum(deviations) / len(deviations) if deviations else float("nan")
+        )
+        columns[f"phase_{name}_max_error"] = (
+            max(deviations) if deviations else float("nan")
+        )
+    return columns
 
 
 def schedule_fields(

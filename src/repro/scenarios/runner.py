@@ -22,10 +22,11 @@ import dataclasses
 import json
 import re
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.core.params import ProtocolParameters
 from repro.engine.errors import ConfigurationError, UnsupportedEngineError
+from repro.engine.options import ExecutionOptions, execution_metadata
 from repro.engine.parallel import execute_shards, resolve_workers
 from repro.engine.registry import choose_engine, engine_names
 from repro.engine.runner import CHECKPOINT_MANIFEST
@@ -88,40 +89,6 @@ def resolve_params(spec: ScenarioSpec, preset: "ExperimentPreset") -> ProtocolPa
                 f"invalid protocol parameter overrides {overrides!r}: {exc}"
             ) from exc
     return params
-
-
-def _jit_status(jit: bool) -> str:
-    """Resolved jit mode: ``"off"``, ``"compiled"`` or ``"fallback: <why>"``."""
-    if not jit:
-        return "off"
-    from repro.kernels import availability
-
-    status = availability()
-    return "compiled" if status.enabled else f"fallback: {status.reason}"
-
-
-def _execution_metadata(
-    *,
-    requested_engine: str | None,
-    engines_used: Sequence[str],
-    workers: int | None,
-    jit: bool,
-) -> dict[str, Any]:
-    """The fully resolved execution config stamped on every result.
-
-    Auto-resolved knobs (``engine=None``/``"auto"``, ``workers="auto"``)
-    are recorded *after* resolution so cached artifacts are self-describing:
-    the block alone reproduces the run without re-deriving the auto policy.
-    """
-    engines = list(dict.fromkeys(engines_used))
-    return {
-        "requested_engine": requested_engine,
-        "engine": engines[0] if len(engines) == 1 else "mixed",
-        "engines": engines,
-        "workers": workers,
-        "jit_requested": jit,
-        "jit": _jit_status(jit),
-    }
 
 
 def _validate_engine(spec: ScenarioSpec, engine: str | None) -> None:
@@ -194,6 +161,7 @@ def _sniff_checkpoint_every(resume_from: Any) -> int | None:
 def run_scenario(
     spec_or_name: ScenarioSpec | str,
     *,
+    options: ExecutionOptions | None = None,
     effort: str = "quick",
     preset: ExperimentPreset | None = None,
     engine: str | None = None,
@@ -210,6 +178,13 @@ def run_scenario(
     ----------
     spec_or_name:
         A :class:`ScenarioSpec` or the name of a registered scenario.
+    options:
+        A frozen :class:`repro.engine.options.ExecutionOptions` bundling
+        every execution knob below.  Passing ``options`` together with a
+        conflicting legacy keyword raises a
+        :class:`~repro.engine.errors.ConfigurationError`; the legacy
+        keywords remain fully supported and build an ``ExecutionOptions``
+        internally.
     effort:
         Preset effort level (``"quick"`` / ``"default"`` / ``"paper"``);
         ignored when an explicit ``preset`` is passed.
@@ -253,17 +228,30 @@ def run_scenario(
     from repro.experiments.base import ExperimentResult
     from repro.experiments.figures import run_estimate_trace
 
+    opts = ExecutionOptions.merge(
+        options,
+        effort=effort,
+        preset=preset,
+        engine=engine,
+        workers=workers,
+        jit=jit,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+        interrupt_after=interrupt_after,
+    )
+    effort, preset, engine = opts.effort, opts.preset, opts.engine
+    jit, interrupt_after = opts.jit, opts.interrupt_after
+    checkpoint_every, checkpoint_dir = opts.checkpoint_every, opts.checkpoint_dir
+    resume_from = opts.resume_from
+
     spec = _resolve_spec(spec_or_name)
     _validate_engine(spec, engine)
-    requested_workers = workers
-    workers = resolve_workers(workers)
+    requested_workers = opts.workers
+    workers = resolve_workers(opts.workers)
     preset = resolve_preset(spec, effort, preset)
     params = resolve_params(spec, preset)
-    checkpointing = (
-        checkpoint_every is not None
-        or checkpoint_dir is not None
-        or resume_from is not None
-    )
+    checkpointing = opts.checkpointing
     if checkpointing:
         if checkpoint_dir is None:
             checkpoint_dir = resume_from
@@ -283,7 +271,7 @@ def run_scenario(
             result.metadata.setdefault(
                 "checkpointing", "ignored (bespoke executor)"
             )
-        execution = _execution_metadata(
+        execution = execution_metadata(
             requested_engine=engine,
             engines_used=[resolved],
             workers=None,  # bespoke executors always run serially
@@ -305,7 +293,14 @@ def run_scenario(
     series: dict[str, dict[str, list[float]]] = {}
     engines_used: list[str] = []
     shard_timings: dict[str, list[dict[str, Any]]] = {}
+    phases: dict[str, list[dict[str, Any]]] = {}
     for point in points:
+        if point.info.get("phases"):
+            # Multi-phase points carry their boundaries; stamp them into
+            # the result metadata so tables/figures can split by phase.
+            phases[point.series_label] = [
+                dict(boundary) for boundary in point.info["phases"]
+            ]
         point_engine = _engine_for_point(
             spec, engine, point.trials, point.n, params, workers
         )
@@ -336,7 +331,7 @@ def run_scenario(
             shard_timings[point.series_label] = trace.shard_timings
 
     engine_label = engines_used[0] if len(set(engines_used)) == 1 else "auto"
-    execution = _execution_metadata(
+    execution = execution_metadata(
         requested_engine=engine,
         engines_used=engines_used,
         workers=workers,
@@ -356,6 +351,8 @@ def run_scenario(
         "scenario": spec.name,
         "execution": execution,
     }
+    if phases:
+        metadata["phases"] = phases
     if workers is not None:
         metadata["workers"] = workers
         metadata["shard_timings"] = shard_timings
@@ -391,6 +388,7 @@ def _run_sweep_combo(payload: dict[str, Any]) -> "ExperimentResult":
 def run_sweep(
     sweep: SweepSpec,
     *,
+    options: ExecutionOptions | None = None,
     effort: str = "quick",
     preset: ExperimentPreset | None = None,
     engine: str | None = None,
@@ -402,6 +400,10 @@ def run_sweep(
     interrupt_after: int | None = None,
 ) -> list[tuple[str, ExperimentResult]]:
     """Run every combination of a sweep grid; returns ``(label, result)`` pairs.
+
+    ``options`` bundles the execution knobs exactly as on
+    :func:`run_scenario`: pass either the object or the legacy keywords,
+    not both.
 
     The whole grid is expanded and validated up front — protocol-parameter
     axes *and* workload points (schedules, population sizes) — so a bad axis
@@ -424,16 +426,29 @@ def run_sweep(
     combinations via their final checkpoints and continues the
     interrupted one mid-run.
     """
+    opts = ExecutionOptions.merge(
+        options,
+        effort=effort,
+        preset=preset,
+        engine=engine,
+        workers=workers,
+        jit=jit,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+        interrupt_after=interrupt_after,
+    )
+    effort, preset, engine, workers = opts.effort, opts.preset, opts.engine, opts.workers
+    jit, interrupt_after = opts.jit, opts.interrupt_after
+    checkpoint_every, checkpoint_dir = opts.checkpoint_every, opts.checkpoint_dir
+    resume_from = opts.resume_from
+
     spec = _resolve_spec(sweep.scenario)
     _validate_engine(spec, engine)
     resolved_workers = resolve_workers(workers)
     base = resolve_preset(spec, effort, preset)
     expanded = sweep.expand(base)
-    checkpointing = (
-        checkpoint_every is not None
-        or checkpoint_dir is not None
-        or resume_from is not None
-    )
+    checkpointing = opts.checkpointing
     if checkpointing:
         if checkpoint_dir is None:
             checkpoint_dir = resume_from

@@ -50,6 +50,7 @@ __all__ = [
     "canonical_json",
     "default_points",
     "default_protocol_factory",
+    "valid_sweep_axes",
 ]
 
 #: ``ExperimentPreset`` fields a sweep axis may target directly.
@@ -265,6 +266,15 @@ class ScenarioSpec:
     tags:
         Free-form labels (``"paper"``, ``"adversarial"``, ...) used by
         listings.
+    schedule_kind:
+        The :class:`~repro.scenarios.schedules.Schedule` family this
+        scenario's adversary belongs to (``"oscillation"``, ``"trace"``,
+        ``"multi_phase"``, ...); ``None`` for scenarios without a resize
+        adversary.  Shown by CLI ``list`` and the serve listing.
+    knobs:
+        Workload knob names this scenario reads from ``preset.extra``
+        beyond the keys its presets already carry (e.g. a knob with a
+        built-in default); declares them as valid sweep axes.
     """
 
     name: str
@@ -294,6 +304,8 @@ class ScenarioSpec:
     experiment_id: str | None = None
     describe: Callable[[ExperimentPreset], str] | None = None
     tags: tuple[str, ...] = ()
+    schedule_kind: str | None = None
+    knobs: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -349,6 +361,8 @@ class ScenarioSpec:
             "engines": list(self.engines),
             "keep_series": self.keep_series,
             "tags": list(self.tags),
+            "schedule_kind": self.schedule_kind,
+            "knobs": list(self.knobs),
             "points": _callable_id(self.points),
             "metrics": [_callable_id(metric) for metric in self.metrics],
             "protocol_factory": _callable_id(self.protocol_factory),
@@ -394,7 +408,7 @@ class SweepSpec:
 
     @classmethod
     def from_mapping(
-        cls, scenario: str, axes: Mapping[str, Sequence[Any]]
+        cls, scenario: "str | ScenarioSpec", axes: Mapping[str, Sequence[Any]]
     ) -> "SweepSpec":
         normalized = []
         for key, values in axes.items():
@@ -404,6 +418,7 @@ class SweepSpec:
             normalized.append((key, values))
         if not normalized:
             raise ConfigurationError("a sweep needs at least one axis")
+        _validate_axis_keys(scenario, [key for key, _ in normalized])
         return cls(scenario=scenario, axes=tuple(normalized))
 
     def canonical_encoding(self) -> dict[str, Any]:
@@ -438,6 +453,49 @@ class SweepSpec:
             label = ",".join(f"{key}={value}" for key, value in combo.items())
             expanded.append((label, apply_axis_overrides(base, combo)))
         return expanded
+
+
+def valid_sweep_axes(spec: ScenarioSpec) -> tuple[str, ...]:
+    """Every axis key a sweep over ``spec`` may target, sorted.
+
+    The routable names (``"n"``, preset fields, protocol-parameter fields)
+    plus the scenario's workload knobs: the ``preset.extra`` keys its
+    registered presets carry, and any extra names the spec declares via
+    ``knobs`` (knobs read with a built-in default never appear in a
+    preset, so the spec must name them explicitly).
+    """
+    axes = {"n", *_PRESET_FIELDS, *_PARAM_FIELDS, *spec.knobs}
+    # Imported lazily: the experiments layer imports this module at
+    # definition time, so the reverse dependency must not be top-level.
+    from repro.experiments.config import PRESETS
+
+    for preset in PRESETS.get(spec.id, {}).values():
+        axes.update(key for key in preset.extra if key != "params_overrides")
+    return tuple(sorted(axes))
+
+
+def _validate_axis_keys(
+    scenario: "str | ScenarioSpec", keys: Sequence[str]
+) -> None:
+    """Reject unknown axis keys up front (a typo'd axis used to surface as
+    a mid-expand ``KeyError``).  Unregistered scenario *names* skip the
+    check — there is no spec to validate against until run time.
+    """
+    if isinstance(scenario, ScenarioSpec):
+        spec = scenario
+    else:
+        from repro.scenarios.registry import get_scenario, has_scenario
+
+        if not has_scenario(scenario):
+            return
+        spec = get_scenario(scenario)
+    valid = valid_sweep_axes(spec)
+    unknown = sorted(set(keys) - set(valid))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown sweep axis/axes for scenario {spec.name!r}: "
+            f"{', '.join(unknown)}; valid axes: {', '.join(valid)}"
+        )
 
 
 def apply_axis_overrides(

@@ -40,7 +40,8 @@ __all__ = ["KEY_SCHEMA_VERSION", "canonical_cache_key", "normalize_engine_reques
 
 #: Bumped whenever the encoding below changes shape — old cache entries then
 #: miss (and are rewritten) instead of being served with stale semantics.
-KEY_SCHEMA_VERSION = 1
+#: v2: ScenarioSpec.canonical_encoding gained ``schedule_kind``/``knobs``.
+KEY_SCHEMA_VERSION = 2
 
 
 def normalize_engine_request(spec: ScenarioSpec, engine: str | None) -> str:

@@ -43,6 +43,7 @@ from repro.serve.jobs import JobQueue, JobState
 from repro.serve.keys import canonical_cache_key
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (layering)
+    from repro.engine.options import ExecutionOptions
     from repro.experiments.base import ExperimentPreset, ExperimentResult
     from repro.scenarios.spec import ScenarioSpec
 
@@ -88,6 +89,13 @@ class RunRequest:
     sweep:
         When set, the run is a :func:`run_sweep` over this axis mapping
         instead of a single :func:`run_scenario`.
+    options:
+        Alternatively, bundle effort/engine/workers/jit into one
+        :class:`~repro.engine.options.ExecutionOptions`; it is flattened
+        onto the fields above at construction time (passing both raises),
+        so two requests describing the same run always compare equal.
+        Preset and checkpointing fields are rejected — the service manages
+        checkpointing itself (see ``SimulationService.checkpoint_every``).
     """
 
     scenario: str
@@ -98,10 +106,45 @@ class RunRequest:
     seed: int | None = None
     overrides: Mapping[str, Any] | None = None
     sweep: Mapping[str, Sequence[Any]] | None = None
+    options: "ExecutionOptions | None" = None
+
+    def __post_init__(self) -> None:
+        if self.options is None:
+            return
+        opts = self.options
+        if opts.preset is not None or opts.checkpointing or opts.interrupt_after is not None:
+            raise ConfigurationError(
+                "RunRequest options must not carry preset or checkpointing "
+                "fields; use effort plus the service's own checkpoint_every"
+            )
+        conflicts = [
+            name
+            for name, default in (
+                ("effort", "quick"),
+                ("engine", None),
+                ("workers", None),
+                ("jit", False),
+            )
+            if getattr(self, name) != default
+        ]
+        if conflicts:
+            raise ConfigurationError(
+                "pass execution settings either via options=ExecutionOptions(...) "
+                "or as request fields, not both; conflicting field(s): "
+                + ", ".join(sorted(conflicts))
+            )
+        object.__setattr__(self, "effort", opts.effort)
+        object.__setattr__(self, "engine", opts.engine)
+        object.__setattr__(self, "workers", opts.workers)
+        object.__setattr__(self, "jit", opts.jit)
+        object.__setattr__(self, "options", None)
 
     def summary(self) -> dict[str, Any]:
         """JSON-encodable echo stored on the job and shown by status APIs."""
         payload = dataclasses.asdict(self)
+        # Always None after __post_init__ flattening; dropped so the echo
+        # keeps its pre-options shape byte for byte.
+        payload.pop("options")
         payload["overrides"] = dict(self.overrides) if self.overrides else None
         payload["sweep"] = (
             {key: list(values) for key, values in self.sweep.items()}

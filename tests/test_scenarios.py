@@ -307,8 +307,20 @@ class TestSweep:
             SweepSpec.from_mapping("fig2", {"keep": ()})
 
     def test_combinations_grid_order(self):
-        sweep = SweepSpec.from_mapping("fig2", {"a": (1, 2), "b": (3,)})
+        # An unregistered scenario name skips axis-key validation, so the
+        # grid expansion can be pinned with abstract axes.
+        sweep = SweepSpec.from_mapping("not_registered", {"a": (1, 2), "b": (3,)})
         assert sweep.combinations() == [{"a": 1, "b": 3}, {"a": 2, "b": 3}]
+
+    def test_from_mapping_rejects_unknown_axes(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep axis"):
+            SweepSpec.from_mapping("fig2", {"definitely_not_an_axis": (1,)})
+        # The error enumerates the valid axes so the fix is obvious.
+        with pytest.raises(ConfigurationError, match="valid axes"):
+            SweepSpec.from_mapping("fig4", {"kep": (50,)})
+        # Known preset fields, protocol constants and workload knobs pass.
+        sweep = SweepSpec.from_mapping("fig4", {"keep": (50, 100), "drop_time": (200,)})
+        assert len(sweep.combinations()) == 2
 
     def test_axis_override_routing(self):
         preset = tiny_preset()

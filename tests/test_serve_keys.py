@@ -275,7 +275,7 @@ class TestGoldenPins:
             "sweep",
             "workers",
         ]
-        assert encoding["schema"] == 1
+        assert encoding["schema"] == 2
         assert sorted(encoding["preset"]) == [
             "extra",
             "name",

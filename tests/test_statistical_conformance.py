@@ -27,10 +27,9 @@ shared seed the exact engines are trajectory-identical and the comparison
 would be vacuous; distinct seeds make this an honest two-sample test.
 
 The KS and chi-square machinery is implemented on plain NumPy (no SciPy
-dependency): two-sample Kolmogorov-Smirnov with the asymptotic critical
-value ``c(alpha) * sqrt((n+m)/(n*m))``, and a chi-square homogeneity test
-on pooled-quantile bins with the Wilson-Hilferty critical-value
-approximation.
+dependency) in :mod:`repro.analysis.stats` — it is shared with the
+scenario fuzzer (:mod:`repro.scenarios.fuzz`), which asserts the same
+cross-engine property on generated workloads at runtime.
 """
 
 from __future__ import annotations
@@ -40,6 +39,12 @@ import math
 import numpy as np
 import pytest
 
+from repro.analysis.stats import (
+    chi_square_critical,
+    chi_square_homogeneity,
+    ks_critical,
+    ks_statistic,
+)
 from repro.core.dynamic_counting import DynamicSizeCounting
 from repro.core.vectorized import VectorizedDynamicCounting
 from repro.engine.registry import make_engine
@@ -51,64 +56,6 @@ from repro.protocols.vectorized import (
     VectorizedJuntaElection,
     VectorizedMaxEpidemic,
 )
-
-# --------------------------------------------------------------- statistics
-
-
-def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
-    """Two-sample Kolmogorov-Smirnov statistic (max CDF distance)."""
-    a = np.sort(np.asarray(a, dtype=float))
-    b = np.sort(np.asarray(b, dtype=float))
-    grid = np.concatenate([a, b])
-    grid.sort()
-    cdf_a = np.searchsorted(a, grid, side="right") / a.size
-    cdf_b = np.searchsorted(b, grid, side="right") / b.size
-    return float(np.max(np.abs(cdf_a - cdf_b)))
-
-
-def ks_critical(n: int, m: int, alpha: float) -> float:
-    """Asymptotic two-sample KS critical value at significance ``alpha``."""
-    c = math.sqrt(-0.5 * math.log(alpha / 2.0))
-    return c * math.sqrt((n + m) / (n * m))
-
-
-#: Upper-tail standard normal quantiles used by the chi-square critical
-#: value approximation, keyed by significance level.
-_Z_UPPER = {0.05: 1.6449, 0.01: 2.3263, 0.001: 3.0902}
-
-
-def chi_square_critical(df: int, alpha: float) -> float:
-    """Wilson-Hilferty approximation of the chi-square upper quantile."""
-    z = _Z_UPPER[alpha]
-    return df * (1.0 - 2.0 / (9.0 * df) + z * math.sqrt(2.0 / (9.0 * df))) ** 3
-
-
-def chi_square_homogeneity(
-    a: np.ndarray, b: np.ndarray, bins: int = 3
-) -> tuple[float, int]:
-    """Chi-square homogeneity statistic of two samples on pooled bins.
-
-    Bin edges are pooled quantiles, so expected counts stay comfortably
-    above the classic >= 5 rule for the sample sizes used here.  Returns
-    ``(statistic, degrees_of_freedom)``.
-    """
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
-    pooled = np.concatenate([a, b])
-    edges = np.quantile(pooled, np.linspace(0.0, 1.0, bins + 1))
-    edges[0], edges[-1] = -np.inf, np.inf
-    # Collapse duplicate edges (heavily tied samples) to keep bins valid.
-    edges = np.unique(edges)
-    observed = np.array(
-        [np.histogram(sample, bins=edges)[0] for sample in (a, b)], dtype=float
-    )
-    row = observed.sum(axis=1, keepdims=True)
-    col = observed.sum(axis=0, keepdims=True)
-    expected = row * col / pooled.size
-    mask = expected > 0
-    statistic = float(((observed - expected)[mask] ** 2 / expected[mask]).sum())
-    df = (observed.shape[0] - 1) * (mask.any(axis=0).sum() - 1)
-    return statistic, max(int(df), 1)
 
 
 class TestStatisticHelpers:
